@@ -1,0 +1,113 @@
+// Command apriori mines frequent itemsets and association rules from a
+// basket-format transaction file with the serial Apriori algorithm.
+//
+// Usage:
+//
+//	apriori -minsup 0.01 -minconf 0.8 -rules t15i6.dat
+//	apriori -minsup 0.001 -summary t15i6.dat
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parapriori"
+)
+
+func main() {
+	var (
+		minsup  = flag.Float64("minsup", 0.01, "minimum support (fraction of transactions)")
+		minconf = flag.Float64("minconf", 0.8, "minimum confidence for rules")
+		emit    = flag.Bool("rules", false, "generate and print association rules")
+		summary = flag.Bool("summary", false, "print only per-pass statistics")
+		topk    = flag.Int("top", 0, "print only the strongest K rules (0 = all)")
+		dhp     = flag.Int("dhp", 0, "DHP pair-hash buckets (0 = disabled)")
+		save    = flag.String("save", "", "save the frequent itemsets to this file (reloadable with -load)")
+		load    = flag.String("load", "", "skip mining; load frequent itemsets saved with -save")
+	)
+	flag.Parse()
+
+	var res *parapriori.Result
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "apriori: %v\n", err)
+			os.Exit(1)
+		}
+		res, err = parapriori.ReadResult(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "apriori: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("loaded %d frequent itemsets (N=%d, minsup count %d)\n", res.NumFrequent(), res.N, res.MinCount)
+	} else {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: apriori [flags] <transactions.dat>")
+			flag.PrintDefaults()
+			os.Exit(2)
+		}
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "apriori: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+
+		data, err := parapriori.ReadDataset(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "apriori: %v\n", err)
+			os.Exit(1)
+		}
+
+		res, err = parapriori.Mine(data, parapriori.MineOptions{MinSupport: *minsup, DHPBuckets: *dhp})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "apriori: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("transactions: %d, items: %d, minsup count: %d\n", data.Len(), data.NumItems, res.MinCount)
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "apriori: %v\n", err)
+			os.Exit(1)
+		}
+		if err := parapriori.WriteResult(f, res); err != nil {
+			fmt.Fprintf(os.Stderr, "apriori: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+	fmt.Printf("%-5s %-12s %-10s\n", "pass", "candidates", "frequent")
+	for _, p := range res.Passes {
+		fmt.Printf("%-5d %-12d %-10d\n", p.K, p.Candidates, p.Frequent)
+	}
+	fmt.Printf("total frequent itemsets: %d\n", res.NumFrequent())
+	if *summary {
+		return
+	}
+
+	if *emit {
+		rules, err := parapriori.GenerateRules(res, *minconf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "apriori: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("rules (minconf %.2f): %d\n", *minconf, len(rules))
+		for i, r := range rules {
+			if *topk > 0 && i >= *topk {
+				break
+			}
+			fmt.Println(" ", r)
+		}
+		return
+	}
+
+	for _, level := range res.Levels {
+		for _, fs := range level {
+			fmt.Printf("%v %d\n", fs.Items, fs.Count)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Command parminer mines a transaction file with one of the parallel
+// Apriori formulations on the emulated message-passing machine, reporting
+// both the mined itemsets and the parallel behaviour (virtual response
+// time, per-pass grid configuration, load imbalance, communication volume).
+//
+// Usage:
+//
+//	parminer -algo hd -p 64 -minsup 0.001 t15i6.dat
+//	parminer -algo hpa -p 8 -minsup 0.01 t15i6.dat
+//	parminer -algo idd -p 16 -machine sp2 -minsup 0.005 -passes t15i6.dat
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"parapriori"
+)
+
+// emitJSON prints a machine-readable run summary.
+func emitJSON(rep *parapriori.Report) {
+	type passJSON struct {
+		K          int     `json:"k"`
+		Grid       string  `json:"grid"`
+		Candidates int     `json:"candidates"`
+		Frequent   int     `json:"frequent"`
+		TreeParts  int     `json:"treeParts"`
+		CandImb    float64 `json:"candImbalance"`
+		TimeImb    float64 `json:"timeImbalance"`
+		BytesMoved int64   `json:"bytesMoved"`
+		Response   float64 `json:"responseSeconds"`
+	}
+	out := struct {
+		Algorithm    string             `json:"algorithm"`
+		Procs        int                `json:"procs"`
+		Machine      string             `json:"machine"`
+		Frequent     int                `json:"frequentItemsets"`
+		ResponseSecs float64            `json:"responseSeconds"`
+		Phases       map[string]float64 `json:"phaseShares"`
+		Passes       []passJSON         `json:"passes"`
+	}{
+		Algorithm:    string(rep.Algo),
+		Procs:        rep.P,
+		Machine:      rep.Params.Machine.Name,
+		Frequent:     rep.Result.NumFrequent(),
+		ResponseSecs: rep.ResponseTime,
+		Phases:       rep.PhaseBreakdown(),
+	}
+	for _, p := range rep.Passes {
+		out.Passes = append(out.Passes, passJSON{
+			K: p.K, Grid: fmt.Sprintf("%dx%d", p.GridRows, p.GridCols),
+			Candidates: p.Candidates, Frequent: p.Frequent, TreeParts: p.TreeParts,
+			CandImb: p.CandImbalance, TimeImb: p.TimeImbalance,
+			BytesMoved: p.BytesMoved, Response: p.ResponseTime,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "parminer: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func main() {
+	var (
+		algoName = flag.String("algo", "hd", "algorithm: cd, dd, ddcomm, idd, hd or hpa")
+		procs    = flag.Int("p", 8, "number of emulated processors")
+		minsup   = flag.Float64("minsup", 0.01, "minimum support (fraction)")
+		machine  = flag.String("machine", "t3e", "machine model: t3e or sp2")
+		hdm      = flag.Int("m", 5000, "HD candidate threshold per grid row")
+		fixedG   = flag.Int("g", 0, "pin HD's grid rows (0 = dynamic)")
+		passes   = flag.Bool("passes", false, "print per-pass detail")
+		trace    = flag.Bool("trace", false, "render a per-processor virtual-time Gantt chart")
+		asJSON   = flag.Bool("json", false, "emit a JSON summary instead of text")
+		itemsets = flag.Bool("itemsets", false, "print the frequent itemsets")
+	)
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: parminer [flags] <transactions.dat>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parminer: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	data, err := parapriori.ReadDataset(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parminer: %v\n", err)
+		os.Exit(1)
+	}
+
+	var mach parapriori.Machine
+	switch *machine {
+	case "t3e":
+		mach = parapriori.MachineT3E()
+	case "sp2":
+		mach = parapriori.MachineSP2()
+	default:
+		fmt.Fprintf(os.Stderr, "parminer: unknown machine %q (want t3e or sp2)\n", *machine)
+		os.Exit(2)
+	}
+
+	rep, err := parapriori.MineParallel(data, parapriori.ParallelOptions{
+		MineOptions: parapriori.MineOptions{MinSupport: *minsup},
+		Algorithm:   parapriori.Algorithm(*algoName),
+		Procs:       *procs,
+		Machine:     mach,
+		HDThreshold: *hdm,
+		FixedG:      *fixedG,
+		Trace:       *trace,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parminer: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *asJSON {
+		emitJSON(rep)
+		return
+	}
+
+	fmt.Printf("algorithm %s on %d procs (%s): %d transactions, minsup %.4g\n",
+		rep.Algo, rep.P, mach.Name, data.Len(), *minsup)
+	fmt.Printf("frequent itemsets: %d\n", rep.Result.NumFrequent())
+	fmt.Printf("virtual response time: %.6f s (emulated %v wall)\n", rep.ResponseTime, rep.Wall.Round(1e6))
+	fmt.Printf("compute %.6f s, idle %.6f s, i/o %.6f s, sent %d MB in %d messages\n",
+		rep.Total.ComputeTime, rep.Total.IdleTime, rep.Total.IOTime,
+		rep.Total.BytesSent>>20, rep.Total.MessagesSent)
+
+	if *passes {
+		fmt.Printf("%-5s %-8s %-11s %-10s %-7s %-12s %-12s %-12s\n",
+			"pass", "grid", "candidates", "frequent", "parts", "cand-imb", "time-imb", "moved-bytes")
+		for _, p := range rep.Passes {
+			fmt.Printf("%-5d %-8s %-11d %-10d %-7d %-12.4f %-12.4f %-12d\n",
+				p.K, fmt.Sprintf("%dx%d", p.GridRows, p.GridCols),
+				p.Candidates, p.Frequent, p.TreeParts,
+				p.CandImbalance, p.TimeImbalance, p.BytesMoved)
+		}
+	}
+	if *trace {
+		if err := parapriori.TraceTimeline(os.Stdout, rep, 100); err != nil {
+			fmt.Fprintf(os.Stderr, "parminer: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *itemsets {
+		for _, level := range rep.Result.Levels {
+			for _, fs := range level {
+				fmt.Printf("%v %d\n", fs.Items, fs.Count)
+			}
+		}
+	}
+}

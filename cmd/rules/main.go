@@ -1,0 +1,119 @@
+// Command rules generates association rules from frequent itemsets saved by
+// `apriori -save` (or mines them on the fly from a transaction file), with
+// filtering and optional item names.
+//
+// Usage:
+//
+//	apriori -minsup 0.001 -save freq.txt t15i6.dat
+//	rules -load freq.txt -minconf 0.9 -top 20
+//	rules -load freq.txt -minconf 0.8 -item 42        # rules involving item 42
+//	rules -load freq.txt -vocab names.txt -top 10     # with product names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parapriori"
+)
+
+func main() {
+	var (
+		load    = flag.String("load", "", "frequent itemsets saved by apriori -save")
+		mine    = flag.String("mine", "", "transaction file to mine instead of -load")
+		minsup  = flag.Float64("minsup", 0.01, "minimum support when mining with -mine")
+		minconf = flag.Float64("minconf", 0.8, "minimum confidence")
+		topk    = flag.Int("top", 0, "print only the strongest K rules (0 = all)")
+		item    = flag.Int("item", -1, "only rules whose antecedent or consequent contains this item")
+		vocab   = flag.String("vocab", "", "vocabulary file (one item name per line) for readable output")
+		procs   = flag.Int("p", 0, "generate on an emulated cluster of this many processors (0 = serial)")
+	)
+	flag.Parse()
+
+	res, err := loadResult(*load, *mine, *minsup)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rules: %v\n", err)
+		os.Exit(1)
+	}
+
+	var v *parapriori.Vocabulary
+	if *vocab != "" {
+		f, err := os.Open(*vocab)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rules: %v\n", err)
+			os.Exit(1)
+		}
+		v, err = parapriori.ReadVocabulary(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rules: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	var out []parapriori.Rule
+	if *procs > 0 {
+		rep, err := parapriori.GenerateRulesParallel(res, *procs, parapriori.MachineT3E(), *minconf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rules: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "rules: generated on %d emulated procs in %.6fs virtual (imbalance %.3f)\n",
+			*procs, rep.ResponseTime, rep.TimeImbalance)
+		out = rep.Rules
+	} else {
+		out, err = parapriori.GenerateRules(res, *minconf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rules: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	printed := 0
+	for _, r := range out {
+		if *item >= 0 {
+			it := parapriori.Item(*item)
+			if !r.Antecedent.Contains(it) && !r.Consequent.Contains(it) {
+				continue
+			}
+		}
+		if *topk > 0 && printed >= *topk {
+			break
+		}
+		if v != nil {
+			fmt.Printf("%-30s => %-20s sup %.4f, conf %.4f\n",
+				v.Label(r.Antecedent), v.Label(r.Consequent), r.Support, r.Confidence)
+		} else {
+			fmt.Println(r)
+		}
+		printed++
+	}
+	fmt.Fprintf(os.Stderr, "rules: %d printed of %d total\n", printed, len(out))
+}
+
+func loadResult(load, mine string, minsup float64) (*parapriori.Result, error) {
+	switch {
+	case load != "" && mine != "":
+		return nil, fmt.Errorf("use either -load or -mine, not both")
+	case load != "":
+		f, err := os.Open(load)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return parapriori.ReadResult(f)
+	case mine != "":
+		f, err := os.Open(mine)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		data, err := parapriori.ReadDataset(f)
+		if err != nil {
+			return nil, err
+		}
+		return parapriori.Mine(data, parapriori.MineOptions{MinSupport: minsup})
+	}
+	return nil, fmt.Errorf("need -load <saved result> or -mine <transactions>")
+}

@@ -1,0 +1,69 @@
+// Quickstart mines the paper's own running example: the five supermarket
+// transactions of Table I.  It finds the frequent itemsets at 40% support
+// and derives association rules, including the classic
+// {Diaper, Milk} => {Beer} rule with 40% support and 66% confidence that
+// Section II works through by hand.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"parapriori"
+)
+
+// The items of Table I.
+const (
+	Bread parapriori.Item = iota
+	Beer
+	Coke
+	Diaper
+	Milk
+)
+
+var names = map[parapriori.Item]string{
+	Bread: "Bread", Beer: "Beer", Coke: "Coke", Diaper: "Diaper", Milk: "Milk",
+}
+
+func label(s parapriori.Itemset) string {
+	parts := make([]string, len(s))
+	for i, it := range s {
+		parts[i] = names[it]
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+func main() {
+	// Table I: five supermarket transactions.
+	data := parapriori.FromItems([][]parapriori.Item{
+		{Bread, Coke, Milk},
+		{Beer, Bread},
+		{Beer, Coke, Diaper, Milk},
+		{Beer, Bread, Diaper, Milk},
+		{Coke, Diaper, Milk},
+	})
+
+	// Step 1: frequent itemsets at 40% minimum support (count >= 2).
+	res, err := parapriori.Mine(data, parapriori.MineOptions{MinSupport: 0.4})
+	if err != nil {
+		log.Fatalf("mining: %v", err)
+	}
+	fmt.Printf("frequent itemsets (support >= 40%% of %d transactions):\n", data.Len())
+	for _, level := range res.Levels {
+		for _, f := range level {
+			fmt.Printf("  %-24s count %d\n", label(f.Items), f.Count)
+		}
+	}
+
+	// Step 2: association rules at 60% minimum confidence.
+	rules, err := parapriori.GenerateRules(res, 0.6)
+	if err != nil {
+		log.Fatalf("rules: %v", err)
+	}
+	fmt.Printf("\nrules (confidence >= 60%%):\n")
+	for _, r := range rules {
+		fmt.Printf("  %-20s => %-10s support %.0f%%, confidence %.0f%%\n",
+			label(r.Antecedent), label(r.Consequent), r.Support*100, r.Confidence*100)
+	}
+}

@@ -1,0 +1,3 @@
+module parapriori
+
+go 1.22

@@ -1,0 +1,186 @@
+// Package analysis implements the performance model of the paper's
+// Section IV: the expected number of distinct hash-tree leaves a
+// transaction visits (Equations 1–2), the per-algorithm runtime equations
+// (Equations 3–7) and HD's G-selection window (Equation 8).
+//
+// The model is used three ways: property tests check the closed form
+// against brute-force expectation; integration tests check it against the
+// hash tree's measured counters; and the experiments compare predicted
+// response times with the emulated ones.
+package analysis
+
+import "math"
+
+// V returns V(i, j): the expected number of distinct leaf nodes visited
+// when a transaction generates i potential candidates against a hash tree
+// with j leaves, assuming each traversal lands on a uniformly random leaf
+// (Equation 1):
+//
+//	V(i,j) = (jⁱ − (j−1)ⁱ) / jⁱ⁻¹ = j·(1 − (1 − 1/j)ⁱ)
+//
+// The second form is evaluated for numerical stability at large i, j.
+// For j → ∞, V(i,j) → i (Equation 2); for i ≫ j it saturates at j.
+func V(i, j float64) float64 {
+	if i <= 0 || j <= 0 {
+		return 0
+	}
+	if i == 1 {
+		return 1
+	}
+	// j·(1−(1−1/j)^i) = j·(1−exp(i·log1p(−1/j))) = −j·expm1(i·log1p(−1/j)).
+	if j == 1 {
+		return 1
+	}
+	return -j * math.Expm1(i*math.Log1p(-1/j))
+}
+
+// Choose returns the binomial coefficient C(n, k) as a float64, the count
+// of potential candidates a transaction of n items generates at pass k.
+func Choose(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	c := 1.0
+	for i := 1; i <= k; i++ {
+		c = c * float64(n-k+i) / float64(i)
+	}
+	return c
+}
+
+// Workload carries the symbols of Table III that describe one pass of one
+// problem instance.
+type Workload struct {
+	N float64 // total number of transactions
+	M float64 // total number of candidates
+	I float64 // average items per transaction
+	K int     // pass number
+	S float64 // average candidates per leaf
+}
+
+// C returns the average number of potential candidates per transaction,
+// C = (I choose k).
+func (w Workload) C() float64 { return Choose(int(math.Round(w.I)), w.K) }
+
+// L returns the average number of leaves of the full (serial) hash tree,
+// L = M/S.
+func (w Workload) L() float64 {
+	if w.S <= 0 {
+		return w.M
+	}
+	return w.M / w.S
+}
+
+// Costs carries the machine constants the equations are written in.
+type Costs struct {
+	TTravers float64 // hash-tree traversal per potential candidate
+	TCheck   float64 // per-candidate check at a leaf... charged per S-block
+	TInsert  float64 // per-candidate tree construction
+	TData    float64 // seconds per transaction moved (communication)
+	TReduce  float64 // per-candidate-count reduction cost
+}
+
+// perLeafCheck converts the model's "checking at a leaf with S candidates"
+// into the per-leaf cost: S individual candidate checks.
+func (c Costs) perLeafCheck(s float64) float64 { return c.TCheck * s }
+
+// Serial returns T_serial of Equation 3:
+//
+//	N·C·t_travers + N·V(C, L)·t_check·S + O(M) construction.
+func Serial(w Workload, c Costs) float64 {
+	C, L := w.C(), w.L()
+	return w.N*C*c.TTravers +
+		w.N*V(C, L)*c.perLeafCheck(w.S) +
+		w.M*c.TInsert
+}
+
+// CD returns T_CD of Equation 4 on P processors: the subset work scales by
+// P but tree construction and the global reduction stay O(M).
+func CD(w Workload, c Costs, p float64) float64 {
+	C, L := w.C(), w.L()
+	return w.N/p*C*c.TTravers +
+		w.N/p*V(C, L)*c.perLeafCheck(w.S) +
+		w.M*c.TInsert +
+		w.M*c.TReduce
+}
+
+// DD returns T_DD of Equation 5: every processor still traverses for all N
+// transactions, the leaf checking shrinks less than P-fold
+// (V(C, L/P) > V(C, L)/P — the redundant work), construction scales, and
+// the data movement costs O(N).
+func DD(w Workload, c Costs, p float64) float64 {
+	C, L := w.C(), w.L()
+	return w.N*C*c.TTravers +
+		w.N*V(C, L/p)*c.perLeafCheck(w.S) +
+		w.M/p*c.TInsert +
+		w.N*c.TData
+}
+
+// IDD returns T_IDD of Equation 6: both traversal and checking scale by P
+// thanks to the intelligent partitioning (C/P potential candidates against
+// an L/P-leaf tree), leaving only the O(N) data movement unscaled.
+func IDD(w Workload, c Costs, p float64) float64 {
+	C, L := w.C(), w.L()
+	return w.N*(C/p)*c.TTravers +
+		w.N*V(C/p, L/p)*c.perLeafCheck(w.S) +
+		w.M/p*c.TInsert +
+		w.N*c.TData
+}
+
+// HD returns T_HD of Equation 7 for G candidate partitions on P
+// processors: each processor handles G·N/P transactions against C/G
+// potential candidates, with O(M/G) construction/reduction and O(G·N/P)
+// data movement.
+func HD(w Workload, c Costs, p, g float64) float64 {
+	C, L := w.C(), w.L()
+	return (g*w.N/p)*(C/g)*c.TTravers +
+		(g*w.N/p)*V(C/g, L/g)*c.perLeafCheck(w.S) +
+		w.M/g*c.TInsert +
+		w.M/g*c.TReduce +
+		(g*w.N/p)*c.TData
+}
+
+// BestG returns the G in [1, P] minimizing the HD runtime, restricted to
+// divisors of P (the grid must tile the machine), together with the
+// minimum.
+func BestG(w Workload, c Costs, p int) (int, float64) {
+	bestG, bestT := 1, math.Inf(1)
+	for g := 1; g <= p; g++ {
+		if p%g != 0 {
+			continue
+		}
+		if t := HD(w, c, float64(p), float64(g)); t < bestT {
+			bestG, bestT = g, t
+		}
+	}
+	return bestG, bestT
+}
+
+// GWindow returns Equation 8's window (1, M·P/N): the G values for which
+// HD is expected to beat CD.  The bound is the crossover of the summarized
+// costs O(G·N/P)+O(M/G) < O(N/P)+O(M).
+func GWindow(w Workload, p float64) (lo, hi float64) {
+	if w.N <= 0 {
+		return 1, math.Inf(1)
+	}
+	return 1, w.M * p / w.N
+}
+
+// Efficiency returns the parallel efficiency E = T_serial / (P · T_p) of
+// Section IV.
+func Efficiency(serial, parallel float64, p float64) float64 {
+	if parallel <= 0 || p <= 0 {
+		return 0
+	}
+	return serial / (p * parallel)
+}
+
+// Speedup returns T_serial / T_p.
+func Speedup(serial, parallel float64) float64 {
+	if parallel <= 0 {
+		return 0
+	}
+	return serial / parallel
+}

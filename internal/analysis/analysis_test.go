@@ -1,0 +1,245 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// vExact computes V(i,j) directly from the recurrence of Equation 1.
+func vExact(i, j int) float64 {
+	if i <= 0 || j <= 0 {
+		return 0
+	}
+	v := 1.0
+	for n := 2; n <= i; n++ {
+		v = 1 + float64(j-1)/float64(j)*v
+	}
+	return v
+}
+
+func TestVMatchesRecurrence(t *testing.T) {
+	for _, c := range []struct{ i, j int }{
+		{1, 1}, {1, 10}, {2, 2}, {3, 7}, {10, 10}, {50, 100}, {100, 5}, {500, 2000},
+	} {
+		got := V(float64(c.i), float64(c.j))
+		want := vExact(c.i, c.j)
+		if math.Abs(got-want) > 1e-9*math.Max(1, want) {
+			t.Errorf("V(%d,%d) = %v, recurrence says %v", c.i, c.j, got, want)
+		}
+	}
+}
+
+func TestVMatchesMonteCarlo(t *testing.T) {
+	// V is the expected number of distinct values when i draws land
+	// uniformly on j bins; check against simulation.
+	rng := rand.New(rand.NewSource(2))
+	for _, c := range []struct{ i, j int }{{10, 50}, {66, 300}, {100, 64}} {
+		const trials = 2000
+		total := 0
+		seen := make([]int, c.j)
+		for trial := 0; trial < trials; trial++ {
+			stamp := trial + 1
+			distinct := 0
+			for d := 0; d < c.i; d++ {
+				b := rng.Intn(c.j)
+				if seen[b] != stamp {
+					seen[b] = stamp
+					distinct++
+				}
+			}
+			total += distinct
+		}
+		sim := float64(total) / trials
+		got := V(float64(c.i), float64(c.j))
+		if math.Abs(got-sim)/sim > 0.03 {
+			t.Errorf("V(%d,%d) = %v, simulation says %v", c.i, c.j, got, sim)
+		}
+	}
+}
+
+func TestVLimits(t *testing.T) {
+	// Equation 2: V(i,j) -> i as j -> infinity.
+	if got := V(66, 1e12); math.Abs(got-66) > 1e-3 {
+		t.Errorf("V(66, 1e12) = %v, want ~66", got)
+	}
+	// Saturation: V(i,j) -> j as i -> infinity.
+	if got := V(1e9, 100); math.Abs(got-100) > 1e-3 {
+		t.Errorf("V(1e9, 100) = %v, want ~100", got)
+	}
+	if got := V(1, 50); got != 1 {
+		t.Errorf("V(1, 50) = %v", got)
+	}
+	if got := V(17, 1); got != 1 {
+		t.Errorf("V(17, 1) = %v", got)
+	}
+	if got := V(0, 5); got != 0 {
+		t.Errorf("V(0, 5) = %v", got)
+	}
+}
+
+func TestVProperties(t *testing.T) {
+	f := func(ri, rj uint16) bool {
+		i := float64(ri%5000) + 1
+		j := float64(rj%5000) + 1
+		v := V(i, j)
+		// Bounded by both i and j, and at least 1.
+		if v < 1-1e-12 || v > math.Min(i, j)+1e-9 {
+			return false
+		}
+		// Monotone in i.
+		if V(i+1, j) < v-1e-12 {
+			return false
+		}
+		// Monotone in j.
+		if V(i, j+1) < v-1e-12 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVRedundancyInequality(t *testing.T) {
+	// The inequality behind DD's redundant work (Section IV):
+	// V(C, L/P) > V(C, L)/P for P > 1.
+	for _, p := range []float64{2, 4, 8, 16} {
+		c, l := 66.0, 2400.0
+		if !(V(c, l/p) > V(c, l)/p) {
+			t.Errorf("P=%v: V(C,L/P)=%v not > V(C,L)/P=%v", p, V(c, l/p), V(c, l)/p)
+		}
+	}
+}
+
+func TestChoose(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{15, 2, 105}, {15, 3, 455}, {12, 6, 924}, {5, 0, 1}, {5, 5, 1},
+		{5, 6, 0}, {5, -1, 0}, {0, 0, 1},
+	}
+	for _, c := range cases {
+		if got := Choose(c.n, c.k); got != c.want {
+			t.Errorf("Choose(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestWorkloadDerived(t *testing.T) {
+	w := Workload{N: 1e6, M: 7e5, I: 15, K: 2, S: 16}
+	if got := w.C(); got != 105 {
+		t.Errorf("C = %v", got)
+	}
+	if got := w.L(); got != 7e5/16 {
+		t.Errorf("L = %v", got)
+	}
+	w.S = 0
+	if got := w.L(); got != w.M {
+		t.Errorf("L with S=0 = %v", got)
+	}
+}
+
+func testCosts() Costs {
+	return Costs{TTravers: 120e-9, TCheck: 80e-9, TInsert: 500e-9, TData: 2e-7, TReduce: 12e-9}
+}
+
+func TestEquationOrdering(t *testing.T) {
+	// In the paper's regime (large N, large M): DD > CD; IDD ~ CD; HD
+	// between CD and IDD at sensible G.
+	w := Workload{N: 1e6, M: 7e5, I: 15, K: 3, S: 16}
+	c := testCosts()
+	serial := Serial(w, c)
+	for _, p := range []float64{4, 16, 64} {
+		cd, dd, idd := CD(w, c, p), DD(w, c, p), IDD(w, c, p)
+		if !(dd > cd) {
+			t.Errorf("P=%v: DD %v not > CD %v", p, dd, cd)
+		}
+		if !(dd > idd) {
+			t.Errorf("P=%v: DD %v not > IDD %v", p, dd, idd)
+		}
+		if serial/p > cd {
+			t.Errorf("P=%v: CD %v beats perfect speedup %v", p, cd, serial/p)
+		}
+	}
+}
+
+func TestCDUnscalableInM(t *testing.T) {
+	// Doubling M roughly doubles CD's non-subset cost but IDD's grows
+	// by M/P: at large P the CD/IDD gap widens with M.
+	c := testCosts()
+	p := 64.0
+	small := Workload{N: 1e5, M: 1e6, I: 15, K: 3, S: 16}
+	big := small
+	big.M = 8e6
+	gapSmall := CD(small, c, p) - IDD(small, c, p)
+	gapBig := CD(big, c, p) - IDD(big, c, p)
+	if !(gapBig > gapSmall) {
+		t.Errorf("CD-IDD gap did not widen with M: %v vs %v", gapSmall, gapBig)
+	}
+}
+
+func TestHDDegenerates(t *testing.T) {
+	w := Workload{N: 1e6, M: 7e5, I: 15, K: 3, S: 16}
+	c := testCosts()
+	p := 64.0
+	// G=1: HD has CD's structure (subset scaled by P, O(M) build+reduce).
+	hd1, cd := HD(w, c, p, 1), CD(w, c, p)
+	if math.Abs(hd1-cd)/cd > 0.25 {
+		t.Errorf("HD(G=1) = %v far from CD = %v", hd1, cd)
+	}
+	// G=P: HD equals IDD up to the (tiny) per-group reduction term that
+	// Equation 7 carries and Equation 6 does not.
+	hdP, idd := HD(w, c, p, p), IDD(w, c, p)
+	if diff := hdP - idd; diff < 0 || diff > w.M/p*c.TReduce+1e-12 {
+		t.Errorf("HD(G=P) = %v vs IDD = %v (diff %v)", hdP, idd, diff)
+	}
+}
+
+func TestBestGWithinWindow(t *testing.T) {
+	w := Workload{N: 1e6, M: 7e5, I: 15, K: 3, S: 16}
+	c := testCosts()
+	for _, p := range []int{8, 16, 64} {
+		g, tm := BestG(w, c, p)
+		if p%g != 0 {
+			t.Errorf("BestG returned non-divisor %d of %d", g, p)
+		}
+		if tm <= 0 || math.IsInf(tm, 1) {
+			t.Errorf("BestG time = %v", tm)
+		}
+		// The best G never loses to the endpoints.
+		if tm > HD(w, c, float64(p), 1)+1e-12 || tm > HD(w, c, float64(p), float64(p))+1e-12 {
+			t.Errorf("BestG(%d) = %d with %v worse than an endpoint", p, g, tm)
+		}
+	}
+}
+
+func TestGWindow(t *testing.T) {
+	w := Workload{N: 1e6, M: 7e5}
+	lo, hi := GWindow(w, 64)
+	if lo != 1 {
+		t.Errorf("lo = %v", lo)
+	}
+	if want := 7e5 * 64 / 1e6; math.Abs(hi-want) > 1e-9 {
+		t.Errorf("hi = %v, want %v", hi, want)
+	}
+	lo, hi = GWindow(Workload{}, 64)
+	if !math.IsInf(hi, 1) || lo != 1 {
+		t.Errorf("degenerate window = (%v, %v)", lo, hi)
+	}
+}
+
+func TestEfficiencySpeedup(t *testing.T) {
+	if got := Efficiency(100, 25, 8); got != 0.5 {
+		t.Errorf("Efficiency = %v", got)
+	}
+	if got := Speedup(100, 25); got != 4 {
+		t.Errorf("Speedup = %v", got)
+	}
+	if Efficiency(1, 0, 4) != 0 || Speedup(1, 0) != 0 {
+		t.Error("degenerate inputs should give 0")
+	}
+}

@@ -1,0 +1,354 @@
+// Package apriori implements the serial Apriori algorithm of Agrawal &
+// Srikant (VLDB '94) exactly as the paper's Section II describes it: level-
+// wise candidate generation (apriori_gen), support counting through a
+// candidate hash tree, and pruning by minimum support.
+//
+// The package also exports the two reusable building blocks every parallel
+// formulation shares — FirstPass and Gen — and supports the memory-capped,
+// multi-partition counting mode that the CD algorithm falls back to when
+// the hash tree does not fit in main memory (Figure 12).
+package apriori
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"parapriori/internal/hashtree"
+	"parapriori/internal/itemset"
+)
+
+// Frequent is a frequent itemset together with its global support count.
+type Frequent struct {
+	Items itemset.Itemset
+	Count int64
+}
+
+// Params configures a mining run.
+type Params struct {
+	// MinSupport is the minimum support threshold as a fraction of the
+	// number of transactions (the paper's experiments use 0.1 %–0.025 %).
+	// The absolute count threshold is ceil(MinSupport * N), at least 1.
+	MinSupport float64
+	// Tree shapes the candidate hash trees.
+	Tree hashtree.Config
+	// MaxPasses, if positive, stops the level-wise loop after computing
+	// frequent itemsets of that size.  The paper's scalability experiments
+	// (Figures 13–15) measure pass 3 only; MaxPasses makes that expressible.
+	MaxPasses int
+	// MemoryBytes, if positive, caps the resident size of the candidate
+	// hash tree.  When the candidates of a pass do not fit, they are split
+	// into ceil(need/cap) partitions and the transactions are scanned once
+	// per partition — the extra-I/O regime of Figure 12.
+	MemoryBytes int
+	// DHPBuckets, if positive, enables the DHP hash filter of Park, Chen &
+	// Yu (see dhp.go): the first pass additionally hashes transaction
+	// pairs into this many buckets, and size-2 candidates whose bucket
+	// count is below the support threshold are pruned before counting.
+	// Sound (bucket counts upper-bound pair supports), so results are
+	// identical to plain Apriori.
+	DHPBuckets int
+	// DHPTrim enables DHP's transaction trimming: after counting pass k,
+	// items that matched fewer than k candidates are removed from the
+	// working copy of each transaction, and transactions too short to
+	// support a (k+1)-itemset are dropped entirely.  Results are identical
+	// to plain Apriori; later passes scan less data.  Incompatible with
+	// MemoryBytes (trimming assumes a single scan per pass).
+	DHPTrim bool
+}
+
+// MinCount converts the fractional threshold into the absolute count used
+// for pruning a database of n transactions.
+func (p Params) MinCount(n int) int64 {
+	c := int64(math.Ceil(p.MinSupport * float64(n)))
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// PassStats records what one level-wise pass did; the experiment harnesses
+// aggregate these into the paper's tables.
+type PassStats struct {
+	K             int
+	Candidates    int
+	Frequent      int
+	TreeParts     int   // number of hash-tree partitions (1 unless memory-capped)
+	BytesScanned  int64 // transaction bytes read, counting repeated scans
+	Tree          hashtree.Stats
+	TreeMemory    int   // estimated resident bytes of the (largest) tree
+	GenCandidates int   // candidates produced by apriori_gen before counting
+	DHPPruned     int   // size-2 candidates removed by the DHP bucket filter
+	TrimmedItems  int64 // items removed from the working set by DHP trimming
+	TrimmedTxns   int   // transactions dropped entirely by DHP trimming
+}
+
+// Result is the outcome of a mining run.
+type Result struct {
+	// Levels[k] holds the frequent itemsets of size k+1, in lexicographic
+	// order.
+	Levels [][]Frequent
+	// Passes holds per-pass statistics, Passes[k] for size k+1.
+	Passes []PassStats
+	// N is the number of transactions mined.
+	N int
+	// MinCount is the absolute support threshold that was applied.
+	MinCount int64
+}
+
+// All returns every frequent itemset of every size, smallest sets first.
+func (r *Result) All() []Frequent {
+	var out []Frequent
+	for _, level := range r.Levels {
+		out = append(out, level...)
+	}
+	return out
+}
+
+// NumFrequent returns the total number of frequent itemsets.
+func (r *Result) NumFrequent() int {
+	n := 0
+	for _, level := range r.Levels {
+		n += len(level)
+	}
+	return n
+}
+
+// SupportIndex returns a map from Itemset.Key() to support count, the lookup
+// structure rule generation needs.
+func (r *Result) SupportIndex() map[string]int64 {
+	idx := make(map[string]int64, r.NumFrequent())
+	for _, level := range r.Levels {
+		for _, f := range level {
+			idx[f.Items.Key()] = f.Count
+		}
+	}
+	return idx
+}
+
+// Mine runs the serial Apriori algorithm over the dataset.
+func Mine(data *itemset.Dataset, p Params) (*Result, error) {
+	if p.DHPTrim && p.MemoryBytes > 0 {
+		return nil, fmt.Errorf("apriori: DHPTrim is incompatible with a memory cap (multi-scan counting)")
+	}
+	minCount := p.MinCount(data.Len())
+	res := &Result{N: data.Len(), MinCount: minCount}
+
+	var f1 []Frequent
+	var stats1 PassStats
+	var dhp *pairBuckets
+	if p.DHPBuckets > 0 {
+		f1, dhp, stats1 = FirstPassDHP(data, minCount, p.DHPBuckets)
+	} else {
+		f1, stats1 = FirstPass(data, minCount)
+	}
+	res.Levels = append(res.Levels, f1)
+	res.Passes = append(res.Passes, stats1)
+
+	// DHP trimming works on a private copy of the transactions so the
+	// caller's dataset is never modified.
+	var working []itemset.Transaction
+	if p.DHPTrim {
+		working = append([]itemset.Transaction(nil), data.Transactions...)
+	}
+
+	prev := frequentItemsets(f1)
+	for k := 2; len(prev) > 0; k++ {
+		if p.MaxPasses > 0 && k > p.MaxPasses {
+			break
+		}
+		cands := Gen(prev)
+		dhpPruned := 0
+		if k == 2 && dhp != nil {
+			cands, dhpPruned = dhp.filterC2(cands, minCount)
+		}
+		if len(cands) == 0 {
+			break
+		}
+		var level []Frequent
+		var stats PassStats
+		var err error
+		if p.DHPTrim {
+			level, working, stats, err = countAndTrim(working, data.NumItems, k, cands, p)
+		} else {
+			level, stats, err = CountCandidates(data, k, cands, p)
+		}
+		stats.DHPPruned = dhpPruned
+		if err != nil {
+			return nil, fmt.Errorf("apriori: pass %d: %w", k, err)
+		}
+		frequent := Prune(level, minCount)
+		stats.K = k
+		stats.Frequent = len(frequent)
+		res.Levels = append(res.Levels, frequent)
+		res.Passes = append(res.Passes, stats)
+		if len(frequent) == 0 {
+			break
+		}
+		prev = frequentItemsets(frequent)
+	}
+	return res, nil
+}
+
+// FirstPass computes F1, the frequent items, with a single array-counting
+// scan (no hash tree is needed for size-1 candidates).
+func FirstPass(data *itemset.Dataset, minCount int64) ([]Frequent, PassStats) {
+	counts := make([]int64, data.NumItems)
+	var bytes int64
+	for _, t := range data.Transactions {
+		bytes += int64(t.Bytes())
+		for _, it := range t.Items {
+			counts[it]++
+		}
+	}
+	var f1 []Frequent
+	for it, c := range counts {
+		if c >= minCount {
+			f1 = append(f1, Frequent{Items: itemset.Itemset{itemset.Item(it)}, Count: c})
+		}
+	}
+	return f1, PassStats{
+		K:            1,
+		Candidates:   data.NumItems,
+		Frequent:     len(f1),
+		TreeParts:    1,
+		BytesScanned: bytes,
+	}
+}
+
+// Gen is apriori_gen: it extends the frequent (k-1)-itemsets prev into the
+// size-k candidate set, using the join step (merge two frequent sets that
+// share their first k-2 items) followed by the subset-prune step (drop any
+// candidate with an infrequent (k-1)-subset).  prev must be sorted
+// lexicographically; the output is sorted lexicographically, which is what
+// makes candidate order — and therefore CD's reducible count vectors —
+// identical on every processor.
+func Gen(prev []itemset.Itemset) []itemset.Itemset {
+	if len(prev) == 0 {
+		return nil
+	}
+	k1 := len(prev[0])
+	inPrev := make(map[string]struct{}, len(prev))
+	for _, s := range prev {
+		inPrev[s.Key()] = struct{}{}
+	}
+
+	var cands []itemset.Itemset
+	// Join: prev is sorted, so sets sharing a (k-2)-prefix are adjacent.
+	for i := 0; i < len(prev); i++ {
+		for j := i + 1; j < len(prev); j++ {
+			if !samePrefix(prev[i], prev[j], k1-1) {
+				break
+			}
+			// prev[i] < prev[j] lexicographically with equal prefixes, so
+			// the joined set is prev[i] + last item of prev[j], in order.
+			cand := make(itemset.Itemset, 0, k1+1)
+			cand = append(cand, prev[i]...)
+			cand = append(cand, prev[j][k1-1])
+			if pruneOK(cand, inPrev) {
+				cands = append(cands, cand)
+			}
+		}
+	}
+	return cands
+}
+
+func samePrefix(a, b itemset.Itemset, n int) bool {
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// pruneOK reports whether every (k-1)-subset of cand is frequent.  The two
+// subsets obtained by dropping one of the last two items are the join
+// parents and need not be rechecked.
+func pruneOK(cand itemset.Itemset, inPrev map[string]struct{}) bool {
+	for i := 0; i < len(cand)-2; i++ {
+		if _, ok := inPrev[cand.Without(i).Key()]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// CountCandidates builds the hash tree(s) for the size-k candidates and
+// scans the transactions to compute their supports.  It returns every
+// candidate with its count (unpruned), plus the pass statistics.  When
+// p.MemoryBytes caps the tree below what the candidates need, the candidate
+// set is partitioned and the dataset is scanned once per partition, exactly
+// the multi-scan CD regime of Figure 12.
+func CountCandidates(data *itemset.Dataset, k int, cands []itemset.Itemset, p Params) ([]Frequent, PassStats, error) {
+	stats := PassStats{K: k, Candidates: len(cands), GenCandidates: len(cands)}
+	parts := TreeParts(len(cands), k, p)
+	stats.TreeParts = parts
+
+	out := make([]Frequent, len(cands))
+	dbBytes := int64(data.Bytes())
+	for part := 0; part < parts; part++ {
+		lo, hi := part*len(cands)/parts, (part+1)*len(cands)/parts
+		if lo == hi {
+			continue
+		}
+		hcands := make([]*hashtree.Candidate, hi-lo)
+		for i, s := range cands[lo:hi] {
+			hcands[i] = &hashtree.Candidate{Items: s}
+		}
+		tree, err := hashtree.New(k, hcands, p.Tree)
+		if err != nil {
+			return nil, stats, err
+		}
+		if m := tree.MemoryBytes(); m > stats.TreeMemory {
+			stats.TreeMemory = m
+		}
+		for _, t := range data.Transactions {
+			tree.Subset(t.Items, nil)
+		}
+		stats.BytesScanned += dbBytes
+		stats.Tree.Add(tree.Stats())
+		for i, c := range hcands {
+			out[lo+i] = Frequent{Items: c.Items, Count: c.Count}
+		}
+	}
+	return out, stats, nil
+}
+
+// TreeParts returns how many hash-tree partitions the size-k candidate set
+// needs under the memory cap of p (1 when uncapped or when it fits).
+func TreeParts(numCands, k int, p Params) int {
+	if p.MemoryBytes <= 0 || numCands == 0 {
+		return 1
+	}
+	need := hashtree.EstimateMemoryBytes(numCands, k, p.Tree)
+	parts := (need + p.MemoryBytes - 1) / p.MemoryBytes
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > numCands {
+		parts = numCands
+	}
+	return parts
+}
+
+// Prune keeps the itemsets meeting the support threshold, in lexicographic
+// order.
+func Prune(level []Frequent, minCount int64) []Frequent {
+	var out []Frequent
+	for _, f := range level {
+		if f.Count >= minCount {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Items.Compare(out[j].Items) < 0 })
+	return out
+}
+
+func frequentItemsets(level []Frequent) []itemset.Itemset {
+	out := make([]itemset.Itemset, len(level))
+	for i, f := range level {
+		out[i] = f.Items
+	}
+	return out
+}

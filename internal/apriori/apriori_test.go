@@ -1,0 +1,338 @@
+package apriori
+
+import (
+	"math/rand"
+	"testing"
+
+	"parapriori/internal/hashtree"
+	"parapriori/internal/itemset"
+)
+
+// paperData is the supermarket database of Table I with items encoded as
+// Bread=1, Beer=2, Coke=3, Diaper=4, Milk=5.
+func paperData() *itemset.Dataset {
+	rows := [][]itemset.Item{
+		{1, 3, 5},    // Bread, Coke, Milk
+		{2, 1},       // Beer, Bread
+		{2, 3, 4, 5}, // Beer, Coke, Diaper, Milk
+		{2, 1, 4, 5}, // Beer, Bread, Diaper, Milk
+		{3, 4, 5},    // Coke, Diaper, Milk
+	}
+	txns := make([]itemset.Transaction, len(rows))
+	for i, r := range rows {
+		txns[i] = itemset.Transaction{ID: int64(i), Items: itemset.New(r...)}
+	}
+	return itemset.NewDataset(txns)
+}
+
+func TestPaperSupportCounts(t *testing.T) {
+	// σ(Diaper, Milk) = 3 and σ(Diaper, Milk, Beer) = 2 (Section II).
+	res, err := Mine(paperData(), Params{MinSupport: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := res.SupportIndex()
+	if got := idx[itemset.New(4, 5).Key()]; got != 3 {
+		t.Errorf("σ(Diaper,Milk) = %d, want 3", got)
+	}
+	if got := idx[itemset.New(2, 4, 5).Key()]; got != 2 {
+		t.Errorf("σ(Diaper,Milk,Beer) = %d, want 2", got)
+	}
+}
+
+func TestMineMinSupportFilters(t *testing.T) {
+	// At 60% support (count >= 3) only the heavy hitters survive.
+	res, err := Mine(paperData(), Params{MinSupport: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := res.SupportIndex()
+	for key, c := range idx {
+		if c < 3 {
+			t.Errorf("itemset %v with count %d survived 60%% support", itemset.KeyToItemset(key), c)
+		}
+	}
+	// {Milk} appears 4 times, {Diaper, Milk} 3 times.
+	if _, ok := idx[itemset.New(5).Key()]; !ok {
+		t.Error("missing {Milk}")
+	}
+	if _, ok := idx[itemset.New(4, 5).Key()]; !ok {
+		t.Error("missing {Diaper, Milk}")
+	}
+}
+
+// bruteFrequent enumerates frequent itemsets by exhaustive search.
+func bruteFrequent(d *itemset.Dataset, minCount int64) map[string]int64 {
+	out := map[string]int64{}
+	var items []itemset.Item
+	for i := 0; i < d.NumItems; i++ {
+		items = append(items, itemset.Item(i))
+	}
+	n := len(items)
+	if n > 16 {
+		panic("bruteFrequent: too many items")
+	}
+	for mask := 1; mask < 1<<n; mask++ {
+		var s itemset.Itemset
+		for b := 0; b < n; b++ {
+			if mask&(1<<b) != 0 {
+				s = append(s, items[b])
+			}
+		}
+		var count int64
+		for _, txn := range d.Transactions {
+			if txn.Items.ContainsAll(s) {
+				count++
+			}
+		}
+		if count >= minCount {
+			out[s.Key()] = count
+		}
+	}
+	return out
+}
+
+func TestMineMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 8; trial++ {
+		var txns []itemset.Transaction
+		for i := 0; i < 60; i++ {
+			items := make([]itemset.Item, 1+rng.Intn(8))
+			for j := range items {
+				items[j] = itemset.Item(rng.Intn(12))
+			}
+			txns = append(txns, itemset.Transaction{ID: int64(i), Items: itemset.New(items...)})
+		}
+		d := itemset.NewDataset(txns)
+		minsup := []float64{0.05, 0.1, 0.2}[trial%3]
+		res, err := Mine(d, Params{MinSupport: minsup})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteFrequent(d, res.MinCount)
+		got := res.SupportIndex()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d frequent itemsets, brute force found %d", trial, len(got), len(want))
+		}
+		for k, c := range want {
+			if got[k] != c {
+				t.Errorf("trial %d: %v count %d, want %d", trial, itemset.KeyToItemset(k), got[k], c)
+			}
+		}
+	}
+}
+
+func TestGen(t *testing.T) {
+	// F2 = {12, 13, 14, 23, 34}: join gives {123, 124, 134, 234}; prune
+	// drops 134 (34 ok, 14 ok, 13 ok — all present, stays), 234 (24
+	// missing — dropped), 124 (24 missing — dropped), 123 (23 present,
+	// stays).
+	prev := []itemset.Itemset{
+		itemset.New(1, 2), itemset.New(1, 3), itemset.New(1, 4),
+		itemset.New(2, 3), itemset.New(3, 4),
+	}
+	got := Gen(prev)
+	want := []itemset.Itemset{itemset.New(1, 2, 3), itemset.New(1, 3, 4)}
+	if len(got) != len(want) {
+		t.Fatalf("Gen = %v, want %v", got, want)
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Errorf("Gen[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGenEmptyAndSingle(t *testing.T) {
+	if got := Gen(nil); got != nil {
+		t.Errorf("Gen(nil) = %v", got)
+	}
+	if got := Gen([]itemset.Itemset{itemset.New(1)}); len(got) != 0 {
+		t.Errorf("Gen(single) = %v", got)
+	}
+	// Two 1-itemsets always join (no prefix, prune trivial).
+	got := Gen([]itemset.Itemset{itemset.New(1), itemset.New(2)})
+	if len(got) != 1 || !got[0].Equal(itemset.New(1, 2)) {
+		t.Errorf("Gen = %v", got)
+	}
+}
+
+func TestGenOutputSorted(t *testing.T) {
+	prev := []itemset.Itemset{
+		itemset.New(1), itemset.New(2), itemset.New(3), itemset.New(7),
+	}
+	got := Gen(prev)
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Compare(got[i]) >= 0 {
+			t.Fatalf("Gen output unsorted at %d: %v", i, got)
+		}
+	}
+	if len(got) != 6 {
+		t.Errorf("C(4,2) = %d, want 6", len(got))
+	}
+}
+
+func TestFirstPass(t *testing.T) {
+	d := paperData()
+	f1, stats := FirstPass(d, 3)
+	// Counts: Bread 3, Beer 3, Coke 3, Diaper 3, Milk 4 — all ≥ 3.
+	if len(f1) != 5 {
+		t.Fatalf("F1 = %v", f1)
+	}
+	if stats.K != 1 || stats.Frequent != 5 {
+		t.Errorf("stats = %+v", stats)
+	}
+	f1, _ = FirstPass(d, 4)
+	if len(f1) != 1 || !f1[0].Items.Equal(itemset.New(5)) {
+		t.Errorf("F1 at minCount 4 = %v", f1)
+	}
+}
+
+func TestMinCount(t *testing.T) {
+	cases := []struct {
+		sup  float64
+		n    int
+		want int64
+	}{
+		{0.5, 10, 5},
+		{0.1, 1000, 100},
+		{0.001, 100, 1}, // ceil(0.1) but at least 1
+		{0.0001, 10, 1}, // never below 1
+		{0.15, 10, 2},   // ceil(1.5)
+		{0.101, 10, 2},  // ceil(1.01)
+		{0.3, 7, 3},     // ceil(2.1)
+	}
+	for _, c := range cases {
+		if got := (Params{MinSupport: c.sup}).MinCount(c.n); got != c.want {
+			t.Errorf("MinCount(%v, %d) = %d, want %d", c.sup, c.n, got, c.want)
+		}
+	}
+}
+
+func TestMaxPasses(t *testing.T) {
+	res, err := Mine(paperData(), Params{MinSupport: 0.4, MaxPasses: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Levels) > 2 {
+		t.Errorf("MaxPasses=2 produced %d levels", len(res.Levels))
+	}
+}
+
+func TestMemoryCappedEqualsUncapped(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var txns []itemset.Transaction
+	for i := 0; i < 300; i++ {
+		items := make([]itemset.Item, 3+rng.Intn(8))
+		for j := range items {
+			items[j] = itemset.Item(rng.Intn(40))
+		}
+		txns = append(txns, itemset.Transaction{ID: int64(i), Items: itemset.New(items...)})
+	}
+	d := itemset.NewDataset(txns)
+	full, err := Mine(d, Params{MinSupport: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := Mine(d, Params{MinSupport: 0.02, MemoryBytes: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := false
+	for _, ps := range capped.Passes {
+		if ps.TreeParts > 1 {
+			multi = true
+		}
+	}
+	if !multi {
+		t.Fatal("memory cap did not force partitioned counting")
+	}
+	w, g := full.All(), capped.All()
+	if len(w) != len(g) {
+		t.Fatalf("capped mining found %d itemsets, want %d", len(g), len(w))
+	}
+	for i := range w {
+		if !w[i].Items.Equal(g[i].Items) || w[i].Count != g[i].Count {
+			t.Errorf("itemset %d differs: %v/%d vs %v/%d", i, g[i].Items, g[i].Count, w[i].Items, w[i].Count)
+		}
+	}
+	// The capped run rescans the database: strictly more bytes.
+	if capped.Passes[1].BytesScanned <= full.Passes[1].BytesScanned {
+		t.Errorf("capped run scanned %d bytes, uncapped %d", capped.Passes[1].BytesScanned, full.Passes[1].BytesScanned)
+	}
+}
+
+func TestTreeParts(t *testing.T) {
+	p := Params{MemoryBytes: 0}
+	if got := TreeParts(1000, 2, p); got != 1 {
+		t.Errorf("uncapped TreeParts = %d", got)
+	}
+	p.MemoryBytes = 1
+	if got := TreeParts(100, 2, p); got != 100 {
+		t.Errorf("tiny cap TreeParts = %d, want 100 (capped at numCands)", got)
+	}
+	p.MemoryBytes = hashtree.EstimateMemoryBytes(1000, 2, hashtree.Config{})
+	if got := TreeParts(1000, 2, p); got != 1 {
+		t.Errorf("exact-fit TreeParts = %d", got)
+	}
+	if got := TreeParts(0, 2, p); got != 1 {
+		t.Errorf("zero candidates TreeParts = %d", got)
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	res, err := Mine(paperData(), Params{MinSupport: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumFrequent() != len(res.All()) {
+		t.Errorf("NumFrequent %d != len(All) %d", res.NumFrequent(), len(res.All()))
+	}
+	idx := res.SupportIndex()
+	if len(idx) != res.NumFrequent() {
+		t.Errorf("SupportIndex size %d != %d", len(idx), res.NumFrequent())
+	}
+	// Levels are sorted lexicographically.
+	for _, level := range res.Levels {
+		for i := 1; i < len(level); i++ {
+			if level[i-1].Items.Compare(level[i].Items) >= 0 {
+				t.Errorf("level unsorted: %v before %v", level[i-1].Items, level[i].Items)
+			}
+		}
+	}
+}
+
+// Property: the Apriori closure — every subset of a frequent itemset is
+// frequent with at least the superset's count.
+func TestDownwardClosure(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var txns []itemset.Transaction
+	for i := 0; i < 200; i++ {
+		items := make([]itemset.Item, 2+rng.Intn(6))
+		for j := range items {
+			items[j] = itemset.Item(rng.Intn(25))
+		}
+		txns = append(txns, itemset.Transaction{ID: int64(i), Items: itemset.New(items...)})
+	}
+	d := itemset.NewDataset(txns)
+	res, err := Mine(d, Params{MinSupport: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := res.SupportIndex()
+	for _, f := range res.All() {
+		for i := range f.Items {
+			sub := f.Items.Without(i)
+			if len(sub) == 0 {
+				continue
+			}
+			c, ok := idx[sub.Key()]
+			if !ok {
+				t.Fatalf("subset %v of frequent %v is not frequent", sub, f.Items)
+			}
+			if c < f.Count {
+				t.Errorf("support of %v (%d) below superset %v (%d)", sub, c, f.Items, f.Count)
+			}
+		}
+	}
+}

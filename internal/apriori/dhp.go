@@ -1,0 +1,154 @@
+package apriori
+
+import (
+	"parapriori/internal/hashtree"
+	"parapriori/internal/itemset"
+)
+
+// DHP support: Park, Chen & Yu's "effective hash-based algorithm for mining
+// association rules" [15 in the paper] augments Apriori's first pass with a
+// hash table over the *pairs* occurring in each transaction.  A bucket's
+// count is an upper bound on the support of every pair hashing into it, so
+// any size-2 candidate whose bucket is below the minimum support can be
+// pruned before the hash tree for pass 2 is ever built.  PDM — the parallel
+// algorithm Section III-E relates to CD — is the parallel formulation of
+// exactly this idea.
+//
+// Pass 2 is where the technique earns its keep (C2 is the largest candidate
+// set in most workloads, including this paper's Table II), so, like the
+// original, we hash pairs only.
+
+// pairBuckets is the DHP hash table: counts of transaction pairs by bucket.
+type pairBuckets struct {
+	counts []int64
+}
+
+func newPairBuckets(n int) *pairBuckets {
+	if n <= 0 {
+		return nil
+	}
+	return &pairBuckets{counts: make([]int64, n)}
+}
+
+// bucket maps a pair to its bucket the way the DHP paper does: an
+// order-based polynomial hash.
+func (b *pairBuckets) bucket(x, y itemset.Item) int {
+	return int((uint64(x)*131071 + uint64(y)) % uint64(len(b.counts)))
+}
+
+// addTransaction hashes every pair of the transaction.
+func (b *pairBuckets) addTransaction(items itemset.Itemset) {
+	for i := 0; i < len(items); i++ {
+		for j := i + 1; j < len(items); j++ {
+			b.counts[b.bucket(items[i], items[j])]++
+		}
+	}
+}
+
+// admits reports whether a size-2 candidate could still be frequent.
+func (b *pairBuckets) admits(c itemset.Itemset, minCount int64) bool {
+	return b.counts[b.bucket(c[0], c[1])] >= minCount
+}
+
+// FirstPassDHP is FirstPass plus DHP's pair-bucket construction: one scan
+// computes both the item counts and the pair hash table with `buckets`
+// entries.
+func FirstPassDHP(data *itemset.Dataset, minCount int64, buckets int) ([]Frequent, *pairBuckets, PassStats) {
+	pb := newPairBuckets(buckets)
+	counts := make([]int64, data.NumItems)
+	var bytes int64
+	for _, t := range data.Transactions {
+		bytes += int64(t.Bytes())
+		for _, it := range t.Items {
+			counts[it]++
+		}
+		pb.addTransaction(t.Items)
+	}
+	var f1 []Frequent
+	for it, c := range counts {
+		if c >= minCount {
+			f1 = append(f1, Frequent{Items: itemset.Itemset{itemset.Item(it)}, Count: c})
+		}
+	}
+	return f1, pb, PassStats{
+		K:            1,
+		Candidates:   data.NumItems,
+		Frequent:     len(f1),
+		TreeParts:    1,
+		BytesScanned: bytes,
+	}
+}
+
+// filterC2 drops the size-2 candidates whose DHP bucket cannot reach the
+// minimum support, returning the survivors and the number pruned.
+func (b *pairBuckets) filterC2(cands []itemset.Itemset, minCount int64) ([]itemset.Itemset, int) {
+	kept := cands[:0]
+	for _, c := range cands {
+		if b.admits(c, minCount) {
+			kept = append(kept, c)
+		}
+	}
+	return kept, len(cands) - len(kept)
+}
+
+// countAndTrim is DHP's second device: while counting pass k it records
+// which candidates each transaction matched, then *trims* the working set
+// for pass k+1 — an item survives only if it occurs in at least k matched
+// size-k candidates (every frequent (k+1)-itemset in t has k+1 frequent
+// k-subsets in t, each item appearing in k of them, so trimming is exact),
+// and a transaction survives only if at least k+1 items remain.  It returns
+// the counted candidates, the trimmed working set and the pass statistics.
+func countAndTrim(working []itemset.Transaction, numItems, k int, cands []itemset.Itemset, p Params) ([]Frequent, []itemset.Transaction, PassStats, error) {
+	stats := PassStats{K: k, Candidates: len(cands), GenCandidates: len(cands), TreeParts: 1}
+	hcands := make([]*hashtree.Candidate, len(cands))
+	for i, s := range cands {
+		hcands[i] = &hashtree.Candidate{Items: s}
+	}
+	tree, err := hashtree.New(k, hcands, p.Tree)
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	stats.TreeMemory = tree.MemoryBytes()
+
+	hits := make([]int64, numItems)
+	var matches []*hashtree.Candidate
+	kept := working[:0]
+	for _, t := range working {
+		stats.BytesScanned += int64(t.Bytes())
+		matches = matches[:0]
+		tree.SubsetCollect(t.Items, nil, &matches)
+		if len(matches) == 0 {
+			stats.TrimmedTxns++
+			continue
+		}
+		for _, c := range matches {
+			for _, it := range c.Items {
+				hits[it]++
+			}
+		}
+		trimmed := make(itemset.Itemset, 0, len(t.Items))
+		for _, it := range t.Items {
+			if hits[it] >= int64(k) {
+				trimmed = append(trimmed, it)
+			}
+		}
+		stats.TrimmedItems += int64(len(t.Items) - len(trimmed))
+		for _, c := range matches {
+			for _, it := range c.Items {
+				hits[it] = 0
+			}
+		}
+		if len(trimmed) >= k+1 {
+			kept = append(kept, itemset.Transaction{ID: t.ID, Items: trimmed})
+		} else {
+			stats.TrimmedTxns++
+		}
+	}
+	stats.Tree = tree.Stats()
+
+	out := make([]Frequent, len(hcands))
+	for i, c := range hcands {
+		out[i] = Frequent{Items: c.Items, Count: c.Count}
+	}
+	return out, kept, stats, nil
+}

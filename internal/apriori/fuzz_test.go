@@ -1,0 +1,39 @@
+package apriori
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadResult asserts the persisted-result parser never panics and that
+// anything it accepts can be rewritten and re-read identically.
+func FuzzReadResult(f *testing.F) {
+	var valid bytes.Buffer
+	d := randomData(1, 50, 15)
+	if res, err := Mine(d, Params{MinSupport: 0.1}); err == nil {
+		_ = WriteResult(&valid, res)
+	}
+	f.Add(valid.String())
+	f.Add("#parapriori-frequent v1 N=10 minCount=2\n3 1 2\n")
+	f.Add("#parapriori-frequent v1\n")
+	f.Add("garbage\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, in string) {
+		res, err := ReadResult(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteResult(&buf, res); err != nil {
+			t.Fatalf("rewriting accepted result: %v", err)
+		}
+		back, err := ReadResult(&buf)
+		if err != nil {
+			t.Fatalf("re-reading rewritten result: %v", err)
+		}
+		if back.NumFrequent() != res.NumFrequent() {
+			t.Fatalf("round trip changed itemset count: %d vs %d", back.NumFrequent(), res.NumFrequent())
+		}
+	})
+}

@@ -1,0 +1,55 @@
+package apriori
+
+import (
+	"testing"
+
+	"parapriori/internal/itemset"
+)
+
+func TestMineNaiveMatchesMine(t *testing.T) {
+	d := randomData(41, 400, 50)
+	for _, minsup := range []float64{0.02, 0.05, 0.1} {
+		fast, err := Mine(d, Params{MinSupport: minsup})
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive, err := MineNaive(d, Params{MinSupport: minsup})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, g := fast.All(), naive.All()
+		if len(w) != len(g) {
+			t.Fatalf("minsup %v: naive found %d itemsets, tree %d", minsup, len(g), len(w))
+		}
+		for i := range w {
+			if !w[i].Items.Equal(g[i].Items) || w[i].Count != g[i].Count {
+				t.Errorf("minsup %v itemset %d: %v/%d vs %v/%d",
+					minsup, i, g[i].Items, g[i].Count, w[i].Items, w[i].Count)
+			}
+		}
+	}
+}
+
+func TestCountCandidatesNaiveValidates(t *testing.T) {
+	d := randomData(41, 10, 10)
+	if _, err := CountCandidatesNaive(d, 3, []itemset.Itemset{itemset.New(1, 2)}); err == nil {
+		t.Error("wrong-size candidate accepted")
+	}
+	if _, err := CountCandidatesNaive(d, 2, []itemset.Itemset{{5, 3}}); err == nil {
+		t.Error("unsorted candidate accepted")
+	}
+}
+
+func TestCountCandidatesNaiveSkipsShortTransactions(t *testing.T) {
+	d := itemset.NewDataset([]itemset.Transaction{
+		{ID: 0, Items: itemset.New(1)},
+		{ID: 1, Items: itemset.New(1, 2)},
+	})
+	got, err := CountCandidatesNaive(d, 2, []itemset.Itemset{itemset.New(1, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Count != 1 {
+		t.Errorf("count = %d, want 1", got[0].Count)
+	}
+}

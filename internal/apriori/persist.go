@@ -1,0 +1,131 @@
+package apriori
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"parapriori/internal/itemset"
+)
+
+// Result persistence.  Mining a large database can take far longer than
+// rule generation, so the frequent itemsets are worth saving: mine once,
+// then generate rules at many confidence thresholds later.  The format is
+// line-oriented text:
+//
+//	#parapriori-frequent v1 N=<transactions> minCount=<threshold>
+//	<count> <item> <item> ...        (one frequent itemset per line)
+
+const persistHeader = "#parapriori-frequent v1"
+
+// WriteResult saves a mining result's frequent itemsets.
+func WriteResult(w io.Writer, res *Result) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%s N=%d minCount=%d\n", persistHeader, res.N, res.MinCount); err != nil {
+		return fmt.Errorf("apriori: writing result header: %w", err)
+	}
+	for _, level := range res.Levels {
+		for _, f := range level {
+			if _, err := fmt.Fprintf(bw, "%d", f.Count); err != nil {
+				return fmt.Errorf("apriori: writing result: %w", err)
+			}
+			for _, it := range f.Items {
+				if _, err := fmt.Fprintf(bw, " %d", it); err != nil {
+					return fmt.Errorf("apriori: writing result: %w", err)
+				}
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return fmt.Errorf("apriori: writing result: %w", err)
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("apriori: flushing result: %w", err)
+	}
+	return nil
+}
+
+// ReadResult loads a result saved by WriteResult.  Pass statistics are not
+// persisted; Levels, N and MinCount — everything rule generation needs —
+// are restored, with itemsets grouped by size and sorted lexicographically.
+func ReadResult(r io.Reader) (*Result, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("apriori: reading result header: %w", err)
+		}
+		return nil, fmt.Errorf("apriori: empty result file")
+	}
+	header := sc.Text()
+	if !strings.HasPrefix(header, persistHeader) {
+		return nil, fmt.Errorf("apriori: bad result header %q", header)
+	}
+	res := &Result{}
+	for _, field := range strings.Fields(header[len(persistHeader):]) {
+		switch {
+		case strings.HasPrefix(field, "N="):
+			v, err := strconv.Atoi(field[2:])
+			if err != nil {
+				return nil, fmt.Errorf("apriori: bad N in header: %w", err)
+			}
+			res.N = v
+		case strings.HasPrefix(field, "minCount="):
+			v, err := strconv.ParseInt(field[9:], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("apriori: bad minCount in header: %w", err)
+			}
+			res.MinCount = v
+		default:
+			return nil, fmt.Errorf("apriori: unknown header field %q", field)
+		}
+	}
+
+	bySize := map[int][]Frequent{}
+	maxSize := 0
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("apriori: line %d: want count plus items", line)
+		}
+		count, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil || count < 0 {
+			return nil, fmt.Errorf("apriori: line %d: bad count %q", line, fields[0])
+		}
+		items := make([]itemset.Item, 0, len(fields)-1)
+		for _, f := range fields[1:] {
+			v, err := strconv.Atoi(f)
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("apriori: line %d: bad item %q", line, f)
+			}
+			items = append(items, itemset.Item(v))
+		}
+		set := itemset.New(items...)
+		if len(set) != len(items) {
+			return nil, fmt.Errorf("apriori: line %d: duplicate items", line)
+		}
+		bySize[len(set)] = append(bySize[len(set)], Frequent{Items: set, Count: count})
+		if len(set) > maxSize {
+			maxSize = len(set)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("apriori: reading result: %w", err)
+	}
+
+	for size := 1; size <= maxSize; size++ {
+		level := bySize[size]
+		sort.Slice(level, func(i, j int) bool { return level[i].Items.Compare(level[j].Items) < 0 })
+		res.Levels = append(res.Levels, level)
+	}
+	return res, nil
+}

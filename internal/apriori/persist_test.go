@@ -1,0 +1,77 @@
+package apriori
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestResultRoundTrip(t *testing.T) {
+	d := randomData(13, 400, 40)
+	res, err := Mine(d, Params{MinSupport: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteResult(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadResult(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N != res.N || back.MinCount != res.MinCount {
+		t.Errorf("header: N=%d minCount=%d, want N=%d minCount=%d", back.N, back.MinCount, res.N, res.MinCount)
+	}
+	w, g := res.All(), back.All()
+	if len(w) != len(g) {
+		t.Fatalf("round trip: %d itemsets, want %d", len(g), len(w))
+	}
+	for i := range w {
+		if !w[i].Items.Equal(g[i].Items) || w[i].Count != g[i].Count {
+			t.Errorf("itemset %d differs: %v/%d vs %v/%d", i, g[i].Items, g[i].Count, w[i].Items, w[i].Count)
+		}
+	}
+}
+
+func TestReadResultErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"not a header\n",
+		"#parapriori-frequent v1 N=x\n",
+		"#parapriori-frequent v1 N=5 bogus=1\n",
+		"#parapriori-frequent v1 N=5 minCount=2\nxyz 1\n",
+		"#parapriori-frequent v1 N=5 minCount=2\n3\n",     // count without items
+		"#parapriori-frequent v1 N=5 minCount=2\n3 1 1\n", // duplicate items
+		"#parapriori-frequent v1 N=5 minCount=2\n-1 1\n",  // negative count
+		"#parapriori-frequent v1 N=5 minCount=2\n3 -2\n",  // negative item
+	}
+	for i, in := range cases {
+		if _, err := ReadResult(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted: %q", i, in)
+		}
+	}
+}
+
+func TestReadResultSkipsCommentsAndSorts(t *testing.T) {
+	in := "#parapriori-frequent v1 N=10 minCount=2\n" +
+		"# comment\n" +
+		"3 5 6\n" +
+		"\n" +
+		"4 1 2\n" +
+		"7 3\n"
+	res, err := ReadResult(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Levels) != 2 {
+		t.Fatalf("levels = %d", len(res.Levels))
+	}
+	if len(res.Levels[0]) != 1 || len(res.Levels[1]) != 2 {
+		t.Fatalf("level sizes = %d, %d", len(res.Levels[0]), len(res.Levels[1]))
+	}
+	// Pairs sorted lexicographically: {1 2} before {5 6}.
+	if res.Levels[1][0].Count != 4 {
+		t.Errorf("first pair count = %d, want 4", res.Levels[1][0].Count)
+	}
+}

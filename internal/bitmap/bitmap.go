@@ -1,0 +1,81 @@
+// Package bitmap implements a dense bitset over small non-negative integers.
+//
+// IDD keeps, at every processor, a bitmap of the first items of the
+// candidates assigned to that processor; the subset function consults it at
+// the hash-tree root to skip transaction items that cannot start a local
+// candidate (Section III-C of the paper).
+package bitmap
+
+import "math/bits"
+
+// Bitmap is a fixed-capacity bitset.  The zero value is an empty bitmap of
+// capacity 0; use New to allocate capacity.
+type Bitmap struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty bitmap able to hold values in [0, n).
+func New(n int) *Bitmap {
+	if n < 0 {
+		n = 0
+	}
+	return &Bitmap{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Cap returns the capacity n given to New.
+func (b *Bitmap) Cap() int { return b.n }
+
+// Set sets bit i.  Setting a bit outside [0, Cap()) panics, as it would in
+// an array: the caller sized the bitmap to the item vocabulary.
+func (b *Bitmap) Set(i int) {
+	b.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Clear clears bit i.
+func (b *Bitmap) Clear(i int) {
+	b.words[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// Test reports whether bit i is set.  Out-of-range values report false so
+// filtering with a bitmap sized to the vocabulary is always safe.
+func (b *Bitmap) Test(i int) bool {
+	if i < 0 || i >= b.n {
+		return false
+	}
+	return b.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int {
+	total := 0
+	for _, w := range b.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// Reset clears every bit, keeping capacity.
+func (b *Bitmap) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Or merges other into b.  The two bitmaps must have the same capacity.
+func (b *Bitmap) Or(other *Bitmap) {
+	for i, w := range other.words {
+		b.words[i] |= w
+	}
+}
+
+// Clone returns an independent copy.
+func (b *Bitmap) Clone() *Bitmap {
+	c := &Bitmap{words: make([]uint64, len(b.words)), n: b.n}
+	copy(c.words, b.words)
+	return c
+}
+
+// Bytes returns the memory footprint of the bitmap payload, used by the
+// cluster cost model when bitmaps are exchanged.
+func (b *Bitmap) Bytes() int { return 8 * len(b.words) }

@@ -1,0 +1,117 @@
+package bitmap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSetTestClear(t *testing.T) {
+	b := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 129} {
+		if b.Test(i) {
+			t.Errorf("bit %d set in fresh bitmap", i)
+		}
+		b.Set(i)
+		if !b.Test(i) {
+			t.Errorf("bit %d not set after Set", i)
+		}
+	}
+	if got := b.Count(); got != 7 {
+		t.Errorf("Count = %d, want 7", got)
+	}
+	b.Clear(64)
+	if b.Test(64) {
+		t.Error("bit 64 still set after Clear")
+	}
+	if got := b.Count(); got != 6 {
+		t.Errorf("Count = %d, want 6", got)
+	}
+}
+
+func TestOutOfRangeTestIsFalse(t *testing.T) {
+	b := New(10)
+	for _, i := range []int{-1, 10, 11, 1000} {
+		if b.Test(i) {
+			t.Errorf("Test(%d) = true for capacity 10", i)
+		}
+	}
+}
+
+func TestZeroCapacity(t *testing.T) {
+	b := New(0)
+	if b.Count() != 0 || b.Test(0) {
+		t.Error("zero-capacity bitmap misbehaves")
+	}
+	neg := New(-5)
+	if neg.Cap() != 0 {
+		t.Errorf("New(-5).Cap() = %d", neg.Cap())
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := New(100)
+	for i := 0; i < 100; i += 3 {
+		b.Set(i)
+	}
+	b.Reset()
+	if b.Count() != 0 {
+		t.Errorf("Count after Reset = %d", b.Count())
+	}
+	if b.Cap() != 100 {
+		t.Errorf("Cap after Reset = %d", b.Cap())
+	}
+}
+
+func TestOrAndClone(t *testing.T) {
+	a, b := New(70), New(70)
+	a.Set(1)
+	a.Set(65)
+	b.Set(2)
+	b.Set(65)
+	c := a.Clone()
+	c.Or(b)
+	for _, i := range []int{1, 2, 65} {
+		if !c.Test(i) {
+			t.Errorf("bit %d missing after Or", i)
+		}
+	}
+	if c.Count() != 3 {
+		t.Errorf("Count = %d, want 3", c.Count())
+	}
+	// a unchanged by Or on its clone.
+	if a.Count() != 2 {
+		t.Errorf("original mutated: Count = %d", a.Count())
+	}
+}
+
+func TestCountMatchesModel(t *testing.T) {
+	f := func(xs []uint8) bool {
+		b := New(256)
+		model := map[int]bool{}
+		for _, x := range xs {
+			b.Set(int(x))
+			model[int(x)] = true
+		}
+		if b.Count() != len(model) {
+			return false
+		}
+		for i := 0; i < 256; i++ {
+			if b.Test(i) != model[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytes(t *testing.T) {
+	if got := New(64).Bytes(); got != 8 {
+		t.Errorf("Bytes = %d, want 8", got)
+	}
+	if got := New(65).Bytes(); got != 16 {
+		t.Errorf("Bytes = %d, want 16", got)
+	}
+}

@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Cluster is an emulated P-processor message-passing machine.
+type Cluster struct {
+	machine Machine
+	procs   []*Proc
+	// boxes[to][from] is the FIFO mailbox carrying messages from processor
+	// `from` to processor `to`.
+	boxes [][]*mailbox
+}
+
+// New builds a cluster of p processors with the given cost model.
+func New(p int, m Machine) (*Cluster, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("cluster: need at least 1 processor, got %d", p)
+	}
+	c := &Cluster{machine: m}
+	c.procs = make([]*Proc, p)
+	c.boxes = make([][]*mailbox, p)
+	for i := range c.procs {
+		c.procs[i] = &Proc{id: i, c: c}
+		c.boxes[i] = make([]*mailbox, p)
+		for j := range c.boxes[i] {
+			c.boxes[i][j] = newMailbox()
+		}
+	}
+	return c, nil
+}
+
+// MustNew is New for statically valid arguments.
+func MustNew(p int, m Machine) *Cluster {
+	c, err := New(p, m)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// P returns the number of processors.
+func (c *Cluster) P() int { return len(c.procs) }
+
+// Machine returns the cost model.
+func (c *Cluster) Machine() Machine { return c.machine }
+
+// Proc returns processor i.
+func (c *Cluster) Proc(i int) *Proc { return c.procs[i] }
+
+// Run executes fn once per processor, each on its own goroutine (the SPMD
+// model of MPI programs), and waits for all of them.  It returns the join
+// of the per-processor errors.  Virtual clocks and statistics accumulate
+// across successive Runs on the same cluster; use Reset between independent
+// experiments.
+func (c *Cluster) Run(fn func(p *Proc) error) error {
+	errs := make([]error, len(c.procs))
+	var wg sync.WaitGroup
+	for i, p := range c.procs {
+		wg.Add(1)
+		go func(i int, p *Proc) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("cluster: proc %d panicked: %v", i, r)
+				}
+			}()
+			if err := fn(p); err != nil {
+				errs[i] = fmt.Errorf("cluster: proc %d: %w", i, err)
+			}
+		}(i, p)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Reset zeroes every processor's clock and statistics and drops any
+// undelivered messages.
+func (c *Cluster) Reset() {
+	for i, p := range c.procs {
+		p.clock = 0
+		p.portFree = 0
+		p.stats = Stats{}
+		p.trace = nil
+		for j := range c.boxes[i] {
+			c.boxes[i][j].queue = nil
+		}
+	}
+}
+
+// MaxClock returns the response time of the run so far: the maximum virtual
+// clock over all processors.
+func (c *Cluster) MaxClock() float64 {
+	max := 0.0
+	for _, p := range c.procs {
+		if p.clock > max {
+			max = p.clock
+		}
+	}
+	return max
+}
+
+// Clocks returns every processor's virtual clock.
+func (c *Cluster) Clocks() []float64 {
+	out := make([]float64, len(c.procs))
+	for i, p := range c.procs {
+		out[i] = p.clock
+	}
+	return out
+}
+
+// TotalStats sums the per-processor statistics.
+func (c *Cluster) TotalStats() Stats {
+	var total Stats
+	for _, p := range c.procs {
+		total.Add(p.Stats())
+	}
+	return total
+}
+
+// RingDistance returns the hop count between ranks a and b on a
+// bidirectional ring of size p — the congestion factor DD's unstructured
+// messages carry.
+func RingDistance(a, b, p int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if p-d < d {
+		d = p - d
+	}
+	return d
+}

@@ -1,0 +1,66 @@
+package cluster
+
+import "sync"
+
+// Message is one unit of communication between processors.
+type Message struct {
+	From    int
+	To      int
+	Tag     string
+	Payload any
+	// Bytes is the modeled wire size of the payload.
+	Bytes int
+	// readyAt is the sender's virtual clock when the message hit the wire.
+	readyAt float64
+	// congestion is the pattern congestion factor (see package comment).
+	congestion float64
+}
+
+// mailbox is an unbounded FIFO channel between one (sender, receiver) pair.
+// Sends never block — the emulated machine posts sends asynchronously and
+// the virtual-time model, not channel capacity, decides when transfers
+// complete — so communication schedules that would deadlock with bounded
+// buffers (DD's unstructured scatter) still make progress.
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []Message
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(msg Message) {
+	m.mu.Lock()
+	m.queue = append(m.queue, msg)
+	m.cond.Signal()
+	m.mu.Unlock()
+}
+
+// take blocks (the goroutine, not virtual time) until a message is present
+// and removes the head of the queue.
+func (m *mailbox) take() Message {
+	m.mu.Lock()
+	for len(m.queue) == 0 {
+		m.cond.Wait()
+	}
+	msg := m.queue[0]
+	m.queue = m.queue[1:]
+	m.mu.Unlock()
+	return msg
+}
+
+// tryTake removes the head of the queue if one is present.
+func (m *mailbox) tryTake() (Message, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.queue) == 0 {
+		return Message{}, false
+	}
+	msg := m.queue[0]
+	m.queue = m.queue[1:]
+	return msg, true
+}

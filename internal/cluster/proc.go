@@ -1,0 +1,241 @@
+package cluster
+
+import "fmt"
+
+// Stats is the per-processor accounting of where virtual time went.  The
+// paper reports exactly these decompositions ("for 64 processors the load
+// imbalance overhead is 49.6%", "the cost of data movement is 6.4%").
+type Stats struct {
+	ComputeTime float64
+	IOTime      float64
+	IdleTime    float64
+	SendTime    float64
+
+	BytesSent        int64
+	BytesReceived    int64
+	MessagesSent     int64
+	MessagesReceived int64
+
+	// Phases breaks ComputeTime+IOTime down by algorithm phase
+	// ("subset", "tree build", "reduction", ...).
+	Phases map[string]float64
+}
+
+// Add accumulates other into s (phases included).
+func (s *Stats) Add(other Stats) {
+	s.ComputeTime += other.ComputeTime
+	s.IOTime += other.IOTime
+	s.IdleTime += other.IdleTime
+	s.SendTime += other.SendTime
+	s.BytesSent += other.BytesSent
+	s.BytesReceived += other.BytesReceived
+	s.MessagesSent += other.MessagesSent
+	s.MessagesReceived += other.MessagesReceived
+	for k, v := range other.Phases {
+		if s.Phases == nil {
+			s.Phases = make(map[string]float64)
+		}
+		s.Phases[k] += v
+	}
+}
+
+// Proc is one emulated processor.  All methods must be called from the
+// single goroutine executing the processor's program; only the mailboxes
+// are shared between goroutines.
+type Proc struct {
+	id       int
+	c        *Cluster
+	clock    float64
+	portFree float64
+	stats    Stats
+	tracing  bool
+	trace    []Event
+}
+
+// ID returns the processor's global rank in [0, P).
+func (p *Proc) ID() int { return p.id }
+
+// P returns the number of processors in the cluster.
+func (p *Proc) P() int { return len(p.c.procs) }
+
+// Machine returns the cluster's cost model.
+func (p *Proc) Machine() Machine { return p.c.machine }
+
+// Clock returns the processor's current virtual time in seconds.
+func (p *Proc) Clock() float64 { return p.clock }
+
+// Stats returns a copy of the processor's accounting so far.
+func (p *Proc) Stats() Stats {
+	s := p.stats
+	s.Phases = make(map[string]float64, len(p.stats.Phases))
+	for k, v := range p.stats.Phases {
+		s.Phases[k] = v
+	}
+	return s
+}
+
+// Compute advances the virtual clock by the given number of seconds of
+// local computation, attributed to the named phase.
+func (p *Proc) Compute(seconds float64, phase string) {
+	if seconds <= 0 {
+		return
+	}
+	p.clock += seconds
+	p.stats.ComputeTime += seconds
+	p.addPhase(phase, seconds)
+	p.record(EvCompute, phase, p.clock-seconds, p.clock, -1, 0)
+}
+
+// ReadIO charges the time to read the given number of bytes from disk.
+// With IOBandwidth == 0 (the T3E's in-memory buffer) it is free.
+func (p *Proc) ReadIO(bytes int64, phase string) {
+	if bytes <= 0 || p.c.machine.IOBandwidth <= 0 {
+		return
+	}
+	seconds := float64(bytes) / p.c.machine.IOBandwidth
+	p.clock += seconds
+	p.stats.IOTime += seconds
+	p.addPhase(phase, seconds)
+	p.record(EvIO, phase, p.clock-seconds, p.clock, -1, int(bytes))
+}
+
+func (p *Proc) addPhase(phase string, seconds float64) {
+	if phase == "" {
+		return
+	}
+	if p.stats.Phases == nil {
+		p.stats.Phases = make(map[string]float64)
+	}
+	p.stats.Phases[phase] += seconds
+}
+
+// Send posts an asynchronous point-to-point message as part of a
+// *structured* communication pattern (congestion factor 1): neighbor
+// shifts, tree exchanges, ring all-gathers.
+func (p *Proc) Send(to int, tag string, payload any, bytes int) {
+	p.send(to, tag, payload, bytes, 1)
+}
+
+// SendContended posts a message belonging to an *unstructured* pattern.
+// The congestion factor — for DD's all-to-all page scatter, the ring
+// distance between sender and receiver — multiplies the transfer occupancy
+// at the receiver, modeling the shared-link contention of Section III-B.
+func (p *Proc) SendContended(to int, tag string, payload any, bytes int, congestion float64) {
+	p.send(to, tag, payload, bytes, congestion)
+}
+
+// SendBlocking posts a message through a *synchronous* send: the sender's
+// CPU is busy for the whole congested transfer, not just the startup.
+// This is the communication regime of the original DD algorithm — "if the
+// communication buffer of any receiving processor is full and the outgoing
+// communication buffers are full, then the send operation is blocked"
+// (Section III-B) — and exactly what IDD's pipelined asynchronous ring
+// replaces.
+func (p *Proc) SendBlocking(to int, tag string, payload any, bytes int, congestion float64) {
+	t := p.c.machine.transferTime(bytes, congestion)
+	p.clock += t
+	p.stats.SendTime += t
+	p.send(to, tag, payload, bytes, congestion)
+}
+
+func (p *Proc) send(to int, tag string, payload any, bytes int, congestion float64) {
+	if to < 0 || to >= p.P() {
+		panic(fmt.Sprintf("cluster: proc %d sending to invalid rank %d", p.id, to))
+	}
+	if to == p.id {
+		panic(fmt.Sprintf("cluster: proc %d sending to itself (tag %q)", p.id, tag))
+	}
+	m := p.c.machine
+	sendStart := p.clock
+	// The sender's CPU is busy for the message startup.
+	p.clock += m.Latency
+	p.stats.SendTime += m.Latency
+	msg := Message{
+		From: p.id, To: to, Tag: tag, Payload: payload, Bytes: bytes,
+		readyAt: p.clock, congestion: congestion,
+	}
+	if !m.Overlap {
+		// Without overlap hardware the sender also drives the transfer.
+		t := m.transferTime(bytes, congestion)
+		p.clock += t
+		p.stats.SendTime += t
+	}
+	p.stats.BytesSent += int64(bytes)
+	p.stats.MessagesSent++
+	p.record(EvSend, tag, sendStart, p.clock, to, bytes)
+	p.c.boxes[to][p.id].put(msg)
+}
+
+// Recv receives the next message from the given sender, blocking the
+// goroutine until one is available, and advances virtual time to the
+// transfer's completion.  The tag must match the sender's; a mismatch is a
+// protocol bug in the calling algorithm and panics.
+//
+// With Overlap hardware, time already spent computing since the message
+// became available overlaps the transfer (the MPI_Irecv / compute /
+// MPI_Waitall pattern of Figure 6).  The receive port serializes
+// concurrent arrivals either way.
+func (p *Proc) Recv(from int, tag string) Message {
+	msg := p.c.boxes[p.id][from].take()
+	if msg.Tag != tag {
+		panic(fmt.Sprintf("cluster: proc %d expected tag %q from %d, got %q", p.id, tag, from, msg.Tag))
+	}
+	p.completeRecv(msg)
+	return msg
+}
+
+// RecvAny receives the next message from the given sender whatever its tag.
+// For protocols that multiplex several message kinds on one stream (HPA's
+// candidate pages terminated by a sentinel); the caller dispatches on
+// Message.Tag itself.
+func (p *Proc) RecvAny(from int) Message {
+	msg := p.c.boxes[p.id][from].take()
+	p.completeRecv(msg)
+	return msg
+}
+
+func (p *Proc) completeRecv(msg Message) {
+	m := p.c.machine
+	t := m.transferTime(msg.Bytes, msg.congestion)
+	before := p.clock
+	if m.Overlap {
+		start := msg.readyAt
+		if p.portFree > start {
+			start = p.portFree
+		}
+		completion := start + t
+		p.portFree = completion
+		if completion > p.clock {
+			p.stats.IdleTime += completion - p.clock
+			p.record(EvIdle, msg.Tag, p.clock, completion, msg.From, msg.Bytes)
+			p.clock = completion
+		}
+	} else {
+		start := p.clock
+		if msg.readyAt > start {
+			start = msg.readyAt
+		}
+		if p.portFree > start {
+			start = p.portFree
+		}
+		if start > before {
+			p.stats.IdleTime += start - before
+			p.record(EvIdle, msg.Tag, before, start, msg.From, msg.Bytes)
+		}
+		completion := start + t
+		p.portFree = completion
+		p.clock = completion
+	}
+	p.stats.BytesReceived += int64(msg.Bytes)
+	p.stats.MessagesReceived++
+}
+
+// SyncClock advances the processor's clock to at least t, recording the
+// difference as idle time.  Collectives use it to model barrier semantics.
+func (p *Proc) SyncClock(t float64) {
+	if t > p.clock {
+		p.stats.IdleTime += t - p.clock
+		p.record(EvIdle, "sync", p.clock, t, -1, 0)
+		p.clock = t
+	}
+}

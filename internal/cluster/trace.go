@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Event is one interval of a processor's virtual timeline.
+type Event struct {
+	Proc  int
+	Kind  EventKind
+	Phase string // compute/io phase label, or message tag
+	Start float64
+	End   float64
+	Peer  int // counterpart processor for send/idle-on-recv; -1 otherwise
+	Bytes int // message size for send events
+}
+
+// EventKind classifies trace events.
+type EventKind byte
+
+// The kinds of event a processor records.
+const (
+	EvCompute EventKind = 'c'
+	EvIO      EventKind = 'f'
+	EvSend    EventKind = 's'
+	EvIdle    EventKind = 'w'
+)
+
+// EnableTrace turns on event recording for subsequent Runs.  Tracing is off
+// by default: a large run generates an event per message and per compute
+// slice.
+func (c *Cluster) EnableTrace() {
+	for _, p := range c.procs {
+		p.tracing = true
+	}
+}
+
+// Trace returns every recorded event, ordered by start time (ties by
+// processor).  Reset clears the trace along with the clocks.
+func (c *Cluster) Trace() []Event {
+	var all []Event
+	for _, p := range c.procs {
+		all = append(all, p.trace...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Start != all[j].Start {
+			return all[i].Start < all[j].Start
+		}
+		return all[i].Proc < all[j].Proc
+	})
+	return all
+}
+
+func (p *Proc) record(kind EventKind, phase string, start, end float64, peer, bytes int) {
+	if !p.tracing || end <= start {
+		return
+	}
+	p.trace = append(p.trace, Event{
+		Proc: p.id, Kind: kind, Phase: phase, Start: start, End: end, Peer: peer, Bytes: bytes,
+	})
+}
+
+// WriteTimeline renders the events as a text Gantt chart: one row per
+// processor, `width` columns spanning [0, horizon] of virtual time, with
+// compute as '#', sends as '>', disk I/O as 'o' and idle waits as '.'.
+// Later-starting events win ties for a cell, which makes waits visible at
+// the tail of each pass.
+func WriteTimeline(w io.Writer, events []Event, procs int, width int) error {
+	if width < 20 {
+		width = 20
+	}
+	horizon := 0.0
+	for _, e := range events {
+		if e.End > horizon {
+			horizon = e.End
+		}
+	}
+	if horizon == 0 {
+		_, err := io.WriteString(w, "(empty trace)\n")
+		return err
+	}
+	rows := make([][]byte, procs)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(" ", width))
+	}
+	glyph := map[EventKind]byte{EvCompute: '#', EvSend: '>', EvIO: 'o', EvIdle: '.'}
+	for _, e := range events {
+		if e.Proc < 0 || e.Proc >= procs {
+			continue
+		}
+		lo := int(e.Start / horizon * float64(width-1))
+		hi := int(e.End / horizon * float64(width-1))
+		for c := lo; c <= hi && c < width; c++ {
+			rows[e.Proc][c] = glyph[e.Kind]
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "virtual time 0 .. %.6fs   (# compute, > send, o io, . idle)\n", horizon)
+	for i, row := range rows {
+		fmt.Fprintf(&b, "P%-3d |%s|\n", i, row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

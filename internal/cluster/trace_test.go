@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceRecordsEvents(t *testing.T) {
+	c := MustNew(2, fastMachine())
+	c.EnableTrace()
+	_ = c.Run(func(p *Proc) error {
+		if p.ID() == 0 {
+			p.Compute(0.001, "warm")
+			p.Send(1, "x", nil, 1000)
+		} else {
+			p.Recv(0, "x")
+		}
+		return nil
+	})
+	events := c.Trace()
+	if len(events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	kinds := map[EventKind]int{}
+	for _, e := range events {
+		kinds[e.Kind]++
+		if e.End <= e.Start {
+			t.Errorf("event with non-positive duration: %+v", e)
+		}
+	}
+	if kinds[EvCompute] == 0 || kinds[EvSend] == 0 || kinds[EvIdle] == 0 {
+		t.Errorf("missing kinds: %v", kinds)
+	}
+	// Ordered by start.
+	for i := 1; i < len(events); i++ {
+		if events[i].Start < events[i-1].Start {
+			t.Fatal("trace not ordered by start time")
+		}
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	c := MustNew(1, fastMachine())
+	_ = c.Run(func(p *Proc) error {
+		p.Compute(1, "w")
+		return nil
+	})
+	if got := c.Trace(); len(got) != 0 {
+		t.Errorf("trace recorded %d events without EnableTrace", len(got))
+	}
+}
+
+func TestTraceClearedByReset(t *testing.T) {
+	c := MustNew(1, fastMachine())
+	c.EnableTrace()
+	_ = c.Run(func(p *Proc) error {
+		p.Compute(1, "w")
+		return nil
+	})
+	c.Reset()
+	if got := c.Trace(); len(got) != 0 {
+		t.Errorf("trace survived Reset: %d events", len(got))
+	}
+}
+
+func TestWriteTimeline(t *testing.T) {
+	events := []Event{
+		{Proc: 0, Kind: EvCompute, Start: 0, End: 0.5},
+		{Proc: 0, Kind: EvSend, Start: 0.5, End: 0.6, Peer: 1, Bytes: 100},
+		{Proc: 1, Kind: EvIdle, Start: 0, End: 0.6, Peer: 0},
+		{Proc: 1, Kind: EvCompute, Start: 0.6, End: 1.0},
+	}
+	var sb strings.Builder
+	if err := WriteTimeline(&sb, events, 2, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"P0", "P1", "#", ">", "."} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // header + 2 rows
+		t.Errorf("expected 3 lines, got %d", len(lines))
+	}
+}
+
+func TestWriteTimelineEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteTimeline(&sb, nil, 2, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "empty") {
+		t.Errorf("empty trace output: %q", sb.String())
+	}
+}
+
+func TestTraceAccountsWholeClock(t *testing.T) {
+	// With tracing on, compute+io+send+idle intervals of one proc must
+	// tile its final clock (no unexplained time).
+	m := fastMachine()
+	c := MustNew(2, m)
+	c.EnableTrace()
+	_ = c.Run(func(p *Proc) error {
+		if p.ID() == 0 {
+			p.Compute(0.002, "a")
+			p.Send(1, "x", nil, 500)
+			p.Compute(0.001, "b")
+		} else {
+			p.Recv(0, "x")
+			p.Compute(0.003, "c")
+		}
+		return nil
+	})
+	for pid := 0; pid < 2; pid++ {
+		var covered float64
+		for _, e := range c.Trace() {
+			if e.Proc == pid {
+				covered += e.End - e.Start
+			}
+		}
+		clock := c.Proc(pid).Clock()
+		if diff := clock - covered; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("proc %d: clock %v, trace covers %v", pid, clock, covered)
+		}
+	}
+}

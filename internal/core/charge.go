@@ -1,0 +1,49 @@
+package core
+
+import (
+	"parapriori/internal/cluster"
+	"parapriori/internal/hashtree"
+)
+
+// The mining code performs the real work (hash-tree construction, subset
+// counting) and then converts the *measured operation counts* into virtual
+// time through the machine's cost constants.  This keeps the emulation
+// honest: the time charged for a pass is a linear function of exactly the
+// operations the paper's Section IV analysis counts, with no modeling of
+// work that did not happen.
+
+// chargeSubset converts a hash-tree counting delta into compute time:
+// traversal steps at t_travers plus leaf candidate checks at t_check.
+func chargeSubset(p *cluster.Proc, delta hashtree.Stats) {
+	m := p.Machine()
+	p.Compute(float64(delta.Traversals)*m.TTravers+float64(delta.LeafChecks)*m.TCheck, "subset")
+}
+
+// chargeBuild converts candidate insertions into tree-construction time,
+// the O(M) (CD) vs O(M/P) (IDD) term of the analysis.
+func chargeBuild(p *cluster.Proc, inserts int64) {
+	p.Compute(float64(inserts)*p.Machine().TInsert, "tree build")
+}
+
+// chargeGen charges the replicated apriori_gen work: every processor
+// generates the full candidate set before keeping its share.
+func chargeGen(p *cluster.Proc, generated int) {
+	p.Compute(float64(generated)*p.Machine().TGen, "candidate gen")
+}
+
+// chargeScan charges per-item transaction touching work: F1 counting and
+// the per-item bitmap filtering of IDD.
+func chargeScan(p *cluster.Proc, items int64, phase string) {
+	p.Compute(float64(items)*p.Machine().TItem, phase)
+}
+
+// treeDelta returns the difference between two snapshots of tree counters.
+func treeDelta(before, after hashtree.Stats) hashtree.Stats {
+	return hashtree.Stats{
+		Traversals:   after.Traversals - before.Traversals,
+		LeafVisits:   after.LeafVisits - before.LeafVisits,
+		LeafChecks:   after.LeafChecks - before.LeafChecks,
+		Transactions: after.Transactions - before.Transactions,
+		Inserts:      after.Inserts - before.Inserts,
+	}
+}

@@ -1,0 +1,392 @@
+// Package core implements the paper's contribution: the four parallel
+// formulations of Apriori — Count Distribution (CD), Data Distribution
+// (DD), Intelligent Data Distribution (IDD) and Hybrid Distribution (HD) —
+// plus the paper's DD+comm ablation (DD's round-robin partitioning with
+// IDD's ring communication), all running on the emulated message-passing
+// machine of package cluster.
+//
+// CD, IDD and HD share one *grid engine* (see engine.go): HD arranges the P
+// processors as a grid of G rows and P/G columns, partitions candidates
+// down the columns (IDD within a column) and transactions across columns
+// (CD across columns).  G = 1 degenerates to CD and G = P to IDD, which the
+// tests assert.  DD and DD+comm are implemented separately because their
+// round-robin candidate placement and all-to-all data exchange have no grid
+// structure.
+//
+// Every formulation produces exactly the frequent itemsets of the serial
+// algorithm (package apriori); the integration tests check bit-for-bit
+// equality.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"parapriori/internal/apriori"
+	"parapriori/internal/cluster"
+	"parapriori/internal/hashtree"
+	"parapriori/internal/itemset"
+)
+
+// Algorithm selects a parallel formulation.
+type Algorithm string
+
+// The formulations the paper evaluates (CD, DD, IDD, HD and the DD+comm
+// ablation) plus HPA from the related work it analyzes (Section III-E).
+const (
+	CD     Algorithm = "cd"     // Count Distribution [6]
+	DD     Algorithm = "dd"     // Data Distribution [6]
+	DDComm Algorithm = "ddcomm" // DD with IDD's ring communication (Fig. 10's "DD+comm")
+	IDD    Algorithm = "idd"    // Intelligent Data Distribution (this paper)
+	HD     Algorithm = "hd"     // Hybrid Distribution (this paper)
+	HPA    Algorithm = "hpa"    // Hash Partitioned Apriori [11]
+)
+
+// ParseAlgorithm converts a user-facing name into an Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch Algorithm(s) {
+	case CD, DD, DDComm, IDD, HD, HPA:
+		return Algorithm(s), nil
+	}
+	return "", fmt.Errorf("core: unknown algorithm %q (want cd, dd, ddcomm, idd, hd or hpa)", s)
+}
+
+// Params configures a parallel mining run.
+type Params struct {
+	// Algo is the parallel formulation to run.
+	Algo Algorithm
+	// P is the number of (emulated) processors.
+	P int
+	// Machine is the cost model; zero value means cluster.T3E().
+	Machine cluster.Machine
+	// Apriori carries the mining parameters (minimum support, hash-tree
+	// shape, MaxPasses).  Apriori.MemoryBytes is ignored here; the
+	// per-processor memory cap comes from Machine.MemoryBytes.
+	Apriori apriori.Params
+	// PageBytes is the buffer size for transaction movement in DD/IDD/HD
+	// (the paper's one-page buffers; our T3E messages are 16 KB).
+	// Defaults to 16384.
+	PageBytes int
+	// HDThreshold is m, the minimum number of candidates per grid row
+	// before HD adds rows: G = smallest divisor of P that is at least
+	// ceil(M/m).  The paper used m = 50K on 64 processors.  Defaults to
+	// 5000.  Only used by HD.
+	HDThreshold int
+	// FixedG, if positive, pins HD's row count G instead of choosing it
+	// per pass (the paper's Figures 13–15 pin the grid, e.g. 8×8).
+	FixedG int
+	// SplitThreshold bounds a first-item candidate group before the
+	// bin-packing partitioner splits it by second item; 0 means the
+	// natural ceil(M/G).
+	SplitThreshold int
+	// Trace records every virtual-time event (compute slices, sends, disk
+	// reads, idle waits) into Report.Trace, for rendering with
+	// cluster.WriteTimeline.  Off by default: big runs generate an event
+	// per message.
+	Trace bool
+}
+
+func (p Params) withDefaults() Params {
+	if p.Machine.Name == "" {
+		p.Machine = cluster.T3E()
+	}
+	if p.PageBytes <= 0 {
+		p.PageBytes = 16384
+	}
+	if p.HDThreshold <= 0 {
+		p.HDThreshold = 5000
+	}
+	if p.P <= 0 {
+		p.P = 1
+	}
+	return p
+}
+
+func (p Params) validate() error {
+	switch p.Algo {
+	case CD, DD, DDComm, IDD, HD, HPA:
+	default:
+		return fmt.Errorf("core: unknown algorithm %q", p.Algo)
+	}
+	if p.Apriori.MinSupport <= 0 || p.Apriori.MinSupport > 1 {
+		return fmt.Errorf("core: MinSupport %v outside (0, 1]", p.Apriori.MinSupport)
+	}
+	if p.FixedG > 0 && p.P%p.FixedG != 0 {
+		return fmt.Errorf("core: FixedG %d does not divide P %d", p.FixedG, p.P)
+	}
+	return nil
+}
+
+// PassReport describes one level-wise pass of a parallel run.
+type PassReport struct {
+	K          int
+	Candidates int // |C_k| globally
+	Frequent   int // |F_k| globally
+	// GridRows and GridCols describe the processor arrangement this pass:
+	// CD is 1×P, IDD is P×1, DD/DDComm are P×1, HD is G×(P/G) (Table II).
+	GridRows int
+	GridCols int
+	// TreeParts is the number of hash-tree partitions each processor used
+	// (CD exceeds 1 only when the tree outgrows Machine.MemoryBytes —
+	// the Figure 12 regime).
+	TreeParts int
+	// CandImbalance is (max-mean)/mean of per-processor candidate counts.
+	CandImbalance float64
+	// TimeImbalance is (max-mean)/mean of per-processor compute time in
+	// the counting phase of this pass.
+	TimeImbalance float64
+	// Tree aggregates the hash-tree operation counters over all processors.
+	Tree hashtree.Stats
+	// BytesMoved is the transaction bytes communicated this pass (DD, IDD
+	// and HD move data; CD moves only counts).
+	BytesMoved int64
+	// ResponseTime is the virtual time this pass took (max over
+	// processors).
+	ResponseTime float64
+}
+
+// Report is the outcome of a parallel mining run.
+type Report struct {
+	Algo   Algorithm
+	P      int
+	Params Params
+	// Result holds the globally frequent itemsets; identical to the serial
+	// algorithm's output.
+	Result *apriori.Result
+	// Passes holds one report per level-wise pass, Passes[0] being k=1.
+	Passes []PassReport
+	// ResponseTime is the total virtual response time (max processor
+	// clock), the y-axis of Figures 10, 12, 14 and 15.
+	ResponseTime float64
+	// Clocks is each processor's final virtual clock.
+	Clocks []float64
+	// Total aggregates per-processor accounting (compute, idle, I/O,
+	// communication).
+	Total cluster.Stats
+	// Wall is the real wall-clock duration of the emulated run.
+	Wall time.Duration
+	// Trace holds the virtual-time event log when Params.Trace was set.
+	Trace []cluster.Event
+}
+
+// AvgLeafVisitsPerTxn returns the run-wide average number of distinct hash
+// tree leaves visited per transaction processed — the y-axis of Figure 11.
+func (r *Report) AvgLeafVisitsPerTxn() float64 {
+	var s hashtree.Stats
+	for _, pass := range r.Passes {
+		s.Add(pass.Tree)
+	}
+	return s.AvgLeafVisits()
+}
+
+// PhaseBreakdown returns each phase's share of the run's total busy time
+// (compute + I/O + send overhead + idle, summed over processors), the
+// decomposition the paper reports as "hash tree construction is 24.8% of
+// the runtime at 64 processors".  Idle and communication time appear under
+// the pseudo-phases "idle" and "comm".  Shares sum to ~1.
+func (r *Report) PhaseBreakdown() map[string]float64 {
+	total := r.Total.ComputeTime + r.Total.IOTime + r.Total.SendTime + r.Total.IdleTime
+	if total <= 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(r.Total.Phases)+2)
+	for name, seconds := range r.Total.Phases {
+		out[name] = seconds / total
+	}
+	out["comm"] = r.Total.SendTime / total
+	out["idle"] = r.Total.IdleTime / total
+	return out
+}
+
+// Mine runs the selected parallel formulation over the dataset on an
+// emulated cluster of prm.P processors and returns the report.  The dataset
+// is split evenly among the processors, the paper's standing assumption.
+func Mine(data *itemset.Dataset, prm Params) (*Report, error) {
+	prm = prm.withDefaults()
+	if err := prm.validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+
+	cl, err := cluster.New(prm.P, prm.Machine)
+	if err != nil {
+		return nil, err
+	}
+	if prm.Trace {
+		cl.EnableTrace()
+	}
+	shards := data.Split(prm.P)
+
+	run := &run{
+		prm:      prm,
+		cl:       cl,
+		world:    cl.World(),
+		data:     data,
+		shards:   shards,
+		minCount: prm.Apriori.MinCount(data.Len()),
+		perProc:  make([]procTrace, prm.P),
+	}
+
+	var body func(p *cluster.Proc) error
+	switch prm.Algo {
+	case CD, IDD, HD:
+		body = run.gridBody
+	case DD, DDComm:
+		body = run.ddBody
+	case HPA:
+		body = run.hpaBody
+	}
+	if err := cl.Run(body); err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		Algo:         prm.Algo,
+		P:            prm.P,
+		Params:       prm,
+		Result:       run.assembleResult(),
+		Passes:       run.assemblePasses(),
+		ResponseTime: cl.MaxClock(),
+		Clocks:       cl.Clocks(),
+		Total:        cl.TotalStats(),
+		Wall:         time.Since(start),
+	}
+	if prm.Trace {
+		rep.Trace = cl.Trace()
+	}
+	return rep, nil
+}
+
+// run carries the state shared by the P SPMD goroutines of one mining run.
+// Each processor writes only its own perProc slot; global frequent levels
+// are identical on every processor, so slot 0's copy is authoritative.
+type run struct {
+	prm      Params
+	cl       *cluster.Cluster
+	world    *cluster.Comm
+	data     *itemset.Dataset
+	shards   []*itemset.Dataset
+	minCount int64
+	perProc  []procTrace
+}
+
+// procTrace is one processor's private record of the run.
+type procTrace struct {
+	levels [][]apriori.Frequent
+	passes []passLocal
+}
+
+// passLocal is one processor's record of one pass.
+type passLocal struct {
+	k             int
+	candidates    int // global |C_k|
+	localCands    int // candidates in this processor's tree
+	frequent      int // global |F_k|
+	gridRows      int
+	gridCols      int
+	treeParts     int
+	tree          hashtree.Stats
+	bytesMoved    int64
+	countTime     float64 // compute seconds spent in the counting phase
+	clockStart    float64
+	clockEnd      float64
+	candImbalance float64
+}
+
+// assembleResult builds the apriori.Result from processor 0's levels.
+func (r *run) assembleResult() *apriori.Result {
+	res := &apriori.Result{N: r.data.Len(), MinCount: r.minCount}
+	res.Levels = r.perProc[0].levels
+	for _, pl := range r.perProc[0].passes {
+		res.Passes = append(res.Passes, apriori.PassStats{
+			K:          pl.k,
+			Candidates: pl.candidates,
+			Frequent:   pl.frequent,
+			TreeParts:  pl.treeParts,
+			Tree:       pl.tree,
+		})
+	}
+	return res
+}
+
+// assemblePasses merges the per-processor pass records into PassReports.
+func (r *run) assemblePasses() []PassReport {
+	nPasses := len(r.perProc[0].passes)
+	out := make([]PassReport, nPasses)
+	for k := 0; k < nPasses; k++ {
+		ref := r.perProc[0].passes[k]
+		pr := PassReport{
+			K:             ref.k,
+			Candidates:    ref.candidates,
+			Frequent:      ref.frequent,
+			GridRows:      ref.gridRows,
+			GridCols:      ref.gridCols,
+			TreeParts:     ref.treeParts,
+			CandImbalance: ref.candImbalance,
+		}
+		var times []float64
+		var maxEnd, maxStart float64
+		for pi := range r.perProc {
+			pl := r.perProc[pi].passes[k]
+			pr.Tree.Add(pl.tree)
+			pr.BytesMoved += pl.bytesMoved
+			times = append(times, pl.countTime)
+			if pl.clockEnd > maxEnd {
+				maxEnd = pl.clockEnd
+			}
+			if pl.clockStart > maxStart {
+				maxStart = pl.clockStart
+			}
+			if pl.treeParts > pr.TreeParts {
+				pr.TreeParts = pl.treeParts
+			}
+		}
+		pr.ResponseTime = maxEnd - maxStart
+		pr.TimeImbalance = imbalanceFloat(times)
+		out[k] = pr
+	}
+	return out
+}
+
+func imbalanceFloat(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var total, max float64
+	for _, x := range xs {
+		total += x
+		if x > max {
+			max = x
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := total / float64(len(xs))
+	return (max - mean) / mean
+}
+
+// sortFrequent orders a frequent level lexicographically, the canonical
+// order apriori.Gen requires.
+func sortFrequent(level []apriori.Frequent) {
+	sort.Slice(level, func(i, j int) bool { return level[i].Items.Compare(level[j].Items) < 0 })
+}
+
+// frequentBytes is the modeled wire size of a frequent-itemset list: 4
+// bytes per item plus an 8-byte count per set.
+func frequentBytes(level []apriori.Frequent) int {
+	b := 0
+	for _, f := range level {
+		b += 4*len(f.Items) + 8
+	}
+	return b
+}
+
+func itemsetsOf(level []apriori.Frequent) []itemset.Itemset {
+	out := make([]itemset.Itemset, len(level))
+	for i, f := range level {
+		out[i] = f.Items
+	}
+	return out
+}

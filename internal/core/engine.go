@@ -1,0 +1,276 @@
+package core
+
+import (
+	"fmt"
+
+	"parapriori/internal/apriori"
+	"parapriori/internal/bitmap"
+	"parapriori/internal/cluster"
+	"parapriori/internal/hashtree"
+	"parapriori/internal/itemset"
+	"parapriori/internal/partition"
+)
+
+// gridBody is the SPMD program of the grid engine that realizes CD, IDD and
+// HD.  The P processors are arranged as G rows × (P/G) columns:
+//
+//   - candidates are partitioned among the G rows with the bin-packing
+//     partitioner, every column seeing the identical partition;
+//   - each column ring-shifts its transactions so every processor counts
+//     its row's candidates against the column's whole data (the IDD part);
+//   - counts are summed along rows, where everyone holds the same
+//     candidates (the CD part);
+//   - locally frequent sets are all-to-all broadcast down the columns.
+//
+// G = 1 is exactly CD (full tree everywhere, reduction over all P), G = P
+// is exactly IDD (P-way candidate partition, ring over all P).  HD picks G
+// per pass from the candidate count (Table II).
+func (r *run) gridBody(p *cluster.Proc) error {
+	tr := &r.perProc[p.ID()]
+	prev := r.firstPass(p, tr)
+	tr.levels = append(tr.levels, prev)
+
+	for k := 2; len(prev) > 0; k++ {
+		if r.prm.Apriori.MaxPasses > 0 && k > r.prm.Apriori.MaxPasses {
+			break
+		}
+		clockStart := p.Clock()
+
+		cands := apriori.Gen(itemsetsOf(prev))
+		chargeGen(p, len(cands))
+		if len(cands) == 0 {
+			break
+		}
+
+		g := r.chooseG(len(cands))
+		cols := r.prm.P / g
+		row, col := p.ID()/cols, p.ID()%cols
+		rowComm, colComm := r.gridComms(row, col, g, cols)
+
+		// Partition candidates among the rows.  Every processor runs the
+		// same deterministic bin-packing, so no communication is needed to
+		// agree on the assignment (each processor "locally regenerates and
+		// stores" its share, as Section III-C describes).
+		var myCands []itemset.Itemset
+		var filter func(itemset.Item) bool
+		var candImbalance float64
+		if g == 1 {
+			myCands = cands
+		} else {
+			asg := partition.BinPack(cands, g, r.prm.SplitThreshold)
+			myCands = asg.PerProc[row]
+			candImbalance = asg.Imbalance()
+			chargeScan(p, int64(len(cands)), "partition")
+			bm := bitmap.New(r.data.NumItems)
+			for _, c := range myCands {
+				bm.Set(int(c[0]))
+			}
+			filter = func(it itemset.Item) bool { return bm.Test(int(it)) }
+		}
+
+		// Only the pure-CD configuration (a column of one) may need the
+		// multi-scan partitioned tree: with g > 1 the whole point of the
+		// candidate partitioning is that M/G candidates fit in memory.
+		parts := 1
+		if g == 1 {
+			parts = apriori.TreeParts(len(myCands), k, apriori.Params{
+				Tree:        r.prm.Apriori.Tree,
+				MemoryBytes: p.Machine().MemoryBytes,
+			})
+		}
+
+		computeBefore := p.Stats().ComputeTime
+		var passTree hashtree.Stats
+		var bytesMoved int64
+		var frequentLocal []apriori.Frequent
+		shard := r.shards[p.ID()]
+		pages := shard.Pages(r.prm.PageBytes)
+
+		// Every processor joins every part's ring shift and reduction even
+		// if its own candidate share is empty (a row can receive zero
+		// candidates when a late pass has fewer first-item groups than
+		// rows): the collectives are what keep the column in step.
+		for part := 0; part < parts; part++ {
+			lo, hi := part*len(myCands)/parts, (part+1)*len(myCands)/parts
+			hcands := make([]*hashtree.Candidate, hi-lo)
+			for i, s := range myCands[lo:hi] {
+				hcands[i] = &hashtree.Candidate{Items: s}
+			}
+			tree, err := hashtree.New(k, hcands, r.prm.Apriori.Tree)
+			if err != nil {
+				return fmt.Errorf("pass %d: %w", k, err)
+			}
+			chargeBuild(p, tree.Stats().Inserts)
+
+			process := func(page []itemset.Transaction) {
+				if len(page) == 0 {
+					return
+				}
+				var items int64
+				for _, t := range page {
+					items += int64(len(t.Items))
+				}
+				if tree.Len() > 0 {
+					before := tree.Stats()
+					for _, t := range page {
+						tree.Subset(t.Items, filter)
+					}
+					chargeSubset(p, treeDelta(before, tree.Stats()))
+				}
+				if filter != nil {
+					// The root-level bitmap check touches every item of
+					// every transaction once.
+					chargeScan(p, items, "filter")
+				}
+			}
+
+			p.ReadIO(int64(shard.Bytes()), "io")
+			bytesMoved += ringCount(p, colComm, fmt.Sprintf("k%d.p%d/ring", k, part), pages, process)
+
+			counts := tree.Counts()
+			global := rowComm.AllReduceInt64(p, fmt.Sprintf("k%d.p%d/red", k, part), counts)
+			frequentLocal = append(frequentLocal, pruneLocal(myCands[lo:hi], global, r.minCount)...)
+			passTree.Add(tree.Stats())
+		}
+		countTime := p.Stats().ComputeTime - computeBefore
+
+		var level []apriori.Frequent
+		if g == 1 {
+			// CD: every processor holds all candidates with global counts;
+			// no frequent-set exchange is needed.
+			level = frequentLocal
+		} else {
+			level = exchangeFrequent(p, colComm, fmt.Sprintf("k%d/freq", k), frequentLocal)
+		}
+
+		tr.passes = append(tr.passes, passLocal{
+			k:             k,
+			candidates:    len(cands),
+			localCands:    len(myCands),
+			frequent:      len(level),
+			gridRows:      g,
+			gridCols:      cols,
+			treeParts:     parts,
+			tree:          passTree,
+			bytesMoved:    bytesMoved,
+			countTime:     countTime,
+			clockStart:    clockStart,
+			clockEnd:      p.Clock(),
+			candImbalance: candImbalance,
+		})
+		tr.levels = append(tr.levels, level)
+		prev = level
+	}
+	return nil
+}
+
+// chooseG picks the number of candidate partitions (grid rows) for a pass
+// with m candidates.  CD always uses 1, IDD always uses P; HD uses the
+// pinned FixedG or the smallest divisor of P no smaller than ⌈m/threshold⌉
+// so every row keeps at least `threshold` candidates (Table II's dynamic
+// configurations).
+func (r *run) chooseG(m int) int {
+	switch r.prm.Algo {
+	case CD:
+		return 1
+	case IDD:
+		return r.prm.P
+	default: // HD
+		if r.prm.FixedG > 0 {
+			return r.prm.FixedG
+		}
+		need := (m + r.prm.HDThreshold - 1) / r.prm.HDThreshold
+		if need <= 1 {
+			return 1
+		}
+		for g := need; g < r.prm.P; g++ {
+			if r.prm.P%g == 0 {
+				return g
+			}
+		}
+		return r.prm.P
+	}
+}
+
+// gridComms builds this processor's row and column communicators for a
+// G×cols grid.  Processor (row, col) has global rank row*cols + col.
+func (r *run) gridComms(row, col, g, cols int) (rowComm, colComm *cluster.Comm) {
+	rowMembers := make([]int, cols)
+	for c := 0; c < cols; c++ {
+		rowMembers[c] = row*cols + c
+	}
+	colMembers := make([]int, g)
+	for rr := 0; rr < g; rr++ {
+		colMembers[rr] = rr*cols + col
+	}
+	rowComm, err := cluster.NewComm(r.cl, rowMembers)
+	if err != nil {
+		panic(err) // unreachable: members derived from valid grid shape
+	}
+	colComm, err = cluster.NewComm(r.cl, colMembers)
+	if err != nil {
+		panic(err)
+	}
+	return rowComm, colComm
+}
+
+// ringCount runs the pipelined ring data movement of Figure 6 over the
+// communicator: every processor's pages take size-1 hops around the ring,
+// and each buffer is processed between posting the send and completing the
+// receive, so communication overlaps computation on machines that support
+// it.  It returns the transaction bytes this processor sent.
+//
+// With a singleton communicator it degenerates to processing the local
+// pages in place (CD's counting loop).
+func ringCount(p *cluster.Proc, cm *cluster.Comm, tag string, pages [][]itemset.Transaction, process func([]itemset.Transaction)) int64 {
+	size := cm.Size()
+	if size == 1 {
+		for _, page := range pages {
+			process(page)
+		}
+		return 0
+	}
+	rank := cm.Rank(p)
+	if rank < 0 {
+		panic(fmt.Sprintf("core: proc %d not in ring communicator %q", p.ID(), tag))
+	}
+	// Processors may hold different page counts (±1); agree on the number
+	// of rounds so the ring stays in step, padding with empty buffers.
+	counts := cm.AllGather(p, tag+"/npages", len(pages), 8)
+	rounds := 0
+	for _, g := range counts {
+		if n := g.Payload.(int); n > rounds {
+			rounds = n
+		}
+	}
+
+	right := (rank + 1) % size
+	left := (rank - 1 + size) % size
+	var sent int64
+	for round := 0; round < rounds; round++ {
+		var cur []itemset.Transaction
+		if round < len(pages) {
+			cur = pages[round]
+		}
+		for s := 0; s < size-1; s++ {
+			b := pageBytesOf(cur)
+			p.Send(cm.Member(right), tag, cur, b)
+			sent += int64(b)
+			process(cur)
+			msg := p.Recv(cm.Member(left), tag)
+			cur = msg.Payload.([]itemset.Transaction)
+		}
+		process(cur)
+	}
+	return sent
+}
+
+// pageBytesOf is the modeled wire size of a transaction page: a small
+// header plus the transactions.
+func pageBytesOf(page []itemset.Transaction) int {
+	b := 16
+	for _, t := range page {
+		b += t.Bytes()
+	}
+	return b
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+
+	"parapriori/internal/apriori"
+	"parapriori/internal/cluster"
+	"parapriori/internal/itemset"
+)
+
+// firstPass computes the globally frequent items F1.  Every formulation
+// does this identically: each processor array-counts its local shard and a
+// global reduction sums the per-item counts (there is no hash tree for
+// k = 1).  Every processor returns the identical, item-ordered F1.
+func (r *run) firstPass(p *cluster.Proc, tr *procTrace) []apriori.Frequent {
+	shard := r.shards[p.ID()]
+	start := p.Clock()
+
+	counts := make([]int64, r.data.NumItems)
+	var items int64
+	for _, t := range shard.Transactions {
+		for _, it := range t.Items {
+			counts[it]++
+		}
+		items += int64(len(t.Items))
+	}
+	p.ReadIO(int64(shard.Bytes()), "io")
+	chargeScan(p, items, "scan")
+	countStart := p.Clock()
+
+	global := r.world.AllReduceInt64(p, "f1", counts)
+
+	var f1 []apriori.Frequent
+	for it, c := range global {
+		if c >= r.minCount {
+			f1 = append(f1, apriori.Frequent{Items: itemset.Itemset{itemset.Item(it)}, Count: c})
+		}
+	}
+	tr.passes = append(tr.passes, passLocal{
+		k:          1,
+		candidates: r.data.NumItems,
+		frequent:   len(f1),
+		gridRows:   1,
+		gridCols:   p.P(),
+		treeParts:  1,
+		countTime:  countStart - start,
+		clockStart: start,
+		clockEnd:   p.Clock(),
+	})
+	return f1
+}
+
+// exchangeFrequent runs the all-to-all broadcast of locally frequent
+// itemsets over the given communicator and returns the merged, sorted
+// global level.  Used by DD (over all processors) and by the grid engine
+// (down each column).
+func exchangeFrequent(p *cluster.Proc, cm *cluster.Comm, tag string, local []apriori.Frequent) []apriori.Frequent {
+	gathered := cm.AllGather(p, tag, local, frequentBytes(local))
+	var merged []apriori.Frequent
+	for _, g := range gathered {
+		part, ok := g.Payload.([]apriori.Frequent)
+		if !ok {
+			panic(fmt.Sprintf("core: exchangeFrequent %q: unexpected payload %T", tag, g.Payload))
+		}
+		merged = append(merged, part...)
+	}
+	sortFrequent(merged)
+	return merged
+}
+
+// pruneLocal keeps the candidates whose global counts meet the threshold.
+func pruneLocal(cands []itemset.Itemset, counts []int64, minCount int64) []apriori.Frequent {
+	var out []apriori.Frequent
+	for i, c := range cands {
+		if counts[i] >= minCount {
+			out = append(out, apriori.Frequent{Items: c, Count: counts[i]})
+		}
+	}
+	return out
+}

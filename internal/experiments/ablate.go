@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+
+	"parapriori/internal/analysis"
+	"parapriori/internal/cluster"
+	"parapriori/internal/core"
+)
+
+// Ablate exercises the design decisions DESIGN.md calls out, beyond what the
+// paper's own figures isolate:
+//
+//  1. HD's G knob — response time across every divisor of P, showing the
+//     bowl between the CD corner (G=1) and the IDD corner (G=P) and checking
+//     it against Equation 8's window;
+//  2. communication ablation — each algorithm on the T3E model vs an Ideal
+//     machine with free communication, separating communication overhead
+//     (including DD's contention and blocking sends) from computation
+//     (redundant work, load imbalance);
+//  3. overlap ablation — IDD with and without compute/communication overlap
+//     hardware, the paper's "system that cannot perform asynchronous
+//     communication" remark.
+func Ablate(c Config) (*Result, error) {
+	c = c.withDefaults()
+	n := c.scaled(8000)
+	const p = 16
+	minsup := 24.0 / float64(n)
+
+	data, err := mustGen(baseGen(c, n))
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		ID:     "ablate",
+		Title:  "Design ablations: G sweep, communication-free baseline, overlap",
+		XLabel: "G (grid rows)",
+		YLabel: "response time (virtual s)",
+		Notes: []string{
+			fmt.Sprintf("workload: %d transactions, minsup %.3g, P=%d", n, minsup, p),
+		},
+	}
+
+	// 1. G sweep for HD.
+	gSweep := Series{Name: "HD(G)"}
+	var gRows [][]string
+	for g := 1; g <= p; g++ {
+		if p%g != 0 {
+			continue
+		}
+		rep, err := core.Mine(data, core.Params{
+			Algo:    core.HD,
+			P:       p,
+			FixedG:  g,
+			Apriori: mineParams(minsup, 3),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ablate HD G=%d: %w", g, err)
+		}
+		t := pass3Time(rep)
+		gSweep.Points = append(gSweep.Points, Point{X: float64(g), Y: t})
+		gRows = append(gRows, []string{fmt.Sprintf("HD G=%d", g), fmt.Sprintf("%.4f", t)})
+	}
+	res.Series = append(res.Series, gSweep)
+
+	// Equation 8's window for this workload.
+	var m3 int
+	{
+		rep, err := core.Mine(data, core.Params{Algo: core.CD, P: p, Apriori: mineParams(minsup, 3)})
+		if err != nil {
+			return nil, fmt.Errorf("ablate CD: %w", err)
+		}
+		for _, pass := range rep.Passes {
+			if pass.K == 3 {
+				m3 = pass.Candidates
+			}
+		}
+	}
+	_, hi := analysis.GWindow(analysis.Workload{N: float64(n), M: float64(m3)}, float64(p))
+	res.Notes = append(res.Notes, fmt.Sprintf("Equation 8 window for pass 3 (M=%d): G in (1, %.3g)", m3, hi))
+
+	// 2. Communication ablation: T3E vs Ideal for each algorithm.
+	res.TableHeader = []string{"configuration", "response (s)"}
+	res.TableRows = gRows
+	for _, algo := range []core.Algorithm{core.CD, core.DD, core.DDComm, core.IDD, core.HD, core.HPA} {
+		for _, machine := range []cluster.Machine{cluster.T3E(), cluster.Ideal()} {
+			rep, err := core.Mine(data, core.Params{
+				Algo:    algo,
+				P:       p,
+				Machine: machine,
+				Apriori: mineParams(minsup, 3),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("ablate %s on %s: %w", algo, machine.Name, err)
+			}
+			res.TableRows = append(res.TableRows, []string{
+				fmt.Sprintf("%s on %s", algo, machine.Name),
+				fmt.Sprintf("%.4f", rep.ResponseTime),
+			})
+		}
+	}
+
+	// 3. Overlap ablation for IDD.
+	for _, overlap := range []bool{true, false} {
+		machine := cluster.T3E()
+		machine.Overlap = overlap
+		rep, err := core.Mine(data, core.Params{
+			Algo:    core.IDD,
+			P:       p,
+			Machine: machine,
+			Apriori: mineParams(minsup, 3),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ablate IDD overlap=%v: %w", overlap, err)
+		}
+		res.TableRows = append(res.TableRows, []string{
+			fmt.Sprintf("IDD overlap=%v", overlap),
+			fmt.Sprintf("%.4f", rep.ResponseTime),
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteCSV emits the result's series as long-format CSV
+// (experiment,series,x,y) and, when the result carries a table, a second
+// CSV section with the table's own header.  The sections have different
+// column counts; parse with FieldsPerRecord disabled or split on the second
+// header line.  Long format loads directly into any plotting tool.
+func (r *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"experiment", "series", "x", "y"}); err != nil {
+		return fmt.Errorf("experiments: writing CSV header: %w", err)
+	}
+	for _, s := range r.Series {
+		for _, pt := range s.Points {
+			rec := []string{r.ID, s.Name, formatFloat(pt.X), formatFloat(pt.Y)}
+			if err := cw.Write(rec); err != nil {
+				return fmt.Errorf("experiments: writing CSV: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("experiments: flushing CSV: %w", err)
+	}
+	if len(r.TableRows) == 0 {
+		return nil
+	}
+	tw := csv.NewWriter(w)
+	header := append([]string{"experiment"}, r.TableHeader...)
+	if err := tw.Write(header); err != nil {
+		return fmt.Errorf("experiments: writing CSV table header: %w", err)
+	}
+	for _, row := range r.TableRows {
+		if err := tw.Write(append([]string{r.ID}, row...)); err != nil {
+			return fmt.Errorf("experiments: writing CSV table: %w", err)
+		}
+	}
+	tw.Flush()
+	if err := tw.Error(); err != nil {
+		return fmt.Errorf("experiments: flushing CSV table: %w", err)
+	}
+	return nil
+}
+
+func formatFloat(v float64) string { return fmt.Sprintf("%g", v) }
+
+// jsonResult is the stable JSON shape of a Result.
+type jsonResult struct {
+	ID     string       `json:"id"`
+	Title  string       `json:"title"`
+	XLabel string       `json:"xLabel,omitempty"`
+	YLabel string       `json:"yLabel,omitempty"`
+	Notes  []string     `json:"notes,omitempty"`
+	Series []jsonSeries `json:"series,omitempty"`
+	Table  *jsonTable   `json:"table,omitempty"`
+}
+
+type jsonSeries struct {
+	Name   string       `json:"name"`
+	Points [][2]float64 `json:"points"`
+}
+
+type jsonTable struct {
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+}
+
+// WriteJSON emits the result as a single JSON document.
+func (r *Result) WriteJSON(w io.Writer) error {
+	out := jsonResult{
+		ID: r.ID, Title: r.Title, XLabel: r.XLabel, YLabel: r.YLabel, Notes: r.Notes,
+	}
+	for _, s := range r.Series {
+		js := jsonSeries{Name: s.Name, Points: make([][2]float64, len(s.Points))}
+		for i, pt := range s.Points {
+			js.Points[i] = [2]float64{pt.X, pt.Y}
+		}
+		out.Series = append(out.Series, js)
+	}
+	if len(r.TableRows) > 0 {
+		out.Table = &jsonTable{Header: r.TableHeader, Rows: r.TableRows}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("experiments: encoding JSON: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	r := chartFixture()
+	r.TableHeader = []string{"P", "CD"}
+	r.TableRows = [][]string{{"1", "0.5"}, {"2", "0.6"}}
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	cr := csv.NewReader(strings.NewReader(sb.String()))
+	cr.FieldsPerRecord = -1 // two sections: series records, then table records
+	recs, err := cr.ReadAll()
+	if err != nil {
+		t.Fatalf("output is not parseable CSV: %v", err)
+	}
+	// 1 header + 8 points + 1 table header + 2 table rows = 12 records.
+	if len(recs) != 12 {
+		t.Fatalf("got %d records, want 12", len(recs))
+	}
+	if recs[0][1] != "series" || recs[1][0] != "figX" || recs[1][1] != "CD" {
+		t.Errorf("unexpected head records: %v, %v", recs[0], recs[1])
+	}
+	if recs[9][0] != "experiment" || recs[9][1] != "P" {
+		t.Errorf("table header record: %v", recs[9])
+	}
+}
+
+func TestWriteCSVNoTable(t *testing.T) {
+	r := chartFixture()
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 9 {
+		t.Errorf("got %d records, want 9", len(recs))
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := chartFixture()
+	r.Notes = []string{"a note"}
+	r.TableHeader = []string{"h"}
+	r.TableRows = [][]string{{"v"}}
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		ID     string `json:"id"`
+		Series []struct {
+			Name   string       `json:"name"`
+			Points [][2]float64 `json:"points"`
+		} `json:"series"`
+		Table *struct {
+			Header []string   `json:"header"`
+			Rows   [][]string `json:"rows"`
+		} `json:"table"`
+		Notes []string `json:"notes"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if got.ID != "figX" || len(got.Series) != 2 || got.Series[1].Points[3][1] != 8 {
+		t.Errorf("round trip lost data: %+v", got)
+	}
+	if got.Table == nil || got.Table.Rows[0][0] != "v" {
+		t.Errorf("table lost: %+v", got.Table)
+	}
+	if len(got.Notes) != 1 {
+		t.Errorf("notes lost: %v", got.Notes)
+	}
+}

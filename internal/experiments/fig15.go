@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+
+	"parapriori/internal/apriori"
+	"parapriori/internal/cluster"
+	"parapriori/internal/core"
+	"parapriori/internal/hashtree"
+)
+
+// Fig15 reproduces Figure 15: runtime as the candidate count grows (by
+// lowering minimum support) with N and P fixed at 64 processors, pass 3
+// measured.  CD's memory holds only the base candidate volume, so larger M
+// forces partitioned counting and its curve climbs as O(M); IDD and HD
+// spread candidates across the aggregate memory (O(M/P), O(M/G)) and
+// eventually overtake CD — HD collapsing onto IDD once G reaches P,
+// matching the caption's 8×8 → 16×4 → 32×2 → 64×1 progression.
+func Fig15(c Config) (*Result, error) {
+	c = c.withDefaults()
+	n := c.scaled(16000)
+	const p = 64
+	minsups := []float64{0.006, 0.004, 0.003, 0.002, 0.0015, 0.001}
+	if c.Quick {
+		minsups = []float64{0.006, 0.002}
+	}
+
+	data, err := mustGen(baseGen(c, n))
+	if err != nil {
+		return nil, err
+	}
+
+	// Per-node memory sized to the base point's largest tree, as in Fig12.
+	pre, err := apriori.Mine(data, apriori.Params{MinSupport: minsups[0], MaxPasses: 3})
+	if err != nil {
+		return nil, fmt.Errorf("fig15 pre-pass: %w", err)
+	}
+	capBytes := 0
+	baseM := 0
+	for _, pass := range pre.Passes {
+		if pass.K < 2 {
+			continue
+		}
+		if b := hashtree.EstimateMemoryBytes(pass.Candidates, pass.K, hashtree.Config{}); b > capBytes {
+			capBytes = b
+		}
+		baseM += pass.Candidates
+	}
+	machine := cluster.T3E()
+	machine.MemoryBytes = capBytes
+	// HD threshold sized so the base point runs an 8-row grid and larger
+	// candidate volumes widen it toward pure IDD, like the caption's
+	// progression.
+	threshold := baseM / 8
+	if threshold < 1 {
+		threshold = 1
+	}
+
+	res := &Result{
+		ID:     "fig15",
+		Title:  "Runtime vs candidate count (fixed N, P=64, pass 3 only)",
+		XLabel: "total candidates",
+		YLabel: "response time (virtual s)",
+		Notes: []string{
+			fmt.Sprintf("workload: %d transactions, P=%d, CD tree capped at %d bytes/node, HD m=%d", n, p, capBytes, threshold),
+			"paper: M=0.7M..8M, N=1.3M, P=64; HD grids 8x8..64x1 (Fig. 15)",
+		},
+		TableHeader: []string{"minsup", "candidates", "CD", "CD scans", "IDD", "HD", "HD grid"},
+	}
+	cd := Series{Name: "CD"}
+	idd := Series{Name: "IDD"}
+	hd := Series{Name: "HD"}
+
+	for _, ms := range minsups {
+		run := func(algo core.Algorithm) (*core.Report, error) {
+			rep, err := core.Mine(data, core.Params{
+				Algo:        algo,
+				P:           p,
+				Machine:     machine,
+				Apriori:     mineParams(ms, 3),
+				HDThreshold: threshold,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig15 %s minsup=%g: %w", algo, ms, err)
+			}
+			return rep, nil
+		}
+		cdRep, err := run(core.CD)
+		if err != nil {
+			return nil, err
+		}
+		iddRep, err := run(core.IDD)
+		if err != nil {
+			return nil, err
+		}
+		hdRep, err := run(core.HD)
+		if err != nil {
+			return nil, err
+		}
+		m := float64(totalCandidates(cdRep))
+		cd.Points = append(cd.Points, Point{X: m, Y: pass3Time(cdRep)})
+		idd.Points = append(idd.Points, Point{X: m, Y: pass3Time(iddRep)})
+		hd.Points = append(hd.Points, Point{X: m, Y: pass3Time(hdRep)})
+
+		scans, grid := 0, ""
+		for _, pass := range cdRep.Passes {
+			scans += pass.TreeParts
+		}
+		for _, pass := range hdRep.Passes {
+			if pass.K == 3 {
+				grid = fmt.Sprintf("%dx%d", pass.GridRows, pass.GridCols)
+			}
+		}
+		res.TableRows = append(res.TableRows, []string{
+			fmt.Sprintf("%.4g", ms),
+			fmt.Sprintf("%.0f", m),
+			fmt.Sprintf("%.4f", pass3Time(cdRep)),
+			fmt.Sprintf("%d", scans),
+			fmt.Sprintf("%.4f", pass3Time(iddRep)),
+			fmt.Sprintf("%.4f", pass3Time(hdRep)),
+			grid,
+		})
+	}
+	res.Series = []Series{cd, idd, hd}
+	return res, nil
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+
+	"parapriori/internal/analysis"
+	"parapriori/internal/core"
+)
+
+// Model compares the Section IV cost equations with the emulated machine:
+// for a fixed workload it tabulates, per processor count, the predicted
+// and measured response times of CD, DD, IDD and HD (pass 3 only, where
+// the equations apply cleanly), plus Equation 8's G window.  The model and
+// the emulation share operation-cost constants but the model knows nothing
+// about message schedules, so agreement in *shape* (ordering, trends)
+// rather than absolute value is the check.
+func Model(c Config) (*Result, error) {
+	c = c.withDefaults()
+	n := c.scaled(8000)
+	// Support anchored to a fixed absolute count (see Fig14).
+	minsup := 32.0 / float64(n)
+	ps := c.sweep([]int{4, 8, 16, 32, 64})
+	if c.Quick {
+		// At reduced workloads 64 processors leave only a handful of
+		// transactions per processor; compare at machine sizes where the
+		// per-processor work is still meaningful.
+		ps = []int{4, 16}
+	}
+
+	data, err := mustGen(baseGen(c, n))
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		ID:     "model",
+		Title:  "Section IV cost model vs emulation (pass 3)",
+		XLabel: "processors",
+		YLabel: "response time (virtual s)",
+		TableHeader: []string{
+			"P", "CD pred", "CD meas", "DD pred", "DD meas",
+			"IDD pred", "IDD meas", "HD pred", "HD meas",
+		},
+	}
+
+	type measured struct {
+		algo core.Algorithm
+		name string
+	}
+	algos := []measured{{core.CD, "CD"}, {core.DD, "DD"}, {core.IDD, "IDD"}, {core.HD, "HD"}}
+	predSeries := make([]Series, len(algos))
+	measSeries := make([]Series, len(algos))
+	var wl analysis.Workload
+	var costs analysis.Costs
+
+	for _, p := range ps {
+		row := []string{fmt.Sprintf("%d", p)}
+		for i, a := range algos {
+			predSeries[i].Name = a.name + " pred"
+			measSeries[i].Name = a.name + " meas"
+			prm := core.Params{
+				Algo:    a.algo,
+				P:       p,
+				Apriori: mineParams(minsup, 3),
+			}
+			if a.algo == core.HD {
+				prm.FixedG = fixedGFor(p)
+			}
+			rep, err := core.Mine(data, prm)
+			if err != nil {
+				return nil, fmt.Errorf("model %s P=%d: %w", a.name, p, err)
+			}
+			t := pass3Time(rep)
+
+			// Derive the model workload symbols from the measured pass.
+			var pass *core.PassReport
+			for j := range rep.Passes {
+				if rep.Passes[j].K == 3 {
+					pass = &rep.Passes[j]
+				}
+			}
+			if pass == nil {
+				return nil, fmt.Errorf("model %s P=%d: no pass 3", a.name, p)
+			}
+			m := rep.Params.Machine
+			wl = analysis.Workload{
+				N: float64(data.Len()),
+				M: float64(pass.Candidates),
+				I: data.AvgLen(),
+				K: 3,
+				S: 16,
+			}
+			costs = analysis.Costs{
+				TTravers: m.TTravers,
+				TCheck:   m.TCheck,
+				TInsert:  m.TInsert,
+				TData:    float64(60) / m.Bandwidth, // ~60 bytes per transaction
+				TReduce:  m.TReduce,
+			}
+			var pred float64
+			switch a.algo {
+			case core.CD:
+				pred = analysis.CD(wl, costs, float64(p))
+			case core.DD:
+				pred = analysis.DD(wl, costs, float64(p))
+			case core.IDD:
+				pred = analysis.IDD(wl, costs, float64(p))
+			case core.HD:
+				pred = analysis.HD(wl, costs, float64(p), float64(fixedGFor(p)))
+			}
+			predSeries[i].Points = append(predSeries[i].Points, Point{X: float64(p), Y: pred})
+			measSeries[i].Points = append(measSeries[i].Points, Point{X: float64(p), Y: t})
+			row = append(row, fmt.Sprintf("%.4f", pred), fmt.Sprintf("%.4f", t))
+		}
+		res.TableRows = append(res.TableRows, row)
+	}
+	lo, hi := analysis.GWindow(wl, float64(ps[len(ps)-1]))
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("workload: %d transactions, minsup %.3g, pass 3; V(C,L) model with S=16", n, minsup),
+		fmt.Sprintf("Equation 8 G window at P=%d: (%.3g, %.3g)", ps[len(ps)-1], lo, hi),
+	)
+	res.Series = append(append([]Series{}, predSeries...), measSeries...)
+	return res, nil
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WriteChart renders the result's series as an ASCII scatter chart of the
+// given dimensions (sensible minimums are enforced).  Each series gets a
+// glyph; overlapping points show the later series' glyph.  Axes are linear
+// and annotated with their extremes, which is enough to eyeball the shapes
+// the figures are about — crossovers, flat lines, blow-ups — right in the
+// terminal.
+func (r *Result) WriteChart(w io.Writer, width, height int) error {
+	if len(r.Series) == 0 {
+		return nil
+	}
+	if width < 24 {
+		width = 24
+	}
+	if height < 8 {
+		height = 8
+	}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range r.Series {
+		for _, pt := range s.Points {
+			minX, maxX = math.Min(minX, pt.X), math.Max(maxX, pt.X)
+			minY, maxY = math.Min(minY, pt.Y), math.Max(maxY, pt.Y)
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return nil // no points anywhere
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	glyphs := []byte("*o+x#@%&")
+	for si, s := range r.Series {
+		g := glyphs[si%len(glyphs)]
+		for _, pt := range s.Points {
+			col := int(math.Round((pt.X - minX) / (maxX - minX) * float64(width-1)))
+			row := int(math.Round((pt.Y - minY) / (maxY - minY) * float64(height-1)))
+			grid[height-1-row][col] = g
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", r.ID, r.Title)
+	yTop := fmt.Sprintf("%.4g", maxY)
+	yBot := fmt.Sprintf("%.4g", minY)
+	margin := len(yTop)
+	if len(yBot) > margin {
+		margin = len(yBot)
+	}
+	for i, row := range grid {
+		label := strings.Repeat(" ", margin)
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%*s", margin, yTop)
+		case height - 1:
+			label = fmt.Sprintf("%*s", margin, yBot)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, row)
+	}
+	pad := strings.Repeat(" ", margin)
+	fmt.Fprintf(&b, "%s  %-*s%s\n", pad, width-len(fmt.Sprintf("%.4g", maxX)), fmt.Sprintf("%.4g", minX), fmt.Sprintf("%.4g", maxX))
+	fmt.Fprintf(&b, "%s  x: %s, y: %s\n", pad, r.XLabel, r.YLabel)
+	for si, s := range r.Series {
+		fmt.Fprintf(&b, "%s  %c = %s\n", pad, glyphs[si%len(glyphs)], s.Name)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

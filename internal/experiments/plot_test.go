@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func chartFixture() *Result {
+	return &Result{
+		ID: "figX", Title: "demo", XLabel: "procs", YLabel: "seconds",
+		Series: []Series{
+			{Name: "CD", Points: []Point{{1, 1}, {2, 1}, {4, 1}, {8, 1}}},
+			{Name: "DD", Points: []Point{{1, 1}, {2, 2}, {4, 4}, {8, 8}}},
+		},
+	}
+}
+
+func TestWriteChartBasics(t *testing.T) {
+	var sb strings.Builder
+	if err := chartFixture().WriteChart(&sb, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"figX", "demo", "x: procs, y: seconds", "* = CD", "o = DD", "|"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// The flat CD series must appear on the bottom row; DD's max at the top.
+	lines := strings.Split(out, "\n")
+	var gridLines []string
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			gridLines = append(gridLines, l)
+		}
+	}
+	if len(gridLines) != 10 {
+		t.Fatalf("expected 10 grid rows, got %d", len(gridLines))
+	}
+	if !strings.Contains(gridLines[0], "o") {
+		t.Errorf("top row lacks DD's max: %q", gridLines[0])
+	}
+	if !strings.Contains(gridLines[len(gridLines)-1], "*") {
+		t.Errorf("bottom row lacks CD's flat line: %q", gridLines[len(gridLines)-1])
+	}
+	// Axis extremes rendered.
+	if !strings.Contains(out, "8") || !strings.Contains(out, "1") {
+		t.Error("axis extremes missing")
+	}
+}
+
+func TestWriteChartDegenerate(t *testing.T) {
+	empty := &Result{ID: "e"}
+	var sb strings.Builder
+	if err := empty.WriteChart(&sb, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Errorf("empty result produced output: %q", sb.String())
+	}
+	// A single constant point must not divide by zero.
+	one := &Result{ID: "o", Series: []Series{{Name: "A", Points: []Point{{3, 5}}}}}
+	sb.Reset()
+	if err := one.WriteChart(&sb, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "*") {
+		t.Error("single point not plotted")
+	}
+	// Series with no points alongside one with points.
+	mixed := &Result{ID: "m", Series: []Series{{Name: "empty"}, {Name: "B", Points: []Point{{1, 1}, {2, 2}}}}}
+	sb.Reset()
+	if err := mixed.WriteChart(&sb, 30, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteChartMinimumSize(t *testing.T) {
+	var sb strings.Builder
+	if err := chartFixture().WriteChart(&sb, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	rows := 0
+	for _, l := range strings.Split(sb.String(), "\n") {
+		if strings.Contains(l, "|") {
+			rows++
+		}
+	}
+	if rows < 8 {
+		t.Errorf("minimum height not enforced: %d rows", rows)
+	}
+}

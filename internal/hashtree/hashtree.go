@@ -1,0 +1,325 @@
+// Package hashtree implements the candidate hash tree of the Apriori
+// algorithm (Agrawal & Srikant, VLDB '94), the data structure every
+// formulation in the paper counts support with.
+//
+// Internal nodes hash one item of a candidate; leaves store candidate
+// itemsets and their running support counts.  The Subset operation walks a
+// transaction through the tree and bumps the counts of every candidate the
+// transaction contains.  The tree keeps detailed operation counters
+// (traversal steps, distinct leaf visits, leaf checks) because the paper's
+// Section IV analysis — and Figure 11 — are stated in exactly those units.
+package hashtree
+
+import (
+	"fmt"
+
+	"parapriori/internal/itemset"
+)
+
+// Candidate is a candidate itemset with its support count.
+type Candidate struct {
+	Items itemset.Itemset
+	Count int64
+}
+
+// Config controls the shape of the tree.
+type Config struct {
+	// Fanout is the width of the hash tables at internal nodes.  The paper's
+	// running example uses 3 (hash function "1,4,7 / 2,5,8 / 3,6,9", i.e.
+	// item mod 3); real deployments size the tables in the tens so that a
+	// depth-k tree has far more leaves than a transaction has potential
+	// candidates (the L >> C regime of the Section IV analysis — with a
+	// tiny fanout the pass-2 tree saturates at Fanout² leaves and every
+	// transaction visits all of them).  Defaults to 32.
+	Fanout int
+	// MaxLeaf is the maximum number of candidates a leaf may hold before it
+	// splits (provided it is shallow enough to split).  This is the knob
+	// that sets S, the average number of candidates per leaf, in the
+	// Section IV analysis.  Defaults to 16.
+	MaxLeaf int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Fanout <= 0 {
+		c.Fanout = 32
+	}
+	if c.MaxLeaf <= 0 {
+		c.MaxLeaf = 16
+	}
+	return c
+}
+
+// Stats accumulates the operation counts of the Section IV cost model.
+type Stats struct {
+	// Traversals is the number of internal-node hash steps taken by Subset,
+	// the unit of t_travers.
+	Traversals int64
+	// LeafVisits is the number of *distinct* leaf nodes visited, summed over
+	// transactions: the measured counterpart of V(i,j) (Figure 11).
+	LeafVisits int64
+	// LeafChecks is the number of candidate-vs-transaction containment
+	// tests performed at leaves, the unit of t_check.
+	LeafChecks int64
+	// Transactions is the number of Subset calls, so that
+	// LeafVisits/Transactions is the per-transaction average of Figure 11.
+	Transactions int64
+	// Inserts is the number of candidate insertions (hash-tree construction
+	// cost, the O(M) term of Equations 3–7).
+	Inserts int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Traversals += other.Traversals
+	s.LeafVisits += other.LeafVisits
+	s.LeafChecks += other.LeafChecks
+	s.Transactions += other.Transactions
+	s.Inserts += other.Inserts
+}
+
+// AvgLeafVisits returns the average number of distinct leaves visited per
+// transaction, the y-axis of Figure 11.
+func (s Stats) AvgLeafVisits() float64 {
+	if s.Transactions == 0 {
+		return 0
+	}
+	return float64(s.LeafVisits) / float64(s.Transactions)
+}
+
+type node struct {
+	// children is nil for a leaf and has len == fanout for an internal node.
+	children []*node
+	// cands holds the candidates of a leaf node.
+	cands []*Candidate
+	// stamp is the ID of the last Subset call that checked this leaf; it
+	// implements the paper's "if this node is revisited due to a different
+	// candidate from the same transaction, no checking needs to be
+	// performed" memoization.
+	stamp uint64
+}
+
+func (n *node) isLeaf() bool { return n.children == nil }
+
+// Tree is a candidate hash tree for candidates of a single size k.
+type Tree struct {
+	k      int
+	cfg    Config
+	root   *node
+	cands  []*Candidate
+	leaves int
+	stats  Stats
+	stamp  uint64
+	// collect, when non-nil, receives every candidate the current Subset
+	// call matches (used by DHP transaction trimming).
+	collect *[]*Candidate
+}
+
+// New builds a hash tree over the given candidate itemsets, all of which
+// must have exactly k items in sorted order.  The candidates are stored by
+// reference: counts accumulate in the caller's Candidate values.
+func New(k int, cands []*Candidate, cfg Config) (*Tree, error) {
+	cfg = cfg.withDefaults()
+	t := &Tree{k: k, cfg: cfg, root: &node{}, leaves: 1}
+	for _, c := range cands {
+		if len(c.Items) != k {
+			return nil, fmt.Errorf("hashtree: candidate %v has %d items, want %d", c.Items, len(c.Items), k)
+		}
+		if !c.Items.Valid() {
+			return nil, fmt.Errorf("hashtree: candidate %v is not sorted", c.Items)
+		}
+		t.insert(c)
+	}
+	t.cands = cands
+	return t, nil
+}
+
+// MustNew is New for statically correct inputs (tests, examples).
+func MustNew(k int, cands []*Candidate, cfg Config) *Tree {
+	t, err := New(k, cands, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// K returns the candidate size the tree was built for.
+func (t *Tree) K() int { return t.k }
+
+// Len returns the number of candidates in the tree (M in the analysis).
+func (t *Tree) Len() int { return len(t.cands) }
+
+// Leaves returns the current number of leaf nodes (L in the analysis).
+func (t *Tree) Leaves() int { return t.leaves }
+
+// Candidates returns the candidates in insertion order.  All processors in
+// CD insert candidates in the same (generation) order, so index i refers to
+// the same candidate everywhere — that is what makes count vectors
+// reducible.
+func (t *Tree) Candidates() []*Candidate { return t.cands }
+
+// Stats returns the accumulated operation counters.
+func (t *Tree) Stats() Stats { return t.stats }
+
+// ResetStats zeroes the operation counters.
+func (t *Tree) ResetStats() { t.stats = Stats{} }
+
+func (t *Tree) hash(it itemset.Item) int { return int(it) % t.cfg.Fanout }
+
+func (t *Tree) insert(c *Candidate) {
+	t.stats.Inserts++
+	cur := t.root
+	depth := 0
+	for !cur.isLeaf() {
+		cur = cur.children[t.hash(c.Items[depth])]
+		depth++
+	}
+	cur.cands = append(cur.cands, c)
+	// Split overfull leaves while they are shallow enough to have an item
+	// left to hash on.  A leaf at depth k has consumed every item and can
+	// only grow.
+	for len(cur.cands) > t.cfg.MaxLeaf && depth < t.k {
+		cands := cur.cands
+		cur.cands = nil
+		cur.children = make([]*node, t.cfg.Fanout)
+		for i := range cur.children {
+			cur.children[i] = &node{}
+		}
+		t.leaves += t.cfg.Fanout - 1
+		for _, cc := range cands {
+			cur.children[t.hash(cc.Items[depth])].cands = append(cur.children[t.hash(cc.Items[depth])].cands, cc)
+		}
+		// Continue splitting the child the new candidate landed in if it is
+		// itself overfull (all candidates may share a hash value).
+		cur = cur.children[t.hash(c.Items[depth])]
+		depth++
+	}
+}
+
+// Subset counts the candidates contained in txn, incrementing their Count
+// fields, and returns the number of distinct leaf nodes visited for this
+// transaction (the per-transaction quantity averaged in Figure 11).
+//
+// rootFilter, if non-nil, is consulted only for the *starting* item of a
+// candidate (the loop at the root): items for which it reports false are
+// skipped.  This is IDD's bitmap pruning; pass nil for the serial algorithm,
+// CD and DD.
+func (t *Tree) Subset(txn itemset.Itemset, rootFilter func(itemset.Item) bool) int {
+	t.stamp++
+	t.stats.Transactions++
+	visited := 0
+	if t.root.isLeaf() {
+		// Degenerate tree: everything sits in the root leaf.
+		if len(txn) >= t.k {
+			visited = 1
+			t.stats.LeafVisits++
+			t.checkLeaf(t.root, txn)
+		}
+		return visited
+	}
+	// The root loop: every transaction item that passes the filter is a
+	// possible first item of a candidate.
+	last := len(txn) - t.k
+	for i := 0; i <= last; i++ {
+		if rootFilter != nil && !rootFilter(txn[i]) {
+			continue
+		}
+		t.stats.Traversals++
+		visited += t.walk(t.root.children[t.hash(txn[i])], txn, i+1, 1)
+	}
+	return visited
+}
+
+// walk recurses below an internal-node hash step: node n was reached having
+// consumed depth items, with txn[pos:] remaining.
+func (t *Tree) walk(n *node, txn itemset.Itemset, pos, depth int) int {
+	if n.isLeaf() {
+		if n.stamp == t.stamp {
+			return 0 // already checked for this transaction
+		}
+		n.stamp = t.stamp
+		t.stats.LeafVisits++
+		t.checkLeaf(n, txn)
+		return 1
+	}
+	visited := 0
+	// Need k-depth more items; the next one can start no later than
+	// len(txn)-(k-depth).
+	last := len(txn) - (t.k - depth)
+	for i := pos; i <= last; i++ {
+		t.stats.Traversals++
+		visited += t.walk(n.children[t.hash(txn[i])], txn, i+1, depth+1)
+	}
+	return visited
+}
+
+func (t *Tree) checkLeaf(n *node, txn itemset.Itemset) {
+	for _, c := range n.cands {
+		t.stats.LeafChecks++
+		if txn.ContainsAll(c.Items) {
+			c.Count++
+			if t.collect != nil {
+				*t.collect = append(*t.collect, c)
+			}
+		}
+	}
+}
+
+// SubsetCollect is Subset plus match reporting: every candidate contained
+// in txn is also appended to *out.  DHP's transaction trimming needs the
+// matches to decide which items can still contribute to larger itemsets.
+func (t *Tree) SubsetCollect(txn itemset.Itemset, rootFilter func(itemset.Item) bool, out *[]*Candidate) int {
+	t.collect = out
+	visited := t.Subset(txn, rootFilter)
+	t.collect = nil
+	return visited
+}
+
+// Counts returns the support counts of the candidates in insertion order.
+// Processors running CD exchange exactly this vector in the global
+// reduction.
+func (t *Tree) Counts() []int64 {
+	out := make([]int64, len(t.cands))
+	for i, c := range t.cands {
+		out[i] = c.Count
+	}
+	return out
+}
+
+// SetCounts overwrites the candidates' counts from a reduced vector.
+func (t *Tree) SetCounts(counts []int64) error {
+	if len(counts) != len(t.cands) {
+		return fmt.Errorf("hashtree: SetCounts with %d counts for %d candidates", len(counts), len(t.cands))
+	}
+	for i, c := range t.cands {
+		c.Count = counts[i]
+	}
+	return nil
+}
+
+// MemoryBytes estimates the resident size of the tree: candidates plus node
+// overhead.  The CD memory cap of Figure 12 is enforced against this
+// estimate.
+func (t *Tree) MemoryBytes() int {
+	// Per candidate: header (itemset slice header + count) and k items.
+	candBytes := len(t.cands) * (32 + 4*t.k)
+	// Per internal node: fanout child pointers; per leaf: slice header.
+	internal := (t.leaves - 1) / (t.cfg.Fanout - 1) // full fanout assumption
+	if internal < 0 {
+		internal = 0
+	}
+	nodeBytes := internal*8*t.cfg.Fanout + t.leaves*48
+	return candBytes + nodeBytes
+}
+
+// EstimateMemoryBytes predicts the resident size of a tree holding m
+// candidates of size k without building it, so that CD can decide how many
+// tree partitions it needs before construction (Figure 12).
+func EstimateMemoryBytes(m, k int, cfg Config) int {
+	cfg = cfg.withDefaults()
+	leaves := m / cfg.MaxLeaf
+	if leaves < 1 {
+		leaves = 1
+	}
+	internal := leaves / (cfg.Fanout - 1)
+	return m*(32+4*k) + internal*8*cfg.Fanout + leaves*48
+}

@@ -1,0 +1,157 @@
+package itemset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary dataset format.  Basket text files are convenient but large and
+// slow to parse; the experiments move datasets around enough that a compact
+// format is worth having.  Layout (all integers unsigned varints unless
+// noted):
+//
+//	magic "PAPD" (4 bytes) | version (1 byte, = 1)
+//	numItems | numTransactions
+//	per transaction: ID delta from previous ID | item count |
+//	                 items as deltas (first item absolute, then gaps)
+//
+// Sorted itemsets make delta coding effective: typical gaps fit in one
+// byte.
+
+const (
+	binaryMagic   = "PAPD"
+	binaryVersion = 1
+)
+
+// WriteBinary encodes the dataset in the compact binary format.
+func WriteBinary(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return fmt.Errorf("itemset: writing binary dataset: %w", err)
+	}
+	if err := bw.WriteByte(binaryVersion); err != nil {
+		return fmt.Errorf("itemset: writing binary dataset: %w", err)
+	}
+	var buf [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := put(uint64(d.NumItems)); err != nil {
+		return fmt.Errorf("itemset: writing binary dataset: %w", err)
+	}
+	if err := put(uint64(len(d.Transactions))); err != nil {
+		return fmt.Errorf("itemset: writing binary dataset: %w", err)
+	}
+	prevID := int64(0)
+	for i, t := range d.Transactions {
+		if t.ID < prevID {
+			return fmt.Errorf("itemset: transaction %d: IDs must be non-decreasing (%d after %d)", i, t.ID, prevID)
+		}
+		if !t.Items.Valid() {
+			return fmt.Errorf("itemset: transaction %d: items not strictly increasing", i)
+		}
+		if err := put(uint64(t.ID - prevID)); err != nil {
+			return fmt.Errorf("itemset: writing binary dataset: %w", err)
+		}
+		prevID = t.ID
+		if err := put(uint64(len(t.Items))); err != nil {
+			return fmt.Errorf("itemset: writing binary dataset: %w", err)
+		}
+		prev := Item(0)
+		for j, it := range t.Items {
+			delta := uint64(it)
+			if j > 0 {
+				delta = uint64(it - prev)
+			}
+			if err := put(delta); err != nil {
+				return fmt.Errorf("itemset: writing binary dataset: %w", err)
+			}
+			prev = it
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("itemset: flushing binary dataset: %w", err)
+	}
+	return nil
+}
+
+// ReadBinary decodes a dataset written by WriteBinary.
+func ReadBinary(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	var magic [5]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("itemset: reading binary header: %w", err)
+	}
+	if string(magic[:4]) != binaryMagic {
+		return nil, fmt.Errorf("itemset: bad magic %q (not a binary dataset)", magic[:4])
+	}
+	if magic[4] != binaryVersion {
+		return nil, fmt.Errorf("itemset: unsupported binary version %d", magic[4])
+	}
+	numItems, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("itemset: reading numItems: %w", err)
+	}
+	numTxns, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("itemset: reading transaction count: %w", err)
+	}
+	const maxReasonable = 1 << 34
+	if numItems > maxReasonable || numTxns > maxReasonable {
+		return nil, fmt.Errorf("itemset: implausible header (items %d, transactions %d)", numItems, numTxns)
+	}
+	d := &Dataset{NumItems: int(numItems), Transactions: make([]Transaction, 0, numTxns)}
+	prevID := int64(0)
+	for i := uint64(0); i < numTxns; i++ {
+		idDelta, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("itemset: transaction %d: reading ID: %w", i, err)
+		}
+		id := prevID + int64(idDelta)
+		prevID = id
+		count, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("itemset: transaction %d: reading length: %w", i, err)
+		}
+		if count > numItems {
+			return nil, fmt.Errorf("itemset: transaction %d: %d items exceeds vocabulary %d", i, count, numItems)
+		}
+		items := make(Itemset, count)
+		prev := Item(0)
+		for j := range items {
+			delta, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("itemset: transaction %d item %d: %w", i, j, err)
+			}
+			if j == 0 {
+				prev = Item(delta)
+			} else {
+				if delta == 0 {
+					return nil, fmt.Errorf("itemset: transaction %d item %d: zero gap (duplicate item)", i, j)
+				}
+				prev += Item(delta)
+			}
+			if int(prev) >= int(numItems) {
+				return nil, fmt.Errorf("itemset: transaction %d item %d: item %d outside vocabulary %d", i, j, prev, numItems)
+			}
+			items[j] = prev
+		}
+		d.Transactions = append(d.Transactions, Transaction{ID: id, Items: items})
+	}
+	return d, nil
+}
+
+// ReadAuto detects the dataset format (binary vs basket text) from the
+// first bytes and decodes accordingly.
+func ReadAuto(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(4)
+	if err == nil && string(head) == binaryMagic {
+		return ReadBinary(br)
+	}
+	return Read(br)
+}

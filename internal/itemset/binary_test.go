@@ -1,0 +1,179 @@
+package itemset
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	d := sample()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() || got.NumItems != d.NumItems {
+		t.Fatalf("shape: %d/%d vs %d/%d", got.Len(), got.NumItems, d.Len(), d.NumItems)
+	}
+	for i := range d.Transactions {
+		if got.Transactions[i].ID != d.Transactions[i].ID {
+			t.Errorf("transaction %d ID %d, want %d", i, got.Transactions[i].ID, d.Transactions[i].ID)
+		}
+		if !got.Transactions[i].Items.Equal(d.Transactions[i].Items) {
+			t.Errorf("transaction %d items %v, want %v", i, got.Transactions[i].Items, d.Transactions[i].Items)
+		}
+	}
+}
+
+func TestBinaryRoundTripRandom(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var txns []Transaction
+		id := int64(0)
+		for i := 0; i < int(n); i++ {
+			id += int64(rng.Intn(3)) // non-decreasing, possibly sparse IDs
+			items := make([]Item, 1+rng.Intn(10))
+			for j := range items {
+				items[j] = Item(rng.Intn(1000))
+			}
+			txns = append(txns, Transaction{ID: id, Items: New(items...)})
+		}
+		d := NewDataset(txns)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, d); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Len() != d.Len() {
+			return false
+		}
+		for i := range d.Transactions {
+			if got.Transactions[i].ID != d.Transactions[i].ID ||
+				!got.Transactions[i].Items.Equal(d.Transactions[i].Items) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinarySmallerThanText(t *testing.T) {
+	// 500 dense transactions: the varint+delta format should beat text.
+	var txns []Transaction
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 500; i++ {
+		items := make([]Item, 10)
+		for j := range items {
+			items[j] = Item(rng.Intn(900))
+		}
+		txns = append(txns, Transaction{ID: int64(i), Items: New(items...)})
+	}
+	d := NewDataset(txns)
+	var bin, txt bytes.Buffer
+	if err := WriteBinary(&bin, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&txt, d); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= txt.Len() {
+		t.Errorf("binary %d bytes >= text %d bytes", bin.Len(), txt.Len())
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("PAP"),
+		[]byte("XXXX\x01"),
+		[]byte("PAPD\x02"),     // wrong version
+		[]byte("PAPD\x01\xff"), // truncated varint
+	}
+	for i, in := range cases {
+		if _, err := ReadBinary(bytes.NewReader(in)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestBinaryRejectsTruncatedBody(t *testing.T) {
+	d := sample()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{len(full) - 1, len(full) / 2, 6} {
+		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestBinaryRejectsOutOfVocabulary(t *testing.T) {
+	// Hand-craft: numItems=2 but an item of 5.
+	var buf bytes.Buffer
+	buf.WriteString("PAPD\x01")
+	buf.WriteByte(2) // numItems
+	buf.WriteByte(1) // numTxns
+	buf.WriteByte(0) // id delta
+	buf.WriteByte(1) // item count
+	buf.WriteByte(5) // item 5 >= 2
+	if _, err := ReadBinary(&buf); err == nil {
+		t.Error("out-of-vocabulary item accepted")
+	}
+}
+
+func TestWriteBinaryValidates(t *testing.T) {
+	bad := &Dataset{NumItems: 10, Transactions: []Transaction{
+		{ID: 5, Items: New(1)},
+		{ID: 3, Items: New(2)}, // decreasing ID
+	}}
+	if err := WriteBinary(&bytes.Buffer{}, bad); err == nil {
+		t.Error("decreasing IDs accepted")
+	}
+	unsorted := &Dataset{NumItems: 10, Transactions: []Transaction{
+		{ID: 0, Items: Itemset{3, 1}},
+	}}
+	if err := WriteBinary(&bytes.Buffer{}, unsorted); err == nil {
+		t.Error("unsorted items accepted")
+	}
+}
+
+func TestReadAuto(t *testing.T) {
+	d := sample()
+	var bin, txt bytes.Buffer
+	if err := WriteBinary(&bin, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&txt, d); err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := ReadAuto(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromTxt, err := ReadAuto(&txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromBin.Len() != d.Len() || fromTxt.Len() != d.Len() {
+		t.Errorf("auto-detect lost transactions: %d, %d, want %d", fromBin.Len(), fromTxt.Len(), d.Len())
+	}
+	// Text starting with digits must not be mistaken for binary.
+	if _, err := ReadAuto(strings.NewReader("1 2 3\n")); err != nil {
+		t.Errorf("plain text rejected: %v", err)
+	}
+}

@@ -1,0 +1,246 @@
+package itemset
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSortsAndDedups(t *testing.T) {
+	cases := []struct {
+		in   []Item
+		want Itemset
+	}{
+		{nil, Itemset{}},
+		{[]Item{5}, Itemset{5}},
+		{[]Item{3, 1, 2}, Itemset{1, 2, 3}},
+		{[]Item{2, 2, 2}, Itemset{2}},
+		{[]Item{9, 1, 9, 1, 5}, Itemset{1, 5, 9}},
+	}
+	for _, c := range cases {
+		got := New(c.in...)
+		if !got.Equal(c.want) {
+			t.Errorf("New(%v) = %v, want %v", c.in, got, c.want)
+		}
+		if !got.Valid() {
+			t.Errorf("New(%v) = %v not valid", c.in, got)
+		}
+	}
+}
+
+func TestNewDoesNotModifyInput(t *testing.T) {
+	in := []Item{3, 1, 2}
+	New(in...)
+	if !reflect.DeepEqual(in, []Item{3, 1, 2}) {
+		t.Errorf("New modified its input: %v", in)
+	}
+}
+
+func TestValid(t *testing.T) {
+	cases := []struct {
+		s    Itemset
+		want bool
+	}{
+		{Itemset{}, true},
+		{Itemset{1}, true},
+		{Itemset{1, 2, 3}, true},
+		{Itemset{1, 1}, false},
+		{Itemset{2, 1}, false},
+	}
+	for _, c := range cases {
+		if got := c.s.Valid(); got != c.want {
+			t.Errorf("%v.Valid() = %v, want %v", c.s, got, c.want)
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	s := New(1, 3, 5, 7)
+	for _, it := range []Item{1, 3, 5, 7} {
+		if !s.Contains(it) {
+			t.Errorf("%v should contain %d", s, it)
+		}
+	}
+	for _, it := range []Item{0, 2, 4, 6, 8, 100} {
+		if s.Contains(it) {
+			t.Errorf("%v should not contain %d", s, it)
+		}
+	}
+}
+
+func TestContainsAll(t *testing.T) {
+	s := New(1, 2, 3, 5, 6)
+	cases := []struct {
+		sub  Itemset
+		want bool
+	}{
+		{New(), true},
+		{New(1), true},
+		{New(1, 6), true},
+		{New(2, 3, 5), true},
+		{New(1, 2, 3, 5, 6), true},
+		{New(4), false},
+		{New(1, 4), false},
+		{New(1, 2, 3, 5, 6, 7), false},
+		{New(0), false},
+		{New(7), false},
+	}
+	for _, c := range cases {
+		if got := s.ContainsAll(c.sub); got != c.want {
+			t.Errorf("%v.ContainsAll(%v) = %v, want %v", s, c.sub, got, c.want)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Itemset
+		want int
+	}{
+		{New(), New(), 0},
+		{New(1), New(1), 0},
+		{New(1), New(2), -1},
+		{New(2), New(1), 1},
+		{New(1), New(1, 2), -1},
+		{New(1, 2), New(1), 1},
+		{New(1, 3), New(1, 2, 9), 1},
+		{New(1, 2, 3), New(1, 2, 3), 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("%v.Compare(%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Compare(c.a); got != -c.want {
+			t.Errorf("%v.Compare(%v) = %d, want %d", c.b, c.a, got, -c.want)
+		}
+	}
+}
+
+func TestUnionMinusWithout(t *testing.T) {
+	a, b := New(1, 3, 5), New(2, 3, 6)
+	if got := a.Union(b); !got.Equal(New(1, 2, 3, 5, 6)) {
+		t.Errorf("union = %v", got)
+	}
+	if got := a.Minus(b); !got.Equal(New(1, 5)) {
+		t.Errorf("minus = %v", got)
+	}
+	if got := b.Minus(a); !got.Equal(New(2, 6)) {
+		t.Errorf("minus = %v", got)
+	}
+	if got := a.Without(1); !got.Equal(New(1, 5)) {
+		t.Errorf("without = %v", got)
+	}
+	if got := a.Without(0); !got.Equal(New(3, 5)) {
+		t.Errorf("without = %v", got)
+	}
+	if got := a.Without(2); !got.Equal(New(1, 3)) {
+		t.Errorf("without = %v", got)
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	f := func(raw []uint16) bool {
+		items := make([]Item, len(raw))
+		for i, r := range raw {
+			items[i] = Item(r)
+		}
+		s := New(items...)
+		return KeyToItemset(s.Key()).Equal(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyUnique(t *testing.T) {
+	seen := map[string]Itemset{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		n := rng.Intn(5)
+		items := make([]Item, n)
+		for j := range items {
+			items[j] = Item(rng.Intn(50))
+		}
+		s := New(items...)
+		k := s.Key()
+		if prev, ok := seen[k]; ok && !prev.Equal(s) {
+			t.Fatalf("key collision: %v and %v share %q", prev, s, k)
+		}
+		seen[k] = s
+	}
+}
+
+// Property: Union is commutative, contains both operands, and is valid.
+func TestUnionProperties(t *testing.T) {
+	f := func(ra, rb []uint8) bool {
+		a := fromBytes(ra)
+		b := fromBytes(rb)
+		u := a.Union(b)
+		u2 := b.Union(a)
+		return u.Equal(u2) && u.Valid() && u.ContainsAll(a) && u.ContainsAll(b) &&
+			len(u) <= len(a)+len(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Minus removes exactly the common elements.
+func TestMinusProperties(t *testing.T) {
+	f := func(ra, rb []uint8) bool {
+		a := fromBytes(ra)
+		b := fromBytes(rb)
+		m := a.Minus(b)
+		if !m.Valid() || !a.ContainsAll(m) {
+			return false
+		}
+		for _, it := range m {
+			if b.Contains(it) {
+				return false
+			}
+		}
+		for _, it := range a {
+			if !b.Contains(it) && !m.Contains(it) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func fromBytes(raw []uint8) Itemset {
+	items := make([]Item, len(raw))
+	for i, r := range raw {
+		items[i] = Item(r)
+	}
+	return New(items...)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New(1, 2, 3)
+	c := a.Clone()
+	c[0] = 99
+	if a[0] != 1 {
+		t.Error("Clone shares backing array")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := New(3, 1, 5).String(); got != "{1 3 5}" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := New().String(); got != "{}" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestTransactionBytes(t *testing.T) {
+	tx := Transaction{ID: 1, Items: New(1, 2, 3)}
+	if got := tx.Bytes(); got != 8+12 {
+		t.Errorf("Bytes() = %d, want 20", got)
+	}
+}

@@ -1,0 +1,240 @@
+package partition
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"parapriori/internal/apriori"
+	"parapriori/internal/itemset"
+)
+
+// sortedCands builds a lexicographically sorted candidate list with the
+// given first-item group sizes: sizes[i] candidates starting with item i.
+func sortedCands(sizes []int) []itemset.Itemset {
+	var out []itemset.Itemset
+	for first, n := range sizes {
+		for j := 0; j < n; j++ {
+			out = append(out, itemset.New(itemset.Item(first), itemset.Item(1000+j)))
+		}
+	}
+	return out
+}
+
+func TestGroupsBasic(t *testing.T) {
+	cands := sortedCands([]int{3, 0, 2, 5})
+	groups := Groups(cands, 0)
+	if len(groups) != 3 {
+		t.Fatalf("got %d groups, want 3", len(groups))
+	}
+	wantSizes := []int{3, 2, 5}
+	wantFirsts := []itemset.Item{0, 2, 3}
+	for i, g := range groups {
+		if g.Size() != wantSizes[i] || g.First != wantFirsts[i] || g.HasSecond {
+			t.Errorf("group %d = %+v", i, g)
+		}
+	}
+}
+
+func TestGroupsSplitBySecondItem(t *testing.T) {
+	// 6 candidates starting with item 0 and three distinct second items;
+	// threshold 2 forces a second-item split.
+	cands := []itemset.Itemset{
+		itemset.New(0, 1, 10), itemset.New(0, 1, 11),
+		itemset.New(0, 2, 10), itemset.New(0, 2, 11),
+		itemset.New(0, 3, 10), itemset.New(0, 3, 11),
+	}
+	groups := Groups(cands, 2)
+	if len(groups) != 3 {
+		t.Fatalf("got %d groups, want 3: %+v", len(groups), groups)
+	}
+	for i, g := range groups {
+		if !g.HasSecond || g.Size() != 2 || g.Second != itemset.Item(i+1) {
+			t.Errorf("group %d = %+v", i, g)
+		}
+	}
+}
+
+func TestGroupsCoverAllCandidates(t *testing.T) {
+	f := func(rawSizes []uint8, threshold uint8) bool {
+		sizes := make([]int, len(rawSizes))
+		total := 0
+		for i, s := range rawSizes {
+			sizes[i] = int(s % 9)
+			total += sizes[i]
+		}
+		cands := sortedCands(sizes)
+		groups := Groups(cands, int(threshold%20))
+		covered := 0
+		prevEnd := 0
+		for _, g := range groups {
+			if g.Start != prevEnd {
+				return false // gaps or overlaps
+			}
+			covered += g.Size()
+			prevEnd = g.End
+		}
+		return covered == total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinPackBalances(t *testing.T) {
+	// 100 groups of varied size pack into 8 buckets with low imbalance.
+	rng := rand.New(rand.NewSource(1))
+	sizes := make([]int, 100)
+	for i := range sizes {
+		sizes[i] = 1 + rng.Intn(20)
+	}
+	cands := sortedCands(sizes)
+	asg := BinPack(cands, 8, 0)
+	if got := asg.Imbalance(); got > 0.05 {
+		t.Errorf("imbalance = %v, want <= 0.05", got)
+	}
+	// Every candidate appears exactly once across processors.
+	seen := map[string]int{}
+	for _, cs := range asg.PerProc {
+		for _, c := range cs {
+			seen[c.Key()]++
+		}
+	}
+	if len(seen) != len(cands) {
+		t.Fatalf("covered %d candidates, want %d", len(seen), len(cands))
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Errorf("candidate %v assigned %d times", itemset.KeyToItemset(k), n)
+		}
+	}
+}
+
+func TestBinPackGroupIntegrity(t *testing.T) {
+	// Without splitting, all candidates sharing a first item land on the
+	// same processor — the property IDD's bitmap filtering needs.
+	sizes := []int{5, 3, 7, 2, 8, 1}
+	cands := sortedCands(sizes)
+	asg := BinPack(cands, 3, 1<<30) // threshold huge: no splits
+	owner := map[itemset.Item]int{}
+	for p, cs := range asg.PerProc {
+		for _, c := range cs {
+			if prev, ok := owner[c[0]]; ok && prev != p {
+				t.Fatalf("first item %d split across processors %d and %d", c[0], prev, p)
+			}
+			owner[c[0]] = p
+		}
+	}
+}
+
+func TestBinPackSkewSplits(t *testing.T) {
+	// One first item holds 90% of candidates: without second-item
+	// splitting one processor would get almost everything.
+	var cands []itemset.Itemset
+	for j := 0; j < 90; j++ {
+		cands = append(cands, itemset.New(0, itemset.Item(1+j%9), itemset.Item(100+j)))
+	}
+	for i := 0; i < 10; i++ {
+		cands = append(cands, itemset.New(itemset.Item(1+i), itemset.Item(50), itemset.Item(200)))
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Compare(cands[j]) < 0 })
+
+	unsplit := BinPack(cands, 4, 1<<30)
+	split := BinPack(cands, 4, 0) // natural threshold splits the hot item
+	if split.Imbalance() >= unsplit.Imbalance() {
+		t.Errorf("second-item splitting did not help: %v vs %v", split.Imbalance(), unsplit.Imbalance())
+	}
+	if split.Imbalance() > 0.3 {
+		t.Errorf("imbalance after splitting = %v", split.Imbalance())
+	}
+}
+
+func TestBinPackDeterministic(t *testing.T) {
+	sizes := []int{4, 4, 4, 6, 6, 2, 9}
+	cands := sortedCands(sizes)
+	a := BinPack(cands, 4, 0)
+	b := BinPack(cands, 4, 0)
+	for p := range a.PerProc {
+		if len(a.PerProc[p]) != len(b.PerProc[p]) {
+			t.Fatalf("nondeterministic pack at proc %d", p)
+		}
+		for i := range a.PerProc[p] {
+			if !a.PerProc[p][i].Equal(b.PerProc[p][i]) {
+				t.Fatalf("nondeterministic candidate order at proc %d", p)
+			}
+		}
+	}
+}
+
+func TestBinPackRealCandidates(t *testing.T) {
+	// apriori.Gen output is the real input shape: sorted candidates.
+	var f1 []itemset.Itemset
+	for i := 0; i < 40; i++ {
+		f1 = append(f1, itemset.New(itemset.Item(i)))
+	}
+	c2 := apriori.Gen(f1)
+	for p := 1; p <= 16; p *= 2 {
+		asg := BinPack(c2, p, 0)
+		total := 0
+		for _, n := range asg.Counts {
+			total += n
+		}
+		if total != len(c2) {
+			t.Fatalf("P=%d: packed %d of %d", p, total, len(c2))
+		}
+	}
+}
+
+func TestRoundRobin(t *testing.T) {
+	cands := sortedCands([]int{10})
+	parts := RoundRobin(cands, 3)
+	if len(parts[0]) != 4 || len(parts[1]) != 3 || len(parts[2]) != 3 {
+		t.Errorf("sizes = %d, %d, %d", len(parts[0]), len(parts[1]), len(parts[2]))
+	}
+	// candidate i goes to processor i mod p
+	if !parts[1][0].Equal(cands[1]) || !parts[2][1].Equal(cands[5]) {
+		t.Error("round-robin order broken")
+	}
+	if got := RoundRobin(cands, 0); len(got) != 1 {
+		t.Errorf("p=0 should clamp to 1, got %d parts", len(got))
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	cases := []struct {
+		counts []int
+		want   float64
+	}{
+		{nil, 0},
+		{[]int{5, 5, 5}, 0},
+		{[]int{0, 0}, 0},
+		{[]int{2, 0}, 1},      // max 2, mean 1
+		{[]int{3, 1, 2}, 0.5}, // max 3, mean 2
+	}
+	for _, c := range cases {
+		if got := Imbalance(c.counts); got != c.want {
+			t.Errorf("Imbalance(%v) = %v, want %v", c.counts, got, c.want)
+		}
+	}
+}
+
+func TestBinPackEdgeCases(t *testing.T) {
+	if asg := BinPack(nil, 4, 0); asg.Imbalance() != 0 {
+		t.Error("empty pack has imbalance")
+	}
+	asg := BinPack(sortedCands([]int{3}), 0, 0) // p < 1 clamps to 1
+	if len(asg.PerProc) != 1 || len(asg.PerProc[0]) != 3 {
+		t.Errorf("p=0 pack = %+v", asg.Counts)
+	}
+	// More processors than groups: some processors stay empty but all
+	// candidates are placed.
+	asg = BinPack(sortedCands([]int{2, 2}), 8, 1<<30)
+	total := 0
+	for _, n := range asg.Counts {
+		total += n
+	}
+	if total != 4 {
+		t.Errorf("placed %d of 4", total)
+	}
+}

@@ -1,0 +1,144 @@
+// Package rules generates association rules from frequent itemsets — the
+// second step of the discovery task in Section II of the paper.  The paper
+// focuses its parallel work on frequent-itemset discovery and calls rule
+// generation "straightforward"; this package implements the standard
+// ap-genrules procedure of Agrawal & Srikant so the library covers the whole
+// pipeline.
+package rules
+
+import (
+	"fmt"
+	"sort"
+
+	"parapriori/internal/apriori"
+	"parapriori/internal/itemset"
+)
+
+// Rule is an association rule X => Y with its quality measures.
+//
+// Support is σ(X ∪ Y)/|T| and Confidence is σ(X ∪ Y)/σ(X), exactly the
+// definitions of Section II.
+type Rule struct {
+	Antecedent itemset.Itemset // X
+	Consequent itemset.Itemset // Y
+	Count      int64           // σ(X ∪ Y)
+	Support    float64
+	Confidence float64
+}
+
+// String renders the rule as "{1 2} => {3} (sup 0.40, conf 0.66)".
+func (r Rule) String() string {
+	return fmt.Sprintf("%v => %v (sup %.4f, conf %.4f)", r.Antecedent, r.Consequent, r.Support, r.Confidence)
+}
+
+// Params configures rule generation.
+type Params struct {
+	// MinConfidence is the minimum confidence threshold α in [0, 1].
+	MinConfidence float64
+}
+
+// Generate derives every association rule meeting the confidence threshold
+// from the frequent itemsets of a mining result.  For each frequent itemset
+// f it starts from 1-item consequents and grows consequents level-wise with
+// the same apriori_gen join used for candidates, exploiting the fact that
+// moving items from antecedent to consequent can only lower confidence.
+//
+// Rules are returned sorted by descending confidence, then descending
+// support, then antecedent order, so the strongest rules come first.
+func Generate(res *apriori.Result, p Params) ([]Rule, error) {
+	if res.N == 0 {
+		return nil, nil
+	}
+	if p.MinConfidence < 0 || p.MinConfidence > 1 {
+		return nil, fmt.Errorf("rules: MinConfidence %v outside [0, 1]", p.MinConfidence)
+	}
+	support := res.SupportIndex()
+	n := float64(res.N)
+
+	var out []Rule
+	for size, level := range res.Levels {
+		if size+1 < 2 {
+			continue // no rules from single items
+		}
+		for _, f := range level {
+			rs, _ := FromItemset(f, support, n, p.MinConfidence)
+			out = append(out, rs...)
+		}
+	}
+	Sort(out)
+	return out, nil
+}
+
+// Sort orders rules by descending confidence, then descending support, then
+// antecedent/consequent order — the order Generate returns.
+func Sort(out []Rule) {
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		if c := out[i].Antecedent.Compare(out[j].Antecedent); c != 0 {
+			return c < 0
+		}
+		return out[i].Consequent.Compare(out[j].Consequent) < 0
+	})
+}
+
+// FromItemset emits the rules derivable from one frequent itemset f
+// (ap-genrules over growing consequents) and the number of candidate rules
+// evaluated — the work measure the parallel formulation charges for.  The
+// support index must cover every subset of f.Items.
+func FromItemset(f apriori.Frequent, support map[string]int64, n float64, minConf float64) ([]Rule, int) {
+	var out []Rule
+	evaluated := 0
+	// Level 1: single-item consequents.
+	var consequents []itemset.Itemset
+	for i := range f.Items {
+		y := itemset.Itemset{f.Items[i]}
+		evaluated++
+		if r, ok := makeRule(f, y, support, n, minConf); ok {
+			out = append(out, r)
+			consequents = append(consequents, y)
+		}
+	}
+	// Grow consequents while they leave a non-empty antecedent.
+	for m := 2; m < len(f.Items) && len(consequents) > 1; m++ {
+		next := apriori.Gen(consequents)
+		consequents = consequents[:0]
+		for _, y := range next {
+			evaluated++
+			if r, ok := makeRule(f, y, support, n, minConf); ok {
+				out = append(out, r)
+				consequents = append(consequents, y)
+			}
+		}
+	}
+	return out, evaluated
+}
+
+func makeRule(f apriori.Frequent, y itemset.Itemset, support map[string]int64, n float64, minConf float64) (Rule, bool) {
+	x := f.Items.Minus(y)
+	if len(x) == 0 {
+		return Rule{}, false
+	}
+	sx, ok := support[x.Key()]
+	if !ok || sx == 0 {
+		// Every subset of a frequent itemset is frequent, so a missing
+		// antecedent means the caller passed an inconsistent result; treat
+		// the rule as failing rather than panicking.
+		return Rule{}, false
+	}
+	conf := float64(f.Count) / float64(sx)
+	if conf < minConf {
+		return Rule{}, false
+	}
+	return Rule{
+		Antecedent: x,
+		Consequent: y,
+		Count:      f.Count,
+		Support:    float64(f.Count) / n,
+		Confidence: conf,
+	}, true
+}

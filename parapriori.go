@@ -1,0 +1,284 @@
+// Package parapriori is a library for association-rule mining with serial
+// and parallel Apriori, reproducing "Scalable Parallel Data Mining for
+// Association Rules" (Han, Karypis, Kumar; SIGMOD 1997 / IEEE TKDE 1999).
+//
+// The library mines frequent itemsets and association rules from
+// transaction databases with the serial Apriori algorithm or any of four
+// parallel formulations — Count Distribution (CD), Data Distribution (DD),
+// Intelligent Data Distribution (IDD) and Hybrid Distribution (HD) —
+// executed on an emulated message-passing machine (one goroutine per
+// processor) with a virtual-time cost model of the paper's Cray T3E and IBM
+// SP2 platforms.
+//
+// # Quick start
+//
+//	data, _ := parapriori.Generate(parapriori.DefaultGen()) // synthetic T15.I6
+//	res, _ := parapriori.Mine(data, parapriori.MineOptions{MinSupport: 0.01})
+//	rules, _ := parapriori.GenerateRules(res, 0.8)
+//
+// For parallel mining:
+//
+//	rep, _ := parapriori.MineParallel(data, parapriori.ParallelOptions{
+//		Algorithm: parapriori.HD,
+//		Procs:     64,
+//		MineOptions: parapriori.MineOptions{MinSupport: 0.001},
+//	})
+//	fmt.Println(rep.ResponseTime, rep.Result.NumFrequent())
+package parapriori
+
+import (
+	"io"
+
+	"parapriori/internal/apriori"
+	"parapriori/internal/cluster"
+	"parapriori/internal/core"
+	"parapriori/internal/datagen"
+	"parapriori/internal/hashtree"
+	"parapriori/internal/itemset"
+	"parapriori/internal/rules"
+)
+
+// Core vocabulary, aliased from the internal packages so callers never need
+// to import them.
+type (
+	// Item identifies a single item.
+	Item = itemset.Item
+	// Itemset is a sorted, duplicate-free set of items.
+	Itemset = itemset.Itemset
+	// Transaction is one database record.
+	Transaction = itemset.Transaction
+	// Dataset is an in-memory transaction database.
+	Dataset = itemset.Dataset
+	// Frequent is a frequent itemset with its support count.
+	Frequent = apriori.Frequent
+	// Result holds the frequent itemsets of a mining run, by size.
+	Result = apriori.Result
+	// Rule is an association rule X => Y with support and confidence.
+	Rule = rules.Rule
+	// Report is the outcome of a parallel mining run: the Result plus
+	// virtual response time, per-pass statistics and processor accounting.
+	Report = core.Report
+	// PassReport describes one level-wise pass of a parallel run.
+	PassReport = core.PassReport
+	// Machine is the cost model of the emulated parallel computer.
+	Machine = cluster.Machine
+	// Algorithm selects a parallel formulation.
+	Algorithm = core.Algorithm
+	// GenOptions parametrizes the Quest-style synthetic data generator.
+	GenOptions = datagen.Params
+	// Vocabulary maps between item IDs and human-readable names.
+	Vocabulary = itemset.Vocabulary
+)
+
+// The parallel formulations of the paper.
+const (
+	// CD is Count Distribution: full candidate replication, one global
+	// count reduction per pass.
+	CD = core.CD
+	// DD is Data Distribution: round-robin candidate partitioning with
+	// all-to-all transaction exchange.
+	DD = core.DD
+	// DDComm is DD with IDD's ring communication (the paper's "DD+comm"
+	// ablation).
+	DDComm = core.DDComm
+	// IDD is Intelligent Data Distribution: bin-packed first-item candidate
+	// partitioning, bitmap root filtering, ring transaction pipeline.
+	IDD = core.IDD
+	// HD is Hybrid Distribution: a G×(P/G) processor grid combining CD and
+	// IDD, with G chosen per pass.
+	HD = core.HD
+	// HPA is Hash Partitioned Apriori (Shintani & Kitsuregawa), the
+	// related-work algorithm the paper analyzes: candidates are placed by
+	// hashing whole itemsets and every transaction's potential candidates
+	// are shipped to their owners.
+	HPA = core.HPA
+)
+
+// MineOptions configures frequent-itemset mining.
+type MineOptions struct {
+	// MinSupport is the minimum support threshold as a fraction of the
+	// transaction count, e.g. 0.001 for the paper's 0.1%.
+	MinSupport float64
+	// HashTreeFanout is the hash-table width of internal tree nodes
+	// (default 8).
+	HashTreeFanout int
+	// MaxLeafSize is the number of candidates a leaf holds before
+	// splitting (default 16); it sets S in the paper's analysis.
+	MaxLeafSize int
+	// MaxPasses, if positive, stops after frequent itemsets of that size.
+	MaxPasses int
+	// MemoryBytes, if positive, caps the hash tree and forces partitioned,
+	// multi-scan counting when candidates exceed it (serial mining only;
+	// parallel runs take the cap from the Machine).
+	MemoryBytes int
+	// DHPBuckets, if positive, enables the DHP (Park/Chen/Yu) pair-hash
+	// filter: the first pass also hashes transaction pairs into this many
+	// buckets and prunes size-2 candidates from cold buckets.  Results are
+	// identical to plain Apriori; pass 2 just counts fewer candidates.
+	// Serial mining only.
+	DHPBuckets int
+	// DHPTrim enables DHP's transaction trimming: after pass k, items that
+	// matched fewer than k candidates are dropped from a working copy of
+	// each transaction, and transactions too short for a (k+1)-itemset are
+	// dropped entirely.  Identical results, less data scanned in later
+	// passes.  Serial mining only; incompatible with MemoryBytes.
+	DHPTrim bool
+}
+
+func (o MineOptions) params() apriori.Params {
+	return apriori.Params{
+		MinSupport:  o.MinSupport,
+		Tree:        hashtree.Config{Fanout: o.HashTreeFanout, MaxLeaf: o.MaxLeafSize},
+		MaxPasses:   o.MaxPasses,
+		MemoryBytes: o.MemoryBytes,
+		DHPBuckets:  o.DHPBuckets,
+		DHPTrim:     o.DHPTrim,
+	}
+}
+
+// Mine runs the serial Apriori algorithm.
+func Mine(data *Dataset, o MineOptions) (*Result, error) {
+	return apriori.Mine(data, o.params())
+}
+
+// ParallelOptions configures a parallel mining run.
+type ParallelOptions struct {
+	MineOptions
+	// Algorithm is the parallel formulation (CD, DD, DDComm, IDD or HD).
+	Algorithm Algorithm
+	// Procs is the number of emulated processors.
+	Procs int
+	// Machine is the cost model; the zero value selects MachineT3E().
+	Machine Machine
+	// PageBytes is the transaction-page size moved between processors
+	// (default 16 KiB).
+	PageBytes int
+	// HDThreshold is HD's minimum candidates per grid row (the paper's m;
+	// default 5000).
+	HDThreshold int
+	// FixedG pins HD's grid rows instead of choosing them per pass.
+	FixedG int
+	// Trace records the virtual-time event log into Report.Trace for
+	// rendering with TraceTimeline.
+	Trace bool
+}
+
+// MineParallel runs a parallel formulation on an emulated cluster.  The
+// mined itemsets are always identical to Mine's; the Report adds virtual
+// response time and per-pass behaviour of the chosen formulation.
+func MineParallel(data *Dataset, o ParallelOptions) (*Report, error) {
+	prm := core.Params{
+		Algo:        o.Algorithm,
+		P:           o.Procs,
+		Machine:     o.Machine,
+		Apriori:     o.MineOptions.params(),
+		PageBytes:   o.PageBytes,
+		HDThreshold: o.HDThreshold,
+		FixedG:      o.FixedG,
+		Trace:       o.Trace,
+	}
+	prm.Apriori.MemoryBytes = 0 // parallel cap comes from the machine model
+	return core.Mine(data, prm)
+}
+
+// GenerateRules derives association rules meeting the confidence threshold
+// from mined frequent itemsets, strongest first.
+func GenerateRules(res *Result, minConfidence float64) ([]Rule, error) {
+	return rules.Generate(res, rules.Params{MinConfidence: minConfidence})
+}
+
+// RulesReport is the outcome of parallel rule generation: the rules plus
+// the emulated step's virtual response time and work accounting.
+type RulesReport = core.RulesReport
+
+// GenerateRulesParallel runs the second discovery step on an emulated
+// cluster: frequent itemsets are dealt round-robin to procs processors,
+// each runs ap-genrules on its share, and the rules are collected with an
+// all-to-all broadcast.  The rules are identical to GenerateRules's.
+func GenerateRulesParallel(res *Result, procs int, machine Machine, minConfidence float64) (*RulesReport, error) {
+	return core.GenerateRules(res, procs, machine, minConfidence)
+}
+
+// Generate produces a synthetic transaction database with the Quest-style
+// generator the paper's workloads come from.
+func Generate(o GenOptions) (*Dataset, error) { return datagen.Generate(o) }
+
+// DefaultGen returns the paper's T15.I6 workload parameters (average
+// transaction length 15, average pattern length 6, 1000 items).
+func DefaultGen() GenOptions { return datagen.Defaults() }
+
+// NewItemset builds an Itemset from arbitrary items (sorting and removing
+// duplicates).
+func NewItemset(items ...Item) Itemset { return itemset.New(items...) }
+
+// NewDataset builds a Dataset from transactions.
+func NewDataset(txns []Transaction) *Dataset { return itemset.NewDataset(txns) }
+
+// FromItems builds a Dataset from plain item slices, assigning sequential
+// transaction IDs — convenient for examples and tests.
+func FromItems(rows [][]Item) *Dataset {
+	txns := make([]Transaction, len(rows))
+	for i, row := range rows {
+		txns[i] = Transaction{ID: int64(i), Items: itemset.New(row...)}
+	}
+	return itemset.NewDataset(txns)
+}
+
+// ReadDataset parses a transaction file, auto-detecting the format: the
+// compact binary format (WriteDatasetBinary) or basket text (one
+// transaction per line, whitespace-separated non-negative integer items).
+func ReadDataset(r io.Reader) (*Dataset, error) { return itemset.ReadAuto(r) }
+
+// WriteDataset writes a dataset in the basket text format.
+func WriteDataset(w io.Writer, d *Dataset) error { return itemset.Write(w, d) }
+
+// WriteDatasetBinary writes a dataset in the compact varint/delta binary
+// format, typically several times smaller than basket text.
+func WriteDatasetBinary(w io.Writer, d *Dataset) error { return itemset.WriteBinary(w, d) }
+
+// ReadNamedDataset parses a transaction file whose items are names (one
+// transaction per line, names separated by delim, default ","), returning
+// the dataset and the vocabulary built from the names.
+func ReadNamedDataset(r io.Reader, delim string) (*Dataset, *Vocabulary, error) {
+	return itemset.ReadNamed(r, delim)
+}
+
+// NewVocabulary builds a vocabulary from names; name i becomes item i.
+func NewVocabulary(names []string) (*Vocabulary, error) { return itemset.NewVocabulary(names) }
+
+// ReadVocabulary reads a vocabulary file: one item name per line, in item
+// order (the format WriteVocabulary emits).
+func ReadVocabulary(r io.Reader) (*Vocabulary, error) { return itemset.ReadVocab(r) }
+
+// WriteVocabulary writes a vocabulary, one name per line in item order.
+func WriteVocabulary(w io.Writer, v *Vocabulary) error { return itemset.WriteVocab(w, v) }
+
+// WriteResult saves a mining result's frequent itemsets in a line-oriented
+// text format; ReadResult restores everything rule generation needs, so a
+// database can be mined once and rules derived later at many thresholds.
+func WriteResult(w io.Writer, res *Result) error { return apriori.WriteResult(w, res) }
+
+// ReadResult loads a result saved by WriteResult.
+func ReadResult(r io.Reader) (*Result, error) { return apriori.ReadResult(r) }
+
+// TraceTimeline renders a parallel run's event log (recorded with
+// ParallelOptions.Trace) as a text Gantt chart: one row per processor,
+// compute as '#', sends as '>', disk I/O as 'o', idle waits as '.'.
+func TraceTimeline(w io.Writer, rep *Report, width int) error {
+	return cluster.WriteTimeline(w, rep.Trace, rep.P, width)
+}
+
+// MachineT3E returns the cost model of the paper's 128-processor Cray T3E.
+func MachineT3E() Machine { return cluster.T3E() }
+
+// MachineSP2 returns the cost model of the paper's 16-node IBM SP2,
+// including disk I/O costs (the Figure 12 platform).
+func MachineSP2() Machine { return cluster.SP2() }
+
+// MachineCOW returns a cluster-of-workstations model: high-latency switched
+// Ethernet with no compute/communication overlap.
+func MachineCOW() Machine { return cluster.COW() }
+
+// MachineIdeal returns a machine with free communication and T3E compute —
+// the ablation baseline that isolates communication effects.
+func MachineIdeal() Machine { return cluster.Ideal() }
