@@ -1,0 +1,71 @@
+package parapriori
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestMineParallelDeterministic is the determinism regression gate: the
+// emulated machine must produce bit-identical results run-to-run for every
+// formulation — same frequent itemsets (byte-for-byte through WriteResult),
+// same per-pass statistics, and same virtual response times.  Any wall-time
+// leakage, map-iteration-order dependence or raw-channel scheduling
+// dependence in the simulation shows up here as a diff between two
+// back-to-back runs (the failure mode the checkinv suite guards against
+// statically).
+func TestMineParallelDeterministic(t *testing.T) {
+	gen := DefaultGen()
+	gen.NumTransactions = 900
+	gen.NumItems = 80
+	gen.NumPatterns = 40
+	gen.AvgTxnLen = 8
+	gen.AvgPatternLen = 4
+	gen.Seed = 11
+	data, err := Generate(gen)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+
+	for _, algo := range []Algorithm{CD, DD, IDD, HD} {
+		algo := algo
+		t.Run(string(algo), func(t *testing.T) {
+			run := func() (*Report, []byte) {
+				rep, err := MineParallel(data, ParallelOptions{
+					MineOptions: MineOptions{MinSupport: 0.03},
+					Algorithm:   algo,
+					Procs:       6,
+				})
+				if err != nil {
+					t.Fatalf("%s: %v", algo, err)
+				}
+				var buf bytes.Buffer
+				if err := WriteResult(&buf, rep.Result); err != nil {
+					t.Fatalf("%s: serialize: %v", algo, err)
+				}
+				return rep, buf.Bytes()
+			}
+			a, aBytes := run()
+			b, bBytes := run()
+
+			if a.Result.NumFrequent() == 0 {
+				t.Fatalf("%s: trivial workload, no frequent itemsets", algo)
+			}
+			if !bytes.Equal(aBytes, bBytes) {
+				t.Errorf("%s: frequent itemsets differ between identical runs", algo)
+			}
+			if !reflect.DeepEqual(a.Passes, b.Passes) {
+				t.Errorf("%s: per-pass stats differ between identical runs:\n  run 1: %+v\n  run 2: %+v", algo, a.Passes, b.Passes)
+			}
+			if a.ResponseTime != b.ResponseTime {
+				t.Errorf("%s: virtual response time differs: %v vs %v", algo, a.ResponseTime, b.ResponseTime)
+			}
+			if !reflect.DeepEqual(a.Clocks, b.Clocks) {
+				t.Errorf("%s: per-processor clocks differ:\n  run 1: %v\n  run 2: %v", algo, a.Clocks, b.Clocks)
+			}
+			if !reflect.DeepEqual(a.Total, b.Total) {
+				t.Errorf("%s: aggregate stats differ:\n  run 1: %+v\n  run 2: %+v", algo, a.Total, b.Total)
+			}
+		})
+	}
+}

@@ -24,10 +24,12 @@ func V(i, j float64) float64 {
 	if i <= 0 || j <= 0 {
 		return 0
 	}
+	//checkinv:allow floatcmp — exact short-circuit: V(1,j) = 1 by definition
 	if i == 1 {
 		return 1
 	}
 	// j·(1−(1−1/j)^i) = j·(1−exp(i·log1p(−1/j))) = −j·expm1(i·log1p(−1/j)).
+	//checkinv:allow floatcmp — exact guard: log1p(-1/j) is -inf at j = 1
 	if j == 1 {
 		return 1
 	}

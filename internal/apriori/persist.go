@@ -21,13 +21,18 @@ import (
 
 const persistHeader = "#parapriori-frequent v1"
 
-// WriteResult saves a mining result's frequent itemsets.
+// WriteResult saves a mining result's frequent itemsets.  The output is
+// canonical — levels are emitted in lexicographic itemset order whatever
+// their in-memory order — so saving the same result (or results of two
+// independent runs over the same data) is byte-stable, and saved files
+// diff/hash cleanly.
 func WriteResult(w io.Writer, res *Result) error {
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintf(bw, "%s N=%d minCount=%d\n", persistHeader, res.N, res.MinCount); err != nil {
 		return fmt.Errorf("apriori: writing result header: %w", err)
 	}
 	for _, level := range res.Levels {
+		level = sortedLevel(level)
 		for _, f := range level {
 			if _, err := fmt.Fprintf(bw, "%d", f.Count); err != nil {
 				return fmt.Errorf("apriori: writing result: %w", err)
@@ -128,4 +133,23 @@ func ReadResult(r io.Reader) (*Result, error) {
 		res.Levels = append(res.Levels, level)
 	}
 	return res, nil
+}
+
+// sortedLevel returns the level in lexicographic itemset order, copying
+// only when it is out of order so the common (already-sorted) path is
+// allocation-free and callers' slices are never mutated.
+func sortedLevel(level []Frequent) []Frequent {
+	sorted := true
+	for i := 1; i < len(level); i++ {
+		if level[i-1].Items.Compare(level[i].Items) > 0 {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return level
+	}
+	out := append([]Frequent(nil), level...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Items.Compare(out[j].Items) < 0 })
+	return out
 }

@@ -34,6 +34,60 @@ func TestResultRoundTrip(t *testing.T) {
 	}
 }
 
+// TestWriteResultByteStable pins the canonical-output guarantee: writing
+// the same frequent itemsets must produce identical bytes whatever their
+// in-memory order, so saved results are diffable across runs.
+func TestWriteResultByteStable(t *testing.T) {
+	d := randomData(13, 400, 40)
+	res, err := Mine(d, Params{MinSupport: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a bytes.Buffer
+	if err := WriteResult(&a, res); err != nil {
+		t.Fatal(err)
+	}
+
+	// Scramble every level (reverse order) into a second Result; the bytes
+	// must not change, and the caller's slices must not be mutated.
+	scrambled := &Result{N: res.N, MinCount: res.MinCount}
+	for _, level := range res.Levels {
+		rev := make([]Frequent, len(level))
+		for i, f := range level {
+			rev[len(level)-1-i] = f
+		}
+		scrambled.Levels = append(scrambled.Levels, rev)
+	}
+	var b bytes.Buffer
+	if err := WriteResult(&b, scrambled); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("WriteResult output depends on in-memory level order")
+	}
+	for li, level := range scrambled.Levels {
+		if len(level) < 2 {
+			continue
+		}
+		if level[0].Items.Compare(level[len(level)-1].Items) < 0 {
+			t.Errorf("level %d: WriteResult mutated the caller's slice", li)
+		}
+	}
+
+	// And a full round trip re-serializes to the identical bytes.
+	back, err := ReadResult(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c bytes.Buffer
+	if err := WriteResult(&c, back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Error("read→write round trip is not byte-identical")
+	}
+}
+
 func TestReadResultErrors(t *testing.T) {
 	cases := []string{
 		"",

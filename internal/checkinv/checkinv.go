@@ -1,0 +1,230 @@
+// Package checkinv is a zero-dependency static-analysis suite enforcing the
+// project's simulation invariants.  The emulated machine in internal/cluster
+// reproduces the paper's CD/DD/IDD/HD results deterministically under a
+// virtual-time cost model, which promotes a class of Go idioms from style
+// nits to silent correctness bugs:
+//
+//   - walltime: reading the wall clock (time.Now, time.Since, time.Sleep, …)
+//     inside simulation packages mixes real time into the virtual clock and
+//     corrupts every reported figure.
+//   - mapiter: ranging over a map while appending to an outer slice, sending
+//     on a channel or writing output leaks Go's randomized map iteration
+//     order into mined itemsets and per-pass statistics.
+//   - rawchan: raw channel operations in internal/core bypass the cluster
+//     comm layer, so the traffic escapes the cost model (and the virtual
+//     clocks) entirely.
+//   - floatcmp: == / != on floating-point operands in the analysis and
+//     experiments packages, where model/measured comparisons must tolerate
+//     rounding.
+//
+// Findings at intentional sites are suppressed with an annotation:
+//
+//	//checkinv:allow <rule>[,<rule>...] [reason]
+//
+// placed either at the end of the offending line or on a line of its own
+// directly above it.  The driver is cmd/checkinv; see DESIGN.md's
+// "Correctness tooling" section for the full grammar and rationale.
+package checkinv
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at one source position.
+type Finding struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String renders the finding in the canonical "file:line: [rule] message"
+// form the driver prints and the fixture tests match against.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Message)
+}
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name is the rule name used in output, -disable and allow annotations.
+	Name string
+	// Doc is a one-line description for -list.
+	Doc string
+	// Applies reports whether the rule is in scope for a package, given its
+	// module-relative directory ("internal/core", "cmd/checkinv", "" for the
+	// module root).  The runner consults it; Check itself is scope-free so
+	// tests can point it at fixtures.
+	Applies func(rel string) bool
+	// Check inspects one package and reports findings through the pass.
+	Check func(p *Pass)
+}
+
+// Pass hands one analyzer the parsed and type-checked package under
+// inspection.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Info  *types.Info
+
+	findings []Finding
+	rule     string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.findings = append(p.findings, Finding{
+		Pos:     p.Fset.Position(pos),
+		Rule:    p.rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of an expression, or nil when type-checking could
+// not resolve it.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// pkgNameOf returns the imported package path when the identifier denotes an
+// imported package ("time" in time.Now), or "".
+func (p *Pass) pkgNameOf(id *ast.Ident) string {
+	if pn, ok := p.Info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+// isBuiltin reports whether the call expression invokes the named builtin
+// (append, close, make, …), respecting shadowing via the type info.
+func (p *Pass) isBuiltin(call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	obj := p.Info.Uses[id]
+	_, builtin := obj.(*types.Builtin)
+	return builtin
+}
+
+// Analyzers returns every invariant checker in deterministic order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{WalltimeAnalyzer, MapiterAnalyzer, RawchanAnalyzer, FloatcmpAnalyzer}
+}
+
+// AnalyzerByName returns the named analyzer, or nil.
+func AnalyzerByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// underAny reports whether the module-relative directory rel is one of the
+// given roots or nested beneath one.
+func underAny(rel string, roots ...string) bool {
+	for _, r := range roots {
+		if rel == r || strings.HasPrefix(rel, r+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Run applies the analyzers to the packages, honoring each analyzer's path
+// scope unless allPaths is set, filters findings through the
+// //checkinv:allow annotations, and returns the survivors sorted by file,
+// line and rule.
+func Run(pkgs []*Package, analyzers []*Analyzer, allPaths bool) []Finding {
+	var out []Finding
+	for _, pkg := range pkgs {
+		allow := collectAllows(pkg.Fset, pkg.Files)
+		for _, az := range analyzers {
+			if !allPaths && az.Applies != nil && !az.Applies(pkg.Rel) {
+				continue
+			}
+			pass := &Pass{Fset: pkg.Fset, Files: pkg.Files, Info: pkg.Info, rule: az.Name}
+			az.Check(pass)
+			for _, f := range pass.findings {
+				if allow.allows(f.Pos.Filename, f.Pos.Line, f.Rule) {
+					continue
+				}
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
+// allowDirective is the comment prefix of a suppression annotation.
+const allowDirective = "//checkinv:allow"
+
+// allowSet records which (file, line, rule) triples carry an allow
+// annotation.  A directive covers its own line (end-of-line form) and the
+// line directly below it (standalone form).
+type allowSet map[string]map[int]map[string]bool
+
+func (a allowSet) add(file string, line int, rule string) {
+	byLine := a[file]
+	if byLine == nil {
+		byLine = make(map[int]map[string]bool)
+		a[file] = byLine
+	}
+	rules := byLine[line]
+	if rules == nil {
+		rules = make(map[string]bool)
+		byLine[line] = rules
+	}
+	rules[rule] = true
+}
+
+func (a allowSet) allows(file string, line int, rule string) bool {
+	rules := a[file][line]
+	return rules[rule] || rules["all"]
+}
+
+// collectAllows scans every comment for //checkinv:allow directives.
+func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
+	out := make(allowSet)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, allowDirective) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, allowDirective)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //checkinv:allowed — not our directive
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, rule := range strings.Split(fields[0], ",") {
+					rule = strings.TrimSpace(rule)
+					if rule == "" {
+						continue
+					}
+					out.add(pos.Filename, pos.Line, rule)
+					out.add(pos.Filename, pos.Line+1, rule)
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,245 @@
+package checkinv
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func parseSrc(t *testing.T, fset *token.FileSet, name, src string) []*ast.File {
+	t.Helper()
+	f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return []*ast.File{f}
+}
+
+// loadFixture parses and type-checks one testdata/src/<name> fixture
+// package with the production loader.
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	root, modPath, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatalf("ModuleRoot: %v", err)
+	}
+	pkg, err := NewLoader().LoadDir(filepath.Join("testdata", "src", name), root, modPath)
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", name, err)
+	}
+	if pkg == nil {
+		t.Fatalf("fixture %s: no Go files", name)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("fixture %s: type errors: %v", name, pkg.TypeErrors)
+	}
+	return pkg
+}
+
+// want is one expectation parsed from a `// want "regexp"` comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+func collectWants(t *testing.T, pkg *Package) []want {
+	t.Helper()
+	var out []want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := strings.Index(text, `// want "`)
+				if i < 0 {
+					continue
+				}
+				rest := text[i+len(`// want "`):]
+				j := strings.LastIndex(rest, `"`)
+				if j < 0 {
+					t.Fatalf("malformed want comment: %s", text)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				re, err := regexp.Compile(rest[:j])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp: %v", pos.Filename, pos.Line, err)
+				}
+				out = append(out, want{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("fixture declares no wants")
+	}
+	return out
+}
+
+// checkFixture runs one analyzer over its fixture and matches findings
+// against the want comments exactly: every want must be hit on its line,
+// and no finding may lack a want.
+func checkFixture(t *testing.T, analyzer string) {
+	t.Helper()
+	az := AnalyzerByName(analyzer)
+	if az == nil {
+		t.Fatalf("no analyzer %q", analyzer)
+	}
+	pkg := loadFixture(t, analyzer)
+	findings := Run([]*Package{pkg}, []*Analyzer{az}, true)
+	if len(findings) == 0 {
+		t.Fatalf("%s: analyzer found nothing; fixtures must contain deliberate violations", analyzer)
+	}
+	wants := collectWants(t, pkg)
+
+	matched := make([]bool, len(findings))
+	for _, w := range wants {
+		hit := false
+		for i, f := range findings {
+			if matched[i] || f.Pos.Filename != w.file || f.Pos.Line != w.line {
+				continue
+			}
+			if !w.re.MatchString(f.Message) {
+				t.Errorf("%s:%d: finding %q does not match want %q", w.file, w.line, f.Message, w.re)
+			}
+			matched[i] = true
+			hit = true
+			break
+		}
+		if !hit {
+			t.Errorf("%s:%d: want %q, got no finding", w.file, w.line, w.re)
+		}
+	}
+	for i, f := range findings {
+		if !matched[i] {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+}
+
+func TestWalltimeFixture(t *testing.T) { checkFixture(t, "walltime") }
+func TestMapiterFixture(t *testing.T)  { checkFixture(t, "mapiter") }
+func TestRawchanFixture(t *testing.T)  { checkFixture(t, "rawchan") }
+func TestFloatcmpFixture(t *testing.T) { checkFixture(t, "floatcmp") }
+
+// TestFixturesFailClosed asserts each fixture yields at least one finding
+// under the full suite with -allpkgs semantics — the property the CI gate
+// relies on ("exits non-zero on each analyzer's testdata fixtures").
+func TestFixturesFailClosed(t *testing.T) {
+	for _, az := range Analyzers() {
+		pkg := loadFixture(t, az.Name)
+		if got := Run([]*Package{pkg}, Analyzers(), true); len(got) == 0 {
+			t.Errorf("fixture %s: expected findings, got none", az.Name)
+		}
+	}
+}
+
+// TestScoping asserts the runner honors each analyzer's path scope: the
+// walltime fixture package lives under internal/checkinv/testdata, which no
+// rule applies to, so a scoped run must stay silent.
+func TestScoping(t *testing.T) {
+	pkg := loadFixture(t, "walltime")
+	if got := Run([]*Package{pkg}, Analyzers(), false); len(got) != 0 {
+		t.Errorf("scoped run over out-of-scope package produced findings: %v", got)
+	}
+	for _, tc := range []struct {
+		rule, rel string
+		want      bool
+	}{
+		{"walltime", "internal/core", true},
+		{"walltime", "internal/cluster", true},
+		{"walltime", "internal/apriori", false},
+		{"walltime", "cmd/experiments", false},
+		{"mapiter", "internal/apriori", true},
+		{"mapiter", "internal", true},
+		{"mapiter", "cmd/parminer", false},
+		{"rawchan", "internal/core", true},
+		{"rawchan", "internal/cluster", false},
+		{"floatcmp", "internal/analysis", true},
+		{"floatcmp", "internal/experiments", true},
+		{"floatcmp", "internal/core", false},
+	} {
+		az := AnalyzerByName(tc.rule)
+		if got := az.Applies(tc.rel); got != tc.want {
+			t.Errorf("%s.Applies(%q) = %v, want %v", tc.rule, tc.rel, got, tc.want)
+		}
+	}
+}
+
+// TestAllowGrammar exercises the directive parser on both placements and
+// the multi-rule form.
+func TestAllowGrammar(t *testing.T) {
+	fset := token.NewFileSet()
+	src := `package p
+
+func f() {
+	_ = 1 //checkinv:allow walltime — end-of-line form
+	//checkinv:allow mapiter,rawchan standalone, two rules
+	_ = 2
+	//checkinv:allowed not-our-directive
+	_ = 3
+}
+`
+	file := parseSrc(t, fset, "allow.go", src)
+	allows := collectAllows(fset, file)
+	for _, tc := range []struct {
+		line int
+		rule string
+		want bool
+	}{
+		{4, "walltime", true},
+		{4, "mapiter", false},
+		{6, "mapiter", true},
+		{6, "rawchan", true},
+		{6, "floatcmp", false},
+		{8, "walltime", false},
+	} {
+		if got := allows.allows("allow.go", tc.line, tc.rule); got != tc.want {
+			t.Errorf("allows(line %d, %s) = %v, want %v", tc.line, tc.rule, got, tc.want)
+		}
+	}
+}
+
+// TestFindingString pins the output format the driver and CI grep for.
+func TestFindingString(t *testing.T) {
+	f := Finding{
+		Pos:     token.Position{Filename: "internal/core/core.go", Line: 210},
+		Rule:    "walltime",
+		Message: "time.Now reads the wall clock",
+	}
+	want := "internal/core/core.go:210: [walltime] time.Now reads the wall clock"
+	if f.String() != want {
+		t.Errorf("Finding.String() = %q, want %q", f.String(), want)
+	}
+}
+
+// TestCleanTree type-checks a real simulation package from the live tree
+// and asserts the scoped suite is quiet on it — the merge invariant, on the
+// package (analysis) whose dependency closure is stdlib-only and therefore
+// cheap to check from source in a unit test.
+func TestCleanTree(t *testing.T) {
+	root, modPath, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatalf("ModuleRoot: %v", err)
+	}
+	pkg, err := NewLoader().LoadDir(filepath.Join(root, "internal", "analysis"), root, modPath)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("type errors: %v", pkg.TypeErrors)
+	}
+	if pkg.Rel != "internal/analysis" {
+		t.Fatalf("Rel = %q, want internal/analysis", pkg.Rel)
+	}
+	if got := Run([]*Package{pkg}, Analyzers(), false); len(got) != 0 {
+		var b strings.Builder
+		for _, f := range got {
+			fmt.Fprintf(&b, "\n  %s", f)
+		}
+		t.Errorf("internal/analysis is not clean under the scoped suite:%s", b.String())
+	}
+}

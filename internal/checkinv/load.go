@@ -1,0 +1,199 @@
+package checkinv
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package under analysis.
+type Package struct {
+	// Rel is the module-relative directory ("internal/core", "" for the
+	// module root); analyzer scopes are expressed against it.
+	Rel string
+	// Path is the import path used for type-checking.
+	Path string
+	// Dir is the absolute directory.
+	Dir string
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Info  *types.Info
+	// TypeErrors holds any type-checking diagnostics.  Analysis proceeds on
+	// a best-effort basis with partial type information.
+	TypeErrors []error
+}
+
+// ModuleRoot walks upward from dir to the enclosing go.mod and returns its
+// directory and module path.
+func ModuleRoot(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("checkinv: %s/go.mod has no module line", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("checkinv: no go.mod above %s", abs)
+		}
+	}
+}
+
+// Loader parses and type-checks packages with a shared FileSet and a shared
+// (caching) source importer, so common dependencies are checked once.
+type Loader struct {
+	Fset     *token.FileSet
+	importer types.Importer
+}
+
+// NewLoader returns a loader backed by the stdlib source importer, which
+// resolves both standard-library and module-internal imports from source —
+// no external dependencies.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{Fset: fset, importer: importer.ForCompiler(fset, "source", nil)}
+}
+
+// Load resolves the patterns ("./...", "dir/...", plain directories)
+// relative to dir and returns the matched packages in deterministic order.
+func (l *Loader) Load(dir string, patterns []string) ([]*Package, error) {
+	root, modPath, err := ModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var dirs []string
+	addDir := func(d string) {
+		d = filepath.Clean(d)
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		base, recursive := pat, false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			base, recursive = rest, true
+			if base == "" || base == "." {
+				base = "."
+			}
+		}
+		abs := base
+		if !filepath.IsAbs(abs) {
+			abs = filepath.Join(dir, base)
+		}
+		if !recursive {
+			addDir(abs)
+			continue
+		}
+		err := filepath.WalkDir(abs, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != abs && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			addDir(p)
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("checkinv: walking %s: %w", pat, err)
+		}
+	}
+	sort.Strings(dirs)
+
+	var pkgs []*Package
+	for _, d := range dirs {
+		pkg, err := l.LoadDir(d, root, modPath)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the single package in dir, returning nil
+// when the directory holds no non-test Go files.
+func (l *Loader) LoadDir(dir, modRoot, modPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkinv: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sort.Strings(names)
+
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("checkinv: %w", err)
+		}
+		files = append(files, f)
+	}
+
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(modRoot, abs)
+	if err != nil {
+		return nil, err
+	}
+	rel = filepath.ToSlash(rel)
+	if rel == "." {
+		rel = ""
+	}
+	path := modPath
+	if rel != "" {
+		path = modPath + "/" + rel
+	}
+
+	pkg := &Package{Rel: rel, Path: path, Dir: abs, Fset: l.Fset, Files: files}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: l.importer,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// The returned error repeats TypeErrors; partial info is still usable.
+	_, _ = conf.Check(path, l.Fset, files, info)
+	pkg.Info = info
+	return pkg, nil
+}

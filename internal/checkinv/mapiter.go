@@ -1,0 +1,185 @@
+package checkinv
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapiterAnalyzer flags range-over-map loops whose iteration order can leak
+// into observable output: the body appends to a slice declared outside the
+// loop, sends on a channel, or writes to a stream.  Go randomizes map
+// iteration order per run, so any of these makes mined itemsets, per-pass
+// statistics or persisted results irreproducible.
+//
+// Two escapes keep the common safe idioms quiet:
+//
+//   - a sort.* / slices.* call later in the same enclosing block (the
+//     collect-keys-then-sort idiom) suppresses the finding;
+//   - order-insensitive bodies (accumulating into another map, summing a
+//     scalar) are never flagged.
+var MapiterAnalyzer = &Analyzer{
+	Name: "mapiter",
+	Doc:  "flag map iteration whose nondeterministic order reaches output",
+	Applies: func(rel string) bool {
+		return underAny(rel, "internal")
+	},
+	Check: checkMapiter,
+}
+
+func checkMapiter(p *Pass) {
+	for _, f := range p.Files {
+		ctxs := stmtContexts(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			kind := p.orderLeak(rs)
+			if kind == "" {
+				return true
+			}
+			if ctx, ok := ctxs[rs]; ok && sortFollows(p, ctx) {
+				return true
+			}
+			p.Reportf(rs.Pos(), "map iteration order reaches output (%s); sort before emitting or annotate", kind)
+			return true
+		})
+	}
+}
+
+// orderLeak classifies how the loop body leaks iteration order, returning
+// "" when it does not.
+func (p *Pass) orderLeak(rs *ast.RangeStmt) string {
+	kind := ""
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if kind != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			kind = "channel send in body"
+		case *ast.CallExpr:
+			if p.isBuiltin(n, "append") && p.appendTargetOutside(n, rs.Body) {
+				kind = "append to slice declared outside the loop"
+			} else if name := outputCallee(p, n); name != "" {
+				kind = "write via " + name
+			}
+		}
+		return kind == ""
+	})
+	return kind
+}
+
+// appendTargetOutside reports whether the append call's first argument is a
+// variable declared outside the loop body, i.e. whether the appended order
+// survives the loop.
+func (p *Pass) appendTargetOutside(call *ast.CallExpr, body *ast.BlockStmt) bool {
+	if len(call.Args) == 0 {
+		return true // malformed; be conservative
+	}
+	switch dst := call.Args[0].(type) {
+	case *ast.Ident:
+		obj := p.Info.Uses[dst]
+		if obj == nil {
+			return true
+		}
+		return obj.Pos() < body.Pos() || obj.Pos() > body.End()
+	default:
+		// Selector, index, … — storage necessarily outlives the loop.
+		return true
+	}
+}
+
+// outputCallee returns a printable name when the call writes to a stream:
+// fmt.Print*/Fprint* or any method named Write*/Print*/Encode.
+func outputCallee(p *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	name := sel.Sel.Name
+	if id, ok := sel.X.(*ast.Ident); ok && p.pkgNameOf(id) == "fmt" {
+		switch name {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			return "fmt." + name
+		}
+		return ""
+	}
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Print", "Printf", "Println", "Encode":
+		// Only treat it as a stream write when the receiver is a value, not
+		// an imported package (covered above).
+		if id, ok := sel.X.(*ast.Ident); ok && p.pkgNameOf(id) != "" {
+			return ""
+		}
+		return "method " + name
+	}
+	return ""
+}
+
+// stmtCtx locates a statement inside its enclosing statement list.
+type stmtCtx struct {
+	list []ast.Stmt
+	idx  int
+}
+
+// stmtContexts maps every range statement in the file to its position in
+// the enclosing statement list, so analyzers can look at what follows it.
+func stmtContexts(f *ast.File) map[*ast.RangeStmt]stmtCtx {
+	out := make(map[*ast.RangeStmt]stmtCtx)
+	ast.Inspect(f, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch b := n.(type) {
+		case *ast.BlockStmt:
+			list = b.List
+		case *ast.CaseClause:
+			list = b.Body
+		case *ast.CommClause:
+			list = b.Body
+		default:
+			return true
+		}
+		for i, s := range list {
+			if rs, ok := s.(*ast.RangeStmt); ok {
+				out[rs] = stmtCtx{list: list, idx: i}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// sortFollows reports whether a sort.* or slices.* call appears after the
+// statement in its enclosing block — the canonical fix for map-order
+// nondeterminism.
+func sortFollows(p *Pass, ctx stmtCtx) bool {
+	found := false
+	for _, s := range ctx.list[ctx.idx+1:] {
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					switch p.pkgNameOf(id) {
+					case "sort", "slices":
+						found = true
+					}
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

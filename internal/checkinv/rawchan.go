@@ -1,0 +1,58 @@
+package checkinv
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// RawchanAnalyzer forbids raw channel machinery in internal/core.  All
+// inter-processor traffic must flow through cluster.Proc.Send/Recv and the
+// cluster.Comm collectives so it is charged to the virtual clocks; a bare
+// channel (or goroutine) is traffic the cost model never sees, which
+// silently deflates the communication figures the paper's evaluation is
+// about.  Package cluster itself is the one place channels and goroutines
+// are legitimate — it is the comm layer.
+var RawchanAnalyzer = &Analyzer{
+	Name: "rawchan",
+	Doc:  "forbid raw channels/goroutines in internal/core (use the cluster comm layer)",
+	Applies: func(rel string) bool {
+		return underAny(rel, "internal/core")
+	},
+	Check: checkRawchan,
+}
+
+func checkRawchan(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if p.isBuiltin(n, "make") && len(n.Args) > 0 {
+					if _, ok := n.Args[0].(*ast.ChanType); ok {
+						p.Reportf(n.Pos(), "make(chan ...) bypasses the cluster comm layer; use Proc.Send/Recv or a Comm collective")
+					}
+				}
+				if p.isBuiltin(n, "close") {
+					p.Reportf(n.Pos(), "close on a raw channel bypasses the cluster comm layer")
+				}
+			case *ast.SendStmt:
+				p.Reportf(n.Pos(), "raw channel send bypasses the cluster comm layer; use Proc.Send")
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					p.Reportf(n.Pos(), "raw channel receive bypasses the cluster comm layer; use Proc.Recv")
+				}
+			case *ast.SelectStmt:
+				p.Reportf(n.Pos(), "select on raw channels bypasses the cluster comm layer")
+			case *ast.GoStmt:
+				p.Reportf(n.Pos(), "raw goroutine escapes the SPMD model; processor programs run under cluster.Run")
+			case *ast.RangeStmt:
+				if t := p.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						p.Reportf(n.Pos(), "range over a raw channel bypasses the cluster comm layer; use Proc.Recv")
+					}
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,34 @@
+// Package floatcmp is a checkinv fixture: exact floating-point comparisons
+// that must be flagged, plus the constant and annotated escapes.
+package floatcmp
+
+import "math"
+
+func violations(x, y float64, f float32) bool {
+	if x == y { // want "== on floating-point operands"
+		return true
+	}
+	if f != 1.5 { // want "!= on floating-point operands"
+		return true
+	}
+	return x == math.Sqrt(2) // want "== on floating-point operands"
+}
+
+func mixedOperand(n int, x float64) bool {
+	return float64(n) == x // want "== on floating-point operands"
+}
+
+func constantsAreExact() bool {
+	// Both operands are compile-time constants: exact by construction.
+	const eps = 1e-9
+	return eps == 1e-9
+}
+
+func integersAreFine(a, b int) bool { return a == b }
+
+func annotated(x float64) bool {
+	//checkinv:allow floatcmp — fixture: sentinel comparison is exact on purpose
+	return x == 0
+}
+
+func tolerant(x, y float64) bool { return math.Abs(x-y) < 1e-9 }

@@ -1,0 +1,77 @@
+// Package mapiter is a checkinv fixture for the map-iteration-order
+// analyzer: flagged loops leak map order into output, quiet ones either
+// sort afterwards, stay order-insensitive, or are annotated.
+package mapiter
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func appendToOuter(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "append to slice declared outside the loop"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sendOnChannel(m map[string]int, ch chan string) {
+	for k := range m { // want "channel send in body"
+		ch <- k
+	}
+}
+
+func printDirectly(m map[string]int) {
+	for k, v := range m { // want "write via fmt.Printf"
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func writeToStream(m map[string]int, w io.Writer) {
+	for k := range m { // want "write via method Write"
+		w.Write([]byte(k))
+	}
+}
+
+func sortedAfterwards(m map[string]int) []string {
+	// The collect-then-sort idiom: order nondeterminism dies at the sort.
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func orderInsensitive(m map[string]int) int {
+	// Scalar accumulation and map-to-map copies are commutative.
+	total := 0
+	other := map[string]int{}
+	for k, v := range m {
+		total += v
+		other[k] = v
+	}
+	return total
+}
+
+func innerSliceOnly(m map[string][]int) int {
+	// Appending to a slice declared inside the body never exports order.
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+func annotated(m map[string]int) []string {
+	var keys []string
+	//checkinv:allow mapiter — fixture: caller is order-agnostic
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,45 @@
+// Package rawchan is a checkinv fixture: raw channel machinery that must be
+// flagged when the rule is applied, plus annotated escapes.
+package rawchan
+
+func violations() {
+	ch := make(chan int, 4) // want "make\(chan ...\) bypasses the cluster comm layer"
+	ch <- 1                 // want "raw channel send bypasses the cluster comm layer"
+	<-ch                    // want "raw channel receive bypasses the cluster comm layer"
+	close(ch)               // want "close on a raw channel bypasses the cluster comm layer"
+}
+
+func goAndSelect(a, b chan int) {
+	go func() {}() // want "raw goroutine escapes the SPMD model"
+	select {       // want "select on raw channels bypasses the cluster comm layer"
+	case v := <-a: // want "raw channel receive bypasses the cluster comm layer"
+		_ = v
+	case b <- 2: // want "raw channel send bypasses the cluster comm layer"
+	default:
+	}
+}
+
+func drain(ch chan int) int {
+	n := 0
+	for v := range ch { // want "range over a raw channel bypasses the cluster comm layer"
+		n += v
+	}
+	return n
+}
+
+func allowed() {
+	//checkinv:allow rawchan — fixture: deliberately permitted
+	done := make(chan struct{})
+	//checkinv:allow rawchan
+	close(done)
+}
+
+func notChannels() {
+	// Shadowing the builtins must not confuse the analyzer.
+	type closer struct{}
+	closeFn := func(closer) {}
+	closeFn(closer{})
+	m := make(map[int]int)
+	s := make([]int, 0, 8)
+	_ = append(s, len(m))
+}

@@ -1,0 +1,31 @@
+// Package walltime is a checkinv fixture: every line marked `want` must be
+// reported by the walltime analyzer, and the annotated sites must stay
+// quiet.
+package walltime
+
+import (
+	"fmt"
+	"time"
+)
+
+func violations() {
+	start := time.Now()             // want "time.Now reads the wall clock"
+	time.Sleep(time.Millisecond)    // want "time.Sleep reads the wall clock"
+	fmt.Println(time.Since(start))  // want "time.Since reads the wall clock"
+	<-time.After(time.Millisecond)  // want "time.After reads the wall clock"
+	t := time.NewTimer(time.Second) // want "time.NewTimer reads the wall clock"
+	t.Stop()
+}
+
+func allowedInline() {
+	_ = time.Now() //checkinv:allow walltime — fixture: deliberately permitted
+}
+
+//checkinv:allow walltime — fixture: standalone form covers the next line
+func allowedAbove() time.Time { return time.Now() }
+
+func fineConversions() {
+	// Pure constructors never observe real time and must not be flagged.
+	_ = time.Duration(5) * time.Second
+	_ = time.Unix(0, 0)
+}

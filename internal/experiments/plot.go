@@ -35,9 +35,11 @@ func (r *Result) WriteChart(w io.Writer, width, height int) error {
 	if math.IsInf(minX, 1) {
 		return nil // no points anywhere
 	}
+	//checkinv:allow floatcmp — exact degenerate-range guard before dividing by (max-min)
 	if maxX == minX {
 		maxX = minX + 1
 	}
+	//checkinv:allow floatcmp — exact degenerate-range guard before dividing by (max-min)
 	if maxY == minY {
 		maxY = minY + 1
 	}
