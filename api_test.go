@@ -74,6 +74,47 @@ func TestHPAThroughAPI(t *testing.T) {
 	}
 }
 
+func TestFaultTolerantMiningAPI(t *testing.T) {
+	gen := DefaultGen()
+	gen.NumTransactions = 800
+	gen.NumItems = 100
+	gen.NumPatterns = 50
+	gen.AvgTxnLen = 8
+	gen.AvgPatternLen = 3
+	gen.Seed = 11
+	data, err := Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Mine(data, MineOptions{MinSupport: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := MineParallel(data, ParallelOptions{
+		MineOptions: MineOptions{MinSupport: 0.02},
+		Algorithm:   HD,
+		Procs:       4,
+		Faults: &FaultPlan{
+			Seed:       9,
+			Drop:       0.2,
+			Crashes:    []Crash{{Rank: 1, At: 5e-3}},
+			Stragglers: []Straggler{{Rank: 2, At: 0, Factor: 2}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Restarts == 0 {
+		t.Error("scheduled crash triggered no recovery")
+	}
+	if got := rep.Result.NumFrequent(); got != want.NumFrequent() {
+		t.Errorf("faulty run mined %d frequent itemsets, serial %d", got, want.NumFrequent())
+	}
+	if rep.Total.MessagesDropped == 0 {
+		t.Error("lossy plan dropped no messages")
+	}
+}
+
 func TestDefaultGenIsPaperWorkload(t *testing.T) {
 	g := DefaultGen()
 	if g.AvgTxnLen != 15 || g.AvgPatternLen != 6 || g.NumItems != 1000 {

@@ -14,8 +14,11 @@
 // any finding survives, 2 on a loading error, 0 on a clean tree.  Rules are
 // path-scoped (see DESIGN.md, "Correctness tooling"); -allpkgs applies
 // every enabled rule to every matched package regardless of scope, which is
-// how the fixture directories are exercised.  Intentional sites are
-// annotated in the source with //checkinv:allow <rule>.
+// how the fixture directories are exercised.  _test.go files are analyzed
+// too by default (-tests=false restores source-only runs): a wall-clock
+// read or a map-order dependence in a test is the same determinism bug in
+// disguise.  Intentional sites are annotated in the source with
+// //checkinv:allow <rule>.
 package main
 
 import (
@@ -35,6 +38,7 @@ func main() {
 		disable = flag.String("disable", "", "comma-separated rules to skip")
 		allPkgs = flag.Bool("allpkgs", false, "apply rules to every package, ignoring path scopes")
 		list    = flag.Bool("list", false, "list the available rules and exit")
+		tests   = flag.Bool("tests", true, "also analyze _test.go files (in-package and external test packages)")
 	)
 	flag.Parse()
 
@@ -76,7 +80,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	pkgs, err := checkinv.NewLoader().Load(cwd, patterns)
+	loader := checkinv.NewLoader()
+	loader.Tests = *tests
+	pkgs, err := loader.Load(cwd, patterns)
 	if err != nil {
 		fatal(err)
 	}

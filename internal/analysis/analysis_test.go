@@ -68,13 +68,13 @@ func TestVLimits(t *testing.T) {
 	if got := V(1e9, 100); math.Abs(got-100) > 1e-3 {
 		t.Errorf("V(1e9, 100) = %v, want ~100", got)
 	}
-	if got := V(1, 50); got != 1 {
+	if got := V(1, 50); got != 1 { //checkinv:allow floatcmp boundary case is exactly 1
 		t.Errorf("V(1, 50) = %v", got)
 	}
-	if got := V(17, 1); got != 1 {
+	if got := V(17, 1); got != 1 { //checkinv:allow floatcmp boundary case is exactly 1
 		t.Errorf("V(17, 1) = %v", got)
 	}
-	if got := V(0, 5); got != 0 {
+	if got := V(0, 5); got != 0 { //checkinv:allow floatcmp boundary case is exactly 0
 		t.Errorf("V(0, 5) = %v", got)
 	}
 }
@@ -123,7 +123,7 @@ func TestChoose(t *testing.T) {
 		{5, 6, 0}, {5, -1, 0}, {0, 0, 1},
 	}
 	for _, c := range cases {
-		if got := Choose(c.n, c.k); got != c.want {
+		if got := Choose(c.n, c.k); got != c.want { //checkinv:allow floatcmp binomials are exact small integers
 			t.Errorf("Choose(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
 		}
 	}
@@ -131,14 +131,14 @@ func TestChoose(t *testing.T) {
 
 func TestWorkloadDerived(t *testing.T) {
 	w := Workload{N: 1e6, M: 7e5, I: 15, K: 2, S: 16}
-	if got := w.C(); got != 105 {
+	if got := w.C(); got != 105 { //checkinv:allow floatcmp exact small integer
 		t.Errorf("C = %v", got)
 	}
-	if got := w.L(); got != 7e5/16 {
+	if got := w.L(); got != 7e5/16 { //checkinv:allow floatcmp exact power-of-two quotient
 		t.Errorf("L = %v", got)
 	}
 	w.S = 0
-	if got := w.L(); got != w.M {
+	if got := w.L(); got != w.M { //checkinv:allow floatcmp degenerate case returns M verbatim
 		t.Errorf("L with S=0 = %v", got)
 	}
 }
@@ -220,26 +220,26 @@ func TestBestGWithinWindow(t *testing.T) {
 func TestGWindow(t *testing.T) {
 	w := Workload{N: 1e6, M: 7e5}
 	lo, hi := GWindow(w, 64)
-	if lo != 1 {
+	if lo != 1 { //checkinv:allow floatcmp window floor is exactly 1
 		t.Errorf("lo = %v", lo)
 	}
 	if want := 7e5 * 64 / 1e6; math.Abs(hi-want) > 1e-9 {
 		t.Errorf("hi = %v, want %v", hi, want)
 	}
 	lo, hi = GWindow(Workload{}, 64)
-	if !math.IsInf(hi, 1) || lo != 1 {
+	if !math.IsInf(hi, 1) || lo != 1 { //checkinv:allow floatcmp window floor is exactly 1
 		t.Errorf("degenerate window = (%v, %v)", lo, hi)
 	}
 }
 
 func TestEfficiencySpeedup(t *testing.T) {
-	if got := Efficiency(100, 25, 8); got != 0.5 {
+	if got := Efficiency(100, 25, 8); got != 0.5 { //checkinv:allow floatcmp exact dyadic ratio
 		t.Errorf("Efficiency = %v", got)
 	}
-	if got := Speedup(100, 25); got != 4 {
+	if got := Speedup(100, 25); got != 4 { //checkinv:allow floatcmp exact dyadic ratio
 		t.Errorf("Speedup = %v", got)
 	}
-	if Efficiency(1, 0, 4) != 0 || Speedup(1, 0) != 0 {
+	if Efficiency(1, 0, 4) != 0 || Speedup(1, 0) != 0 { //checkinv:allow floatcmp degenerate inputs return exactly 0
 		t.Error("degenerate inputs should give 0")
 	}
 }

@@ -28,13 +28,14 @@ func loadFixture(t *testing.T, name string) *Package {
 	if err != nil {
 		t.Fatalf("ModuleRoot: %v", err)
 	}
-	pkg, err := NewLoader().LoadDir(filepath.Join("testdata", "src", name), root, modPath)
+	pkgs, err := NewLoader().LoadDir(filepath.Join("testdata", "src", name), root, modPath)
 	if err != nil {
 		t.Fatalf("LoadDir(%s): %v", name, err)
 	}
-	if pkg == nil {
+	if len(pkgs) == 0 {
 		t.Fatalf("fixture %s: no Go files", name)
 	}
+	pkg := pkgs[0]
 	if len(pkg.TypeErrors) > 0 {
 		t.Fatalf("fixture %s: type errors: %v", name, pkg.TypeErrors)
 	}
@@ -203,6 +204,61 @@ func f() {
 	}
 }
 
+// TestLoaderIncludesTestFiles exercises the Tests mode of the loader on the
+// testload fixture: the in-package _test.go file joins the package's own
+// type-check, the external (package foo_test) file becomes a second Package
+// with the same Rel, and the walltime rule fires in both.
+func TestLoaderIncludesTestFiles(t *testing.T) {
+	root, modPath, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatalf("ModuleRoot: %v", err)
+	}
+	dir := filepath.Join("testdata", "src", "testload")
+
+	ld := NewLoader()
+	pkgs, err := ld.LoadDir(dir, root, modPath)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if len(pkgs) != 1 || len(pkgs[0].Files) != 1 {
+		t.Fatalf("without Tests: %d packages, want 1 with the single non-test file", len(pkgs))
+	}
+
+	ld = NewLoader()
+	ld.Tests = true
+	pkgs, err = ld.LoadDir(dir, root, modPath)
+	if err != nil {
+		t.Fatalf("LoadDir(Tests): %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("with Tests: %d packages, want 2 (package + external tests)", len(pkgs))
+	}
+	prim, ext := pkgs[0], pkgs[1]
+	if len(prim.Files) != 2 {
+		t.Errorf("primary package has %d files, want 2 (source + in-package test)", len(prim.Files))
+	}
+	if len(ext.Files) != 1 || !strings.HasSuffix(ext.Path, "_test") {
+		t.Errorf("external package = %d files, path %q", len(ext.Files), ext.Path)
+	}
+	if prim.Rel != ext.Rel {
+		t.Errorf("Rel differs: %q vs %q", prim.Rel, ext.Rel)
+	}
+	for _, p := range pkgs {
+		if len(p.TypeErrors) > 0 {
+			t.Errorf("%s: type errors: %v", p.Path, p.TypeErrors)
+		}
+	}
+
+	findings := Run(pkgs, []*Analyzer{WalltimeAnalyzer}, true)
+	byFile := map[string]int{}
+	for _, f := range findings {
+		byFile[filepath.Base(f.Pos.Filename)]++
+	}
+	if byFile["testload_test.go"] != 1 || byFile["external_test.go"] != 1 || len(findings) != 2 {
+		t.Errorf("walltime findings = %v, want one in each test file", findings)
+	}
+}
+
 // TestFindingString pins the output format the driver and CI grep for.
 func TestFindingString(t *testing.T) {
 	f := Finding{
@@ -225,10 +281,14 @@ func TestCleanTree(t *testing.T) {
 	if err != nil {
 		t.Fatalf("ModuleRoot: %v", err)
 	}
-	pkg, err := NewLoader().LoadDir(filepath.Join(root, "internal", "analysis"), root, modPath)
+	pkgs, err := NewLoader().LoadDir(filepath.Join(root, "internal", "analysis"), root, modPath)
 	if err != nil {
 		t.Fatalf("LoadDir: %v", err)
 	}
+	if len(pkgs) != 1 {
+		t.Fatalf("LoadDir returned %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
 	if len(pkg.TypeErrors) > 0 {
 		t.Fatalf("type errors: %v", pkg.TypeErrors)
 	}

@@ -60,6 +60,11 @@ func ModuleRoot(dir string) (root, modPath string, err error) {
 type Loader struct {
 	Fset     *token.FileSet
 	importer types.Importer
+	// Tests includes _test.go files in the analysis: in-package test files
+	// join the package's own type-check, and an external test package
+	// (package foo_test) comes back as its own Package with the same Rel,
+	// so path-scoped rules apply to it like any file in the directory.
+	Tests bool
 }
 
 // NewLoader returns a loader backed by the stdlib source importer, which
@@ -124,44 +129,74 @@ func (l *Loader) Load(dir string, patterns []string) ([]*Package, error) {
 
 	var pkgs []*Package
 	for _, d := range dirs {
-		pkg, err := l.LoadDir(d, root, modPath)
+		got, err := l.LoadDir(d, root, modPath)
 		if err != nil {
 			return nil, err
 		}
-		if pkg != nil {
-			pkgs = append(pkgs, pkg)
-		}
+		pkgs = append(pkgs, got...)
 	}
 	return pkgs, nil
 }
 
-// LoadDir parses and type-checks the single package in dir, returning nil
-// when the directory holds no non-test Go files.
-func (l *Loader) LoadDir(dir, modRoot, modPath string) (*Package, error) {
+// LoadDir parses and type-checks the package in dir.  Without Tests it
+// returns at most one Package (nil slice when the directory holds no
+// non-test Go files); with Tests the in-package _test.go files join that
+// type-check and a second Package is appended for an external test package
+// (package foo_test), when one exists.
+func (l *Loader) LoadDir(dir, modRoot, modPath string) ([]*Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("checkinv: %w", err)
 	}
-	var names []string
+	var srcNames, testNames []string
 	for _, e := range entries {
 		n := e.Name()
-		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+		if e.IsDir() || !strings.HasSuffix(n, ".go") {
 			continue
 		}
-		names = append(names, n)
+		if strings.HasSuffix(n, "_test.go") {
+			if l.Tests {
+				testNames = append(testNames, n)
+			}
+			continue
+		}
+		srcNames = append(srcNames, n)
 	}
-	if len(names) == 0 {
+	if len(srcNames) == 0 && len(testNames) == 0 {
 		return nil, nil
 	}
-	sort.Strings(names)
+	sort.Strings(srcNames)
+	sort.Strings(testNames)
 
-	var files []*ast.File
-	for _, n := range names {
-		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, parser.ParseComments)
-		if err != nil {
-			return nil, fmt.Errorf("checkinv: %w", err)
+	parse := func(names []string) ([]*ast.File, error) {
+		var files []*ast.File
+		for _, n := range names {
+			f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("checkinv: %w", err)
+			}
+			files = append(files, f)
 		}
-		files = append(files, f)
+		return files, nil
+	}
+	files, err := parse(srcNames)
+	if err != nil {
+		return nil, err
+	}
+	testFiles, err := parse(testNames)
+	if err != nil {
+		return nil, err
+	}
+
+	// Split the test files between the package under test and the external
+	// test package by their package clause.
+	var extFiles []*ast.File
+	for _, f := range testFiles {
+		if strings.HasSuffix(f.Name.Name, "_test") {
+			extFiles = append(extFiles, f)
+		} else {
+			files = append(files, f)
+		}
 	}
 
 	abs, err := filepath.Abs(dir)
@@ -181,7 +216,20 @@ func (l *Loader) LoadDir(dir, modRoot, modPath string) (*Package, error) {
 		path = modPath + "/" + rel
 	}
 
-	pkg := &Package{Rel: rel, Path: path, Dir: abs, Fset: l.Fset, Files: files}
+	var pkgs []*Package
+	if len(files) > 0 {
+		pkgs = append(pkgs, l.check(rel, path, abs, files))
+	}
+	if len(extFiles) > 0 {
+		pkgs = append(pkgs, l.check(rel, path+"_test", abs, extFiles))
+	}
+	return pkgs, nil
+}
+
+// check type-checks one file set as a package, proceeding on best-effort
+// partial information when diagnostics occur.
+func (l *Loader) check(rel, path, dir string, files []*ast.File) *Package {
+	pkg := &Package{Rel: rel, Path: path, Dir: dir, Fset: l.Fset, Files: files}
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),
@@ -195,5 +243,5 @@ func (l *Loader) LoadDir(dir, modRoot, modPath string) (*Package, error) {
 	// The returned error repeats TypeErrors; partial info is still usable.
 	_, _ = conf.Check(path, l.Fset, files, info)
 	pkg.Info = info
-	return pkg, nil
+	return pkg
 }

@@ -1,0 +1,8 @@
+package testload_test
+
+import "time"
+
+// extHelper leaks the wall clock from an external test package.
+func extHelper() {
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+}

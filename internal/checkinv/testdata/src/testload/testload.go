@@ -1,0 +1,8 @@
+// Package testload is the loader fixture for test-file analysis: the
+// non-test file is clean, the in-package and external test files each carry
+// one deliberate walltime violation.  It is exercised by
+// TestLoaderIncludesTestFiles, not by the per-rule fixture harness.
+package testload
+
+// Tick is clean: no wall-clock use in the package proper.
+func Tick() int { return 1 }

@@ -1,0 +1,8 @@
+package testload
+
+import "time"
+
+// inPkgHelper leaks the wall clock from an in-package test file.
+func inPkgHelper() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}

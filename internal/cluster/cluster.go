@@ -3,6 +3,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -13,6 +14,21 @@ type Cluster struct {
 	// boxes[to][from] is the FIFO mailbox carrying messages from processor
 	// `from` to processor `to`.
 	boxes [][]*mailbox
+
+	// faults is the installed fault plan, nil when the machine is reliable.
+	faults *faultState
+
+	// termMu guards term, the cross-goroutine record of terminated
+	// processors (receivers consult it to charge dead-peer detection).
+	termMu sync.Mutex
+	term   []termInfo
+}
+
+// termInfo records one processor's termination within the current Run.
+type termInfo struct {
+	done    bool
+	clock   float64
+	crashed bool
 }
 
 // New builds a cluster of p processors with the given cost model.
@@ -23,6 +39,7 @@ func New(p int, m Machine) (*Cluster, error) {
 	c := &Cluster{machine: m}
 	c.procs = make([]*Proc, p)
 	c.boxes = make([][]*mailbox, p)
+	c.term = make([]termInfo, p)
 	for i := range c.procs {
 		c.procs[i] = &Proc{id: i, c: c}
 		c.boxes[i] = make([]*mailbox, p)
@@ -56,38 +73,149 @@ func (c *Cluster) Proc(i int) *Proc { return c.procs[i] }
 // of the per-processor errors.  Virtual clocks and statistics accumulate
 // across successive Runs on the same cluster; use Reset between independent
 // experiments.
+//
+// When a processor's body terminates — normal return, error, or panic
+// (including a scheduled *CrashError) — its outgoing mailboxes are marked
+// done: peers first drain any queued messages, then receive a
+// *DeadRankError instead of blocking forever.  Run therefore always
+// returns, with each failed rank's error in the join; panic values that
+// are errors are wrapped so errors.As sees the concrete type.
 func (c *Cluster) Run(fn func(p *Proc) error) error {
+	// A previous Run's termination flags would make this one's receivers
+	// see their peers as already dead; clear them (queues and clocks still
+	// accumulate across Runs).
+	c.termMu.Lock()
+	for i := range c.term {
+		c.term[i] = termInfo{}
+	}
+	c.termMu.Unlock()
+	for i, p := range c.procs {
+		p.crashPending = nil
+		for j := range c.boxes[i] {
+			c.boxes[i][j].clearDone()
+		}
+	}
 	errs := make([]error, len(c.procs))
 	var wg sync.WaitGroup
 	for i, p := range c.procs {
 		wg.Add(1)
 		go func(i int, p *Proc) {
 			defer wg.Done()
+			defer c.markDone(p)
 			defer func() {
 				if r := recover(); r != nil {
-					errs[i] = fmt.Errorf("cluster: proc %d panicked: %v", i, r)
+					switch v := r.(type) {
+					case error:
+						errs[i] = fmt.Errorf("cluster: proc %d: %w", i, v)
+						var ce *CrashError
+						if errors.As(v, &ce) {
+							p.crashPending = ce
+						}
+					default:
+						errs[i] = fmt.Errorf("cluster: proc %d panicked: %v", i, r)
+					}
 				}
 			}()
 			if err := fn(p); err != nil {
 				errs[i] = fmt.Errorf("cluster: proc %d: %w", i, err)
+				return
 			}
+			p.flushAllHeld()
 		}(i, p)
 	}
 	wg.Wait()
 	return errors.Join(errs...)
 }
 
-// Reset zeroes every processor's clock and statistics and drops any
-// undelivered messages.
-func (c *Cluster) Reset() {
+// markDone records the processor's termination and wakes every peer blocked
+// on one of its mailboxes.
+func (c *Cluster) markDone(p *Proc) {
+	c.termMu.Lock()
+	c.term[p.id] = termInfo{done: true, clock: p.clock, crashed: p.crashPending != nil}
+	c.termMu.Unlock()
+	for to := range c.boxes {
+		if to == p.id {
+			continue
+		}
+		c.boxes[to][p.id].markDone()
+	}
+}
+
+// termClockOf returns the virtual clock at which the rank terminated, or 0
+// if it has not.
+func (c *Cluster) termClockOf(rank int) float64 {
+	c.termMu.Lock()
+	defer c.termMu.Unlock()
+	return c.term[rank].clock
+}
+
+// CrashedRanks returns the ranks whose last Run ended in a *CrashError, in
+// ascending order.
+func (c *Cluster) CrashedRanks() []int {
+	c.termMu.Lock()
+	defer c.termMu.Unlock()
+	var out []int
+	for i, t := range c.term {
+		if t.crashed {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Revive clears the crash/termination record of one rank so a subsequent
+// Run can respawn it.  The rank's virtual clock stays where the crash left
+// it — recovery time is real time.  The fired crash entry does not re-fire.
+func (c *Cluster) Revive(rank int) {
+	c.termMu.Lock()
+	c.term[rank] = termInfo{}
+	c.termMu.Unlock()
+	c.procs[rank].crashPending = nil
+}
+
+// ResetComm clears all in-flight communication state between Runs of one
+// logical computation: queued and held messages, termination flags, and
+// reliable-layer sequence state.  Clocks, statistics, traces, and fault
+// schedules (including fired crash entries) are preserved — this is the
+// restart primitive for checkpoint recovery, not a full Reset.
+//
+// Each mailbox's generation is bumped and its waiters woken, so a receiver
+// goroutine orphaned by a previous faulted Run gives up instead of stealing
+// the next Run's messages.
+func (c *Cluster) ResetComm() {
+	c.termMu.Lock()
+	for i := range c.term {
+		c.term[i] = termInfo{}
+	}
+	c.termMu.Unlock()
 	for i, p := range c.procs {
+		p.crashPending = nil
+		p.sendSeq = nil
+		p.heldOut = nil
+		p.recvExpect = nil
+		p.recvBuf = nil
+		for j := range c.boxes[i] {
+			c.boxes[i][j].reset()
+		}
+	}
+}
+
+// Reset returns the cluster to its initial state for an independent
+// experiment: clocks, port times, statistics, traces and tracing mode,
+// communication state (including pending mailbox waiters from a faulted
+// run, which are cancelled via the mailbox generation), and any installed
+// fault plan are all cleared.
+func (c *Cluster) Reset() {
+	c.ResetComm()
+	c.faults = nil
+	for _, p := range c.procs {
 		p.clock = 0
 		p.portFree = 0
 		p.stats = Stats{}
+		p.tracing = false
 		p.trace = nil
-		for j := range c.boxes[i] {
-			c.boxes[i][j].queue = nil
-		}
+		p.clearFaultSchedule()
 	}
 }
 

@@ -14,6 +14,13 @@ type Message struct {
 	readyAt float64
 	// congestion is the pattern congestion factor (see package comment).
 	congestion float64
+	// seq is the reliable layer's per-(sender, receiver) sequence number,
+	// starting at 1; 0 marks an unsequenced (plain Send) message.
+	seq int64
+	// tomb marks a frame the fault plan corrupted in flight: it arrives so
+	// the receiver's NIC detects the loss locally, but the payload only
+	// becomes usable after a successful retransmission.
+	tomb bool
 }
 
 // mailbox is an unbounded FIFO channel between one (sender, receiver) pair.
@@ -21,10 +28,19 @@ type Message struct {
 // the virtual-time model, not channel capacity, decides when transfers
 // complete — so communication schedules that would deadlock with bounded
 // buffers (DD's unstructured scatter) still make progress.
+//
+// A mailbox can be marked done when its sender terminates (return, error,
+// panic, or scheduled crash).  Queued messages drain first; once the queue
+// is empty a done mailbox wakes blocked receivers with ok == false instead
+// of leaving them parked forever.  The gen counter invalidates waiters
+// across Reset/ResetComm so stray goroutines from an abandoned run cannot
+// consume messages of the next one.
 type mailbox struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
 	queue []Message
+	done  bool
+	gen   int
 }
 
 func newMailbox() *mailbox {
@@ -40,17 +56,45 @@ func (m *mailbox) put(msg Message) {
 	m.mu.Unlock()
 }
 
-// take blocks (the goroutine, not virtual time) until a message is present
-// and removes the head of the queue.
-func (m *mailbox) take() Message {
+// takeOrDone blocks (the goroutine, not virtual time) until a message is
+// present — removing and returning it — or until the sender is done and the
+// queue has drained, returning ok == false.  A generation change while
+// waiting also returns false: the run this waiter belonged to was reset.
+func (m *mailbox) takeOrDone() (Message, bool) {
 	m.mu.Lock()
+	defer m.mu.Unlock()
+	gen := m.gen
 	for len(m.queue) == 0 {
+		if m.done || m.gen != gen {
+			return Message{}, false
+		}
 		m.cond.Wait()
+	}
+	if m.gen != gen {
+		return Message{}, false
 	}
 	msg := m.queue[0]
 	m.queue = m.queue[1:]
-	m.mu.Unlock()
-	return msg
+	return msg, true
+}
+
+// peekOrDone blocks like takeOrDone but leaves the message queued.  With a
+// single consumer per mailbox the head cannot change between a peek and the
+// following take.
+func (m *mailbox) peekOrDone() (Message, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	gen := m.gen
+	for len(m.queue) == 0 {
+		if m.done || m.gen != gen {
+			return Message{}, false
+		}
+		m.cond.Wait()
+	}
+	if m.gen != gen {
+		return Message{}, false
+	}
+	return m.queue[0], true
 }
 
 // tryTake removes the head of the queue if one is present.
@@ -63,4 +107,30 @@ func (m *mailbox) tryTake() (Message, bool) {
 	msg := m.queue[0]
 	m.queue = m.queue[1:]
 	return msg, true
+}
+
+// markDone flags the sender as terminated and wakes every waiter.
+func (m *mailbox) markDone() {
+	m.mu.Lock()
+	m.done = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// clearDone reopens a mailbox whose sender terminated in a previous Run.
+func (m *mailbox) clearDone() {
+	m.mu.Lock()
+	m.done = false
+	m.mu.Unlock()
+}
+
+// reset empties the queue, clears the done flag, and bumps the generation
+// so waiters parked on the old run give up.
+func (m *mailbox) reset() {
+	m.mu.Lock()
+	m.queue = nil
+	m.done = false
+	m.gen++
+	m.cond.Broadcast()
+	m.mu.Unlock()
 }

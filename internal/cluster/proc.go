@@ -10,11 +10,21 @@ type Stats struct {
 	IOTime      float64
 	IdleTime    float64
 	SendTime    float64
+	// RetryTime is the virtual time spent in the reliable layer's fault
+	// handling: corrupted-frame port occupancy, retransmission backoff, and
+	// dead-peer detection.  Zero on a fault-free run.
+	RetryTime float64
 
 	BytesSent        int64
 	BytesReceived    int64
 	MessagesSent     int64
 	MessagesReceived int64
+	// MessagesRetried counts retransmission attempts, MessagesDropped the
+	// corrupted frames that triggered them, and DupsSuppressed the
+	// duplicate frames discarded by sequence number.
+	MessagesRetried int64
+	MessagesDropped int64
+	DupsSuppressed  int64
 
 	// Phases breaks ComputeTime+IOTime down by algorithm phase
 	// ("subset", "tree build", "reduction", ...).
@@ -27,10 +37,14 @@ func (s *Stats) Add(other Stats) {
 	s.IOTime += other.IOTime
 	s.IdleTime += other.IdleTime
 	s.SendTime += other.SendTime
+	s.RetryTime += other.RetryTime
 	s.BytesSent += other.BytesSent
 	s.BytesReceived += other.BytesReceived
 	s.MessagesSent += other.MessagesSent
 	s.MessagesReceived += other.MessagesReceived
+	s.MessagesRetried += other.MessagesRetried
+	s.MessagesDropped += other.MessagesDropped
+	s.DupsSuppressed += other.DupsSuppressed
 	for k, v := range other.Phases {
 		if s.Phases == nil {
 			s.Phases = make(map[string]float64)
@@ -50,6 +64,25 @@ type Proc struct {
 	stats    Stats
 	tracing  bool
 	trace    []Event
+
+	// Reliable-layer state, all owned by the processor's goroutine.
+	// sendSeq[to] is the next outgoing sequence number per destination;
+	// heldOut[to] a frame the fault plan is holding for reordering;
+	// recvExpect[from] the next expected incoming sequence number; and
+	// recvBuf[from] the early-arrival buffer, keyed by sequence number
+	// (keyed access only — never ranged, map order must not matter).
+	sendSeq    []int64
+	heldOut    []*Message
+	recvExpect []int64
+	recvBuf    []map[int64]Message
+
+	// Fault schedule (from the installed plan) and its progress.
+	crashes    []Crash
+	crashIdx   int
+	stragglers []Straggler
+	// crashPending is set by Run's recover handler before the termination
+	// broadcast so markDone records the crash.
+	crashPending *CrashError
 }
 
 // ID returns the processor's global rank in [0, P).
@@ -75,15 +108,20 @@ func (p *Proc) Stats() Stats {
 }
 
 // Compute advances the virtual clock by the given number of seconds of
-// local computation, attributed to the named phase.
+// local computation, attributed to the named phase.  An active straggler
+// entry from the fault plan multiplies the charge.
 func (p *Proc) Compute(seconds float64, phase string) {
 	if seconds <= 0 {
 		return
+	}
+	if f := p.straggleFactor(); f > 1 {
+		seconds *= f
 	}
 	p.clock += seconds
 	p.stats.ComputeTime += seconds
 	p.addPhase(phase, seconds)
 	p.record(EvCompute, phase, p.clock-seconds, p.clock, -1, 0)
+	p.checkCrash()
 }
 
 // ReadIO charges the time to read the given number of bytes from disk.
@@ -97,6 +135,7 @@ func (p *Proc) ReadIO(bytes int64, phase string) {
 	p.stats.IOTime += seconds
 	p.addPhase(phase, seconds)
 	p.record(EvIO, phase, p.clock-seconds, p.clock, -1, int(bytes))
+	p.checkCrash()
 }
 
 func (p *Proc) addPhase(phase string, seconds float64) {
@@ -113,7 +152,8 @@ func (p *Proc) addPhase(phase string, seconds float64) {
 // *structured* communication pattern (congestion factor 1): neighbor
 // shifts, tree exchanges, ring all-gathers.
 func (p *Proc) Send(to int, tag string, payload any, bytes int) {
-	p.send(to, tag, payload, bytes, 1)
+	msg := p.prepSend(to, tag, payload, bytes, 1)
+	p.c.boxes[to][p.id].put(msg)
 }
 
 // SendContended posts a message belonging to an *unstructured* pattern.
@@ -121,7 +161,8 @@ func (p *Proc) Send(to int, tag string, payload any, bytes int) {
 // distance between sender and receiver — multiplies the transfer occupancy
 // at the receiver, modeling the shared-link contention of Section III-B.
 func (p *Proc) SendContended(to int, tag string, payload any, bytes int, congestion float64) {
-	p.send(to, tag, payload, bytes, congestion)
+	msg := p.prepSend(to, tag, payload, bytes, congestion)
+	p.c.boxes[to][p.id].put(msg)
 }
 
 // SendBlocking posts a message through a *synchronous* send: the sender's
@@ -135,16 +176,20 @@ func (p *Proc) SendBlocking(to int, tag string, payload any, bytes int, congesti
 	t := p.c.machine.transferTime(bytes, congestion)
 	p.clock += t
 	p.stats.SendTime += t
-	p.send(to, tag, payload, bytes, congestion)
+	msg := p.prepSend(to, tag, payload, bytes, congestion)
+	p.c.boxes[to][p.id].put(msg)
 }
 
-func (p *Proc) send(to int, tag string, payload any, bytes int, congestion float64) {
+// prepSend validates the destination, charges the sender's side of the
+// transfer, and returns the constructed message (not yet delivered).
+func (p *Proc) prepSend(to int, tag string, payload any, bytes int, congestion float64) Message {
 	if to < 0 || to >= p.P() {
-		panic(fmt.Sprintf("cluster: proc %d sending to invalid rank %d", p.id, to))
+		panic(&SendError{Rank: p.id, To: to, Tag: tag, Self: false})
 	}
 	if to == p.id {
-		panic(fmt.Sprintf("cluster: proc %d sending to itself (tag %q)", p.id, tag))
+		panic(&SendError{Rank: p.id, To: to, Tag: tag, Self: true})
 	}
+	p.checkCrash()
 	m := p.c.machine
 	sendStart := p.clock
 	// The sender's CPU is busy for the message startup.
@@ -163,22 +208,29 @@ func (p *Proc) send(to int, tag string, payload any, bytes int, congestion float
 	p.stats.BytesSent += int64(bytes)
 	p.stats.MessagesSent++
 	p.record(EvSend, tag, sendStart, p.clock, to, bytes)
-	p.c.boxes[to][p.id].put(msg)
+	return msg
 }
 
 // Recv receives the next message from the given sender, blocking the
 // goroutine until one is available, and advances virtual time to the
-// transfer's completion.  The tag must match the sender's; a mismatch is a
-// protocol bug in the calling algorithm and panics.
+// transfer's completion.  If the sender terminates (return, error, or
+// crash) with no message queued, Recv panics a *DeadRankError, which
+// Cluster.Run surfaces as that rank's error — a protocol imbalance or a
+// peer failure no longer deadlocks the run.  A tag mismatch likewise panics
+// a *TagMismatchError.
 //
 // With Overlap hardware, time already spent computing since the message
 // became available overlaps the transfer (the MPI_Irecv / compute /
 // MPI_Waitall pattern of Figure 6).  The receive port serializes
 // concurrent arrivals either way.
 func (p *Proc) Recv(from int, tag string) Message {
-	msg := p.c.boxes[p.id][from].take()
+	p.flushAllHeld()
+	msg, ok := p.c.boxes[p.id][from].takeOrDone()
+	if !ok {
+		p.panicDeadPeer(from, tag, false)
+	}
 	if msg.Tag != tag {
-		panic(fmt.Sprintf("cluster: proc %d expected tag %q from %d, got %q", p.id, tag, from, msg.Tag))
+		panic(&TagMismatchError{Rank: p.id, From: from, Want: tag, Got: msg.Tag})
 	}
 	p.completeRecv(msg)
 	return msg
@@ -187,11 +239,65 @@ func (p *Proc) Recv(from int, tag string) Message {
 // RecvAny receives the next message from the given sender whatever its tag.
 // For protocols that multiplex several message kinds on one stream (HPA's
 // candidate pages terminated by a sentinel); the caller dispatches on
-// Message.Tag itself.
+// Message.Tag itself.  Like Recv it panics a *DeadRankError when the sender
+// terminated with nothing queued.
 func (p *Proc) RecvAny(from int) Message {
-	msg := p.c.boxes[p.id][from].take()
+	p.flushAllHeld()
+	msg, ok := p.c.boxes[p.id][from].takeOrDone()
+	if !ok {
+		p.panicDeadPeer(from, "<any>", false)
+	}
 	p.completeRecv(msg)
 	return msg
+}
+
+// RecvTimeout receives like Recv but gives up at a virtual-time deadline of
+// Clock() + timeout.  It returns ok == false — with the clock advanced to
+// the deadline, the wait charged as idle time — when the sender terminated
+// with nothing queued, or when the next message's transfer would complete
+// after the deadline (the message stays queued for a later receive).  A
+// tag mismatch on a message that is consumed still panics a
+// *TagMismatchError.
+//
+// The deadline is virtual: the goroutine still blocks until a message
+// arrives or the sender terminates, because only one of those events can
+// reveal what the virtual timeline contains.  Determinism is preserved —
+// the outcome depends on virtual clocks alone, never on scheduling.
+func (p *Proc) RecvTimeout(from int, tag string, timeout float64) (Message, bool) {
+	p.flushAllHeld()
+	deadline := p.clock + timeout
+	box := p.c.boxes[p.id][from]
+	msg, ok := box.peekOrDone()
+	if !ok {
+		p.SyncClock(deadline)
+		return Message{}, false
+	}
+	if p.recvCompletion(msg) > deadline {
+		p.SyncClock(deadline)
+		return Message{}, false
+	}
+	// Single consumer per mailbox: the peeked head is still the head.
+	msg, _ = box.tryTake()
+	if msg.Tag != tag {
+		panic(&TagMismatchError{Rank: p.id, From: from, Want: tag, Got: msg.Tag})
+	}
+	p.completeRecv(msg)
+	return msg, true
+}
+
+// recvCompletion returns the virtual time at which the message's transfer
+// would complete for this receiver, without consuming anything.
+func (p *Proc) recvCompletion(msg Message) float64 {
+	m := p.c.machine
+	t := m.transferTime(msg.Bytes, msg.congestion)
+	start := msg.readyAt
+	if !m.Overlap && p.clock > start {
+		start = p.clock
+	}
+	if p.portFree > start {
+		start = p.portFree
+	}
+	return start + t
 }
 
 func (p *Proc) completeRecv(msg Message) {
@@ -228,6 +334,7 @@ func (p *Proc) completeRecv(msg Message) {
 	}
 	p.stats.BytesReceived += int64(msg.Bytes)
 	p.stats.MessagesReceived++
+	p.checkCrash()
 }
 
 // SyncClock advances the processor's clock to at least t, recording the
@@ -238,4 +345,21 @@ func (p *Proc) SyncClock(t float64) {
 		p.record(EvIdle, "sync", p.clock, t, -1, 0)
 		p.clock = t
 	}
+	p.checkCrash()
+}
+
+// SendError reports a send to an invalid destination (out of range or
+// self).  It panics at the call site — a structural bug in the calling
+// algorithm — and Cluster.Run converts it into that rank's error.
+type SendError struct {
+	Rank, To int
+	Tag      string
+	Self     bool
+}
+
+func (e *SendError) Error() string {
+	if e.Self {
+		return fmt.Sprintf("cluster: proc %d sending to itself (tag %q)", e.Rank, e.Tag)
+	}
+	return fmt.Sprintf("cluster: proc %d sending to invalid rank %d", e.Rank, e.To)
 }

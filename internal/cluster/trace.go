@@ -27,6 +27,11 @@ const (
 	EvIO      EventKind = 'f'
 	EvSend    EventKind = 's'
 	EvIdle    EventKind = 'w'
+	// EvRetry marks reliable-layer retransmission backoff (and dead-peer
+	// detection); EvDrop the port occupancy of a corrupted or duplicate
+	// frame the NIC discarded.
+	EvRetry EventKind = 'r'
+	EvDrop  EventKind = 'x'
 )
 
 // EnableTrace turns on event recording for subsequent Runs.  Tracing is off
@@ -65,7 +70,8 @@ func (p *Proc) record(kind EventKind, phase string, start, end float64, peer, by
 
 // WriteTimeline renders the events as a text Gantt chart: one row per
 // processor, `width` columns spanning [0, horizon] of virtual time, with
-// compute as '#', sends as '>', disk I/O as 'o' and idle waits as '.'.
+// compute as '#', sends as '>', disk I/O as 'o', idle waits as '.',
+// retry backoff as 'r' and discarded frames as 'x'.
 // Later-starting events win ties for a cell, which makes waits visible at
 // the tail of each pass.
 func WriteTimeline(w io.Writer, events []Event, procs int, width int) error {
@@ -86,7 +92,7 @@ func WriteTimeline(w io.Writer, events []Event, procs int, width int) error {
 	for i := range rows {
 		rows[i] = []byte(strings.Repeat(" ", width))
 	}
-	glyph := map[EventKind]byte{EvCompute: '#', EvSend: '>', EvIO: 'o', EvIdle: '.'}
+	glyph := map[EventKind]byte{EvCompute: '#', EvSend: '>', EvIO: 'o', EvIdle: '.', EvRetry: 'r', EvDrop: 'x'}
 	for _, e := range events {
 		if e.Proc < 0 || e.Proc >= procs {
 			continue

@@ -85,6 +85,15 @@ type Params struct {
 	// cluster.WriteTimeline.  Off by default: big runs generate an event
 	// per message.
 	Trace bool
+	// Faults installs a deterministic fault plan on the emulated cluster
+	// and turns on fault-tolerant execution: pass-level checkpointing,
+	// crash recovery via coordinated rollback, and graceful degradation to
+	// the surviving processors when a rank is permanently lost.  Only the
+	// grid formulations (CD, IDD, HD) support it.
+	Faults *cluster.FaultPlan
+	// MaxRestarts bounds the recovery attempts before Mine gives up and
+	// returns the last failure.  Defaults to 8.
+	MaxRestarts int
 }
 
 func (p Params) withDefaults() Params {
@@ -100,6 +109,9 @@ func (p Params) withDefaults() Params {
 	if p.P <= 0 {
 		p.P = 1
 	}
+	if p.MaxRestarts <= 0 {
+		p.MaxRestarts = 8
+	}
 	return p
 }
 
@@ -114,6 +126,13 @@ func (p Params) validate() error {
 	}
 	if p.FixedG > 0 && p.P%p.FixedG != 0 {
 		return fmt.Errorf("core: FixedG %d does not divide P %d", p.FixedG, p.P)
+	}
+	if p.Faults != nil {
+		switch p.Algo {
+		case CD, IDD, HD:
+		default:
+			return fmt.Errorf("core: fault-tolerant execution supports cd, idd and hd, not %q", p.Algo)
+		}
 	}
 	return nil
 }
@@ -168,6 +187,11 @@ type Report struct {
 	Wall time.Duration
 	// Trace holds the virtual-time event log when Params.Trace was set.
 	Trace []cluster.Event
+	// Restarts is the number of recovery rollbacks a fault-tolerant run
+	// performed; LostRanks the processors permanently removed from the
+	// computation (declared dead or crashed with Crash.Permanent).
+	Restarts  int
+	LostRanks []int
 }
 
 // AvgLeafVisitsPerTxn returns the run-wide average number of distinct hash
@@ -186,16 +210,19 @@ func (r *Report) AvgLeafVisitsPerTxn() float64 {
 // the runtime at 64 processors".  Idle and communication time appear under
 // the pseudo-phases "idle" and "comm".  Shares sum to ~1.
 func (r *Report) PhaseBreakdown() map[string]float64 {
-	total := r.Total.ComputeTime + r.Total.IOTime + r.Total.SendTime + r.Total.IdleTime
+	total := r.Total.ComputeTime + r.Total.IOTime + r.Total.SendTime + r.Total.IdleTime + r.Total.RetryTime
 	if total <= 0 {
 		return nil
 	}
-	out := make(map[string]float64, len(r.Total.Phases)+2)
+	out := make(map[string]float64, len(r.Total.Phases)+3)
 	for name, seconds := range r.Total.Phases {
 		out[name] = seconds / total
 	}
 	out["comm"] = r.Total.SendTime / total
 	out["idle"] = r.Total.IdleTime / total
+	if r.Total.RetryTime > 0 {
+		out["retry"] = r.Total.RetryTime / total
+	}
 	return out
 }
 
@@ -216,17 +243,30 @@ func Mine(data *itemset.Dataset, prm Params) (*Report, error) {
 	if prm.Trace {
 		cl.EnableTrace()
 	}
+	if err := cl.InstallFaults(prm.Faults); err != nil {
+		return nil, err
+	}
 	shards := data.Split(prm.P)
 
-	run := &run{
-		prm:      prm,
-		cl:       cl,
-		world:    cl.World(),
-		data:     data,
-		shards:   shards,
-		minCount: prm.Apriori.MinCount(data.Len()),
-		perProc:  make([]procTrace, prm.P),
+	active := make([]int, prm.P)
+	owned := make([][]int, prm.P)
+	for i := range active {
+		active[i] = i
+		owned[i] = []int{i}
 	}
+	run := &run{
+		prm:         prm,
+		cl:          cl,
+		world:       cl.World(),
+		data:        data,
+		shards:      shards,
+		minCount:    prm.Apriori.MinCount(data.Len()),
+		perProc:     make([]procTrace, prm.P),
+		active:      active,
+		ownedShards: owned,
+		restartWant: make([]bool, prm.P),
+	}
+	run.rebuildVRank()
 
 	var body func(p *cluster.Proc) error
 	switch prm.Algo {
@@ -237,7 +277,11 @@ func Mine(data *itemset.Dataset, prm Params) (*Report, error) {
 	case HPA:
 		body = run.hpaBody
 	}
-	if err := cl.Run(body); err != nil {
+	if prm.Faults != nil {
+		if err := run.mineWithRecovery(body); err != nil {
+			return nil, err
+		}
+	} else if err := cl.Run(body); err != nil {
 		return nil, err
 	}
 
@@ -251,6 +295,8 @@ func Mine(data *itemset.Dataset, prm Params) (*Report, error) {
 		Clocks:       cl.Clocks(),
 		Total:        cl.TotalStats(),
 		Wall:         time.Since(start), //checkinv:allow walltime — pairs with the Wall stat's time.Now above
+		Restarts:     run.restarts,
+		LostRanks:    append([]int(nil), run.lost...),
 	}
 	if prm.Trace {
 		rep.Trace = cl.Trace()
@@ -259,8 +305,9 @@ func Mine(data *itemset.Dataset, prm Params) (*Report, error) {
 }
 
 // run carries the state shared by the P SPMD goroutines of one mining run.
-// Each processor writes only its own perProc slot; global frequent levels
-// are identical on every processor, so slot 0's copy is authoritative.
+// Each processor writes only its own perProc slot (and its own restartWant
+// flag); global frequent levels are identical on every processor, so the
+// first active rank's copy is authoritative.
 type run struct {
 	prm      Params
 	cl       *cluster.Cluster
@@ -269,6 +316,53 @@ type run struct {
 	shards   []*itemset.Dataset
 	minCount int64
 	perProc  []procTrace
+
+	// active lists the global ranks still participating, in ascending
+	// order; vrank inverts it (-1 for removed ranks).  The grid engine
+	// shapes its G×cols grid over len(active) virtual ranks, so a degraded
+	// run is simply a smaller grid.
+	active []int
+	vrank  []int
+	// ownedShards[rank] are the data shards rank counts: its own, plus any
+	// adopted from permanently lost ring predecessors.
+	ownedShards [][]int
+	// restartWant[rank] tells the rank to charge a checkpoint restore when
+	// its body re-enters after a rollback.  Each goroutine touches only its
+	// own slot.
+	restartWant []bool
+	restarts    int
+	lost        []int
+}
+
+// np returns the number of participating processors — the "P" the grid is
+// shaped over.  Falls back to prm.P when the active list is not
+// initialized (unit tests construct run directly).
+func (r *run) np() int {
+	if len(r.active) > 0 {
+		return len(r.active)
+	}
+	return r.prm.P
+}
+
+// ownedShardsOf returns the shard indices the rank counts, falling back to
+// the identity assignment when the ownership table is not initialized
+// (unit tests construct run directly).
+func (r *run) ownedShardsOf(rank int) []int {
+	if r.ownedShards == nil {
+		return []int{rank}
+	}
+	return r.ownedShards[rank]
+}
+
+// rebuildVRank recomputes the global-rank → virtual-rank map from active.
+func (r *run) rebuildVRank() {
+	r.vrank = make([]int, r.prm.P)
+	for i := range r.vrank {
+		r.vrank[i] = -1
+	}
+	for v, g := range r.active {
+		r.vrank[g] = v
+	}
 }
 
 // procTrace is one processor's private record of the run.
@@ -294,11 +388,21 @@ type passLocal struct {
 	candImbalance float64
 }
 
-// assembleResult builds the apriori.Result from processor 0's levels.
+// firstActive returns the lowest participating global rank, whose copy of
+// the (globally identical) frequent levels is authoritative.
+func (r *run) firstActive() int {
+	if len(r.active) > 0 {
+		return r.active[0]
+	}
+	return 0
+}
+
+// assembleResult builds the apriori.Result from the first active
+// processor's levels.
 func (r *run) assembleResult() *apriori.Result {
 	res := &apriori.Result{N: r.data.Len(), MinCount: r.minCount}
-	res.Levels = r.perProc[0].levels
-	for _, pl := range r.perProc[0].passes {
+	res.Levels = r.perProc[r.firstActive()].levels
+	for _, pl := range r.perProc[r.firstActive()].passes {
 		res.Passes = append(res.Passes, apriori.PassStats{
 			K:          pl.k,
 			Candidates: pl.candidates,
@@ -310,12 +414,21 @@ func (r *run) assembleResult() *apriori.Result {
 	return res
 }
 
-// assemblePasses merges the per-processor pass records into PassReports.
+// assemblePasses merges the active processors' pass records into
+// PassReports.  Ranks lost to permanent faults are excluded: their
+// truncated records describe work the recovered computation redid.
 func (r *run) assemblePasses() []PassReport {
-	nPasses := len(r.perProc[0].passes)
+	members := r.active
+	if len(members) == 0 {
+		members = make([]int, r.prm.P)
+		for i := range members {
+			members[i] = i
+		}
+	}
+	nPasses := len(r.perProc[r.firstActive()].passes)
 	out := make([]PassReport, nPasses)
 	for k := 0; k < nPasses; k++ {
-		ref := r.perProc[0].passes[k]
+		ref := r.perProc[r.firstActive()].passes[k]
 		pr := PassReport{
 			K:             ref.k,
 			Candidates:    ref.candidates,
@@ -327,7 +440,7 @@ func (r *run) assemblePasses() []PassReport {
 		}
 		var times []float64
 		var maxEnd, maxStart float64
-		for pi := range r.perProc {
+		for _, pi := range members {
 			pl := r.perProc[pi].passes[k]
 			pr.Tree.Add(pl.tree)
 			pr.BytesMoved += pl.bytesMoved

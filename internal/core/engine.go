@@ -25,12 +25,30 @@ import (
 // G = 1 is exactly CD (full tree everywhere, reduction over all P), G = P
 // is exactly IDD (P-way candidate partition, ring over all P).  HD picks G
 // per pass from the candidate count (Table II).
+//
+// Under fault-tolerant execution the grid is shaped over the *active*
+// processors (virtual ranks into run.active) rather than all P, and a body
+// re-entered after a rollback resumes from its checkpoint: the last level
+// every survivor completed.  Ranks outside the active set return
+// immediately.
 func (r *run) gridBody(p *cluster.Proc) error {
+	vr := r.vrank[p.ID()]
+	if vr < 0 {
+		return nil
+	}
+	np := r.np()
 	tr := &r.perProc[p.ID()]
-	prev := r.firstPass(p, tr)
-	tr.levels = append(tr.levels, prev)
+	r.chargeRestore(p, tr)
+	var prev []apriori.Frequent
+	if len(tr.levels) == 0 {
+		prev = r.firstPass(p, tr)
+		tr.levels = append(tr.levels, prev)
+		r.checkpoint(p, prev)
+	} else {
+		prev = tr.levels[len(tr.levels)-1]
+	}
 
-	for k := 2; len(prev) > 0; k++ {
+	for k := len(tr.levels) + 1; len(prev) > 0; k++ {
 		if r.prm.Apriori.MaxPasses > 0 && k > r.prm.Apriori.MaxPasses {
 			break
 		}
@@ -43,8 +61,8 @@ func (r *run) gridBody(p *cluster.Proc) error {
 		}
 
 		g := r.chooseG(len(cands))
-		cols := r.prm.P / g
-		row, col := p.ID()/cols, p.ID()%cols
+		cols := np / g
+		row, col := vr/cols, vr%cols
 		rowComm, colComm := r.gridComms(row, col, g, cols)
 
 		// Partition candidates among the rows.  Every processor runs the
@@ -83,8 +101,7 @@ func (r *run) gridBody(p *cluster.Proc) error {
 		var passTree hashtree.Stats
 		var bytesMoved int64
 		var frequentLocal []apriori.Frequent
-		shard := r.shards[p.ID()]
-		pages := shard.Pages(r.prm.PageBytes)
+		pages, shardBytes := r.ownedPages(p.ID())
 
 		// Every processor joins every part's ring shift and reduction even
 		// if its own candidate share is empty (a row can receive zero
@@ -124,7 +141,7 @@ func (r *run) gridBody(p *cluster.Proc) error {
 				}
 			}
 
-			p.ReadIO(int64(shard.Bytes()), "io")
+			p.ReadIO(shardBytes, "io")
 			bytesMoved += ringCount(p, colComm, fmt.Sprintf("k%d.p%d/ring", k, part), pages, process)
 
 			counts := tree.Counts()
@@ -159,49 +176,83 @@ func (r *run) gridBody(p *cluster.Proc) error {
 			candImbalance: candImbalance,
 		})
 		tr.levels = append(tr.levels, level)
+		r.checkpoint(p, level)
 		prev = level
 	}
 	return nil
 }
 
+// ownedPages concatenates the pages of every shard the rank owns (its own
+// plus any adopted from lost ranks) and returns them with the total byte
+// size, in deterministic shard order.
+func (r *run) ownedPages(rank int) ([][]itemset.Transaction, int64) {
+	if r.ownedShards == nil {
+		sh := r.shards[rank]
+		return sh.Pages(r.prm.PageBytes), int64(sh.Bytes())
+	}
+	var pages [][]itemset.Transaction
+	var bytes int64
+	for _, si := range r.ownedShards[rank] {
+		sh := r.shards[si]
+		pages = append(pages, sh.Pages(r.prm.PageBytes)...)
+		bytes += int64(sh.Bytes())
+	}
+	return pages, bytes
+}
+
 // chooseG picks the number of candidate partitions (grid rows) for a pass
-// with m candidates.  CD always uses 1, IDD always uses P; HD uses the
-// pinned FixedG or the smallest divisor of P no smaller than ⌈m/threshold⌉
-// so every row keeps at least `threshold` candidates (Table II's dynamic
-// configurations).
+// with m candidates.  CD always uses 1, IDD always uses the active
+// processor count; HD uses the pinned FixedG or the smallest divisor of
+// the active count no smaller than ⌈m/threshold⌉ so every row keeps at
+// least `threshold` candidates (Table II's dynamic configurations).
+//
+// The grid is shaped over np() — after graceful degradation a pinned
+// FixedG that no longer divides the survivor count is rounded down to the
+// largest divisor that does.
 func (r *run) chooseG(m int) int {
+	np := r.np()
 	switch r.prm.Algo {
 	case CD:
 		return 1
 	case IDD:
-		return r.prm.P
+		return np
 	default: // HD
 		if r.prm.FixedG > 0 {
-			return r.prm.FixedG
+			g := r.prm.FixedG
+			if g > np {
+				g = np
+			}
+			for ; g > 1; g-- {
+				if np%g == 0 {
+					break
+				}
+			}
+			return g
 		}
 		need := (m + r.prm.HDThreshold - 1) / r.prm.HDThreshold
 		if need <= 1 {
 			return 1
 		}
-		for g := need; g < r.prm.P; g++ {
-			if r.prm.P%g == 0 {
+		for g := need; g < np; g++ {
+			if np%g == 0 {
 				return g
 			}
 		}
-		return r.prm.P
+		return np
 	}
 }
 
 // gridComms builds this processor's row and column communicators for a
-// G×cols grid.  Processor (row, col) has global rank row*cols + col.
+// G×cols grid.  Processor (row, col) has *virtual* rank row*cols + col;
+// members are mapped through the active set to global ranks.
 func (r *run) gridComms(row, col, g, cols int) (rowComm, colComm *cluster.Comm) {
 	rowMembers := make([]int, cols)
 	for c := 0; c < cols; c++ {
-		rowMembers[c] = row*cols + c
+		rowMembers[c] = r.active[row*cols+c]
 	}
 	colMembers := make([]int, g)
 	for rr := 0; rr < g; rr++ {
-		colMembers[rr] = rr*cols + col
+		colMembers[rr] = r.active[rr*cols+col]
 	}
 	rowComm, err := cluster.NewComm(r.cl, rowMembers)
 	if err != nil {
@@ -254,10 +305,10 @@ func ringCount(p *cluster.Proc, cm *cluster.Comm, tag string, pages [][]itemset.
 		}
 		for s := 0; s < size-1; s++ {
 			b := pageBytesOf(cur)
-			p.Send(cm.Member(right), tag, cur, b)
+			p.SendReliable(cm.Member(right), tag, cur, b)
 			sent += int64(b)
 			process(cur)
-			msg := p.Recv(cm.Member(left), tag)
+			msg := p.RecvReliable(cm.Member(left), tag)
 			cur = msg.Payload.([]itemset.Transaction)
 		}
 		process(cur)

@@ -13,18 +13,21 @@ import (
 // global reduction sums the per-item counts (there is no hash tree for
 // k = 1).  Every processor returns the identical, item-ordered F1.
 func (r *run) firstPass(p *cluster.Proc, tr *procTrace) []apriori.Frequent {
-	shard := r.shards[p.ID()]
 	start := p.Clock()
 
 	counts := make([]int64, r.data.NumItems)
-	var items int64
-	for _, t := range shard.Transactions {
-		for _, it := range t.Items {
-			counts[it]++
+	var items, shardBytes int64
+	for _, si := range r.ownedShardsOf(p.ID()) {
+		shard := r.shards[si]
+		for _, t := range shard.Transactions {
+			for _, it := range t.Items {
+				counts[it]++
+			}
+			items += int64(len(t.Items))
 		}
-		items += int64(len(t.Items))
+		shardBytes += int64(shard.Bytes())
 	}
-	p.ReadIO(int64(shard.Bytes()), "io")
+	p.ReadIO(shardBytes, "io")
 	chargeScan(p, items, "scan")
 	countStart := p.Clock()
 
@@ -41,7 +44,7 @@ func (r *run) firstPass(p *cluster.Proc, tr *procTrace) []apriori.Frequent {
 		candidates: r.data.NumItems,
 		frequent:   len(f1),
 		gridRows:   1,
-		gridCols:   p.P(),
+		gridCols:   r.np(),
 		treeParts:  1,
 		countTime:  countStart - start,
 		clockStart: start,

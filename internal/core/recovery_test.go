@@ -1,0 +1,175 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"parapriori/internal/apriori"
+	"parapriori/internal/cluster"
+)
+
+// crashPlan schedules one transient crash early enough to interrupt the
+// mining (the fast T3E run finishes in well under a virtual second).
+func crashPlan(rank int, at float64) *cluster.FaultPlan {
+	return &cluster.FaultPlan{Seed: 1, Crashes: []cluster.Crash{{Rank: rank, At: at}}}
+}
+
+func mineFaulty(t *testing.T, algo Algorithm, p int, plan *cluster.FaultPlan) *Report {
+	t.Helper()
+	d := testData(t)
+	rep, err := Mine(d, Params{
+		Algo:    algo,
+		P:       p,
+		Apriori: apriori.Params{MinSupport: 0.02},
+		Faults:  plan,
+	})
+	if err != nil {
+		t.Fatalf("%s P=%d under faults: %v", algo, p, err)
+	}
+	return rep
+}
+
+// TestCrashRecoveryMatchesSerial is the acceptance criterion: a crash plus
+// recovery run for each grid formulation still mines exactly the serial
+// algorithm's frequent itemsets.
+func TestCrashRecoveryMatchesSerial(t *testing.T) {
+	d := testData(t)
+	want := serialResult(t, d, 0.02)
+	for _, algo := range []Algorithm{CD, IDD, HD} {
+		t.Run(string(algo), func(t *testing.T) {
+			rep := mineFaulty(t, algo, 4, crashPlan(2, 10e-3))
+			if rep.Restarts == 0 {
+				t.Fatalf("crash did not trigger a recovery (restarts = 0); schedule the crash earlier")
+			}
+			assertSameFrequent(t, want, rep)
+			if len(rep.LostRanks) != 0 {
+				t.Errorf("transient crash lost ranks %v", rep.LostRanks)
+			}
+		})
+	}
+}
+
+// TestPermanentCrashDegrades checks graceful degradation: a permanently
+// crashed rank is removed, its shards adopted, and the result still exact.
+func TestPermanentCrashDegrades(t *testing.T) {
+	d := testData(t)
+	want := serialResult(t, d, 0.02)
+	for _, algo := range []Algorithm{CD, IDD, HD} {
+		t.Run(string(algo), func(t *testing.T) {
+			plan := &cluster.FaultPlan{Seed: 2, Crashes: []cluster.Crash{{Rank: 1, At: 10e-3, Permanent: true}}}
+			rep := mineFaulty(t, algo, 4, plan)
+			if rep.Restarts == 0 {
+				t.Fatalf("crash did not trigger a recovery")
+			}
+			if len(rep.LostRanks) != 1 || rep.LostRanks[0] != 1 {
+				t.Fatalf("LostRanks = %v, want [1]", rep.LostRanks)
+			}
+			assertSameFrequent(t, want, rep)
+		})
+	}
+}
+
+// TestLossyRunMatchesSerial drives a full mining run through message-level
+// faults (no crashes): retries and reordering must be invisible in the
+// result and visible in the stats.
+func TestLossyRunMatchesSerial(t *testing.T) {
+	d := testData(t)
+	want := serialResult(t, d, 0.02)
+	plan := &cluster.FaultPlan{Seed: 3, Drop: 0.05, Dup: 0.05, Reorder: 0.05}
+	for _, algo := range []Algorithm{CD, IDD, HD} {
+		t.Run(string(algo), func(t *testing.T) {
+			rep := mineFaulty(t, algo, 4, plan)
+			assertSameFrequent(t, want, rep)
+			if rep.Total.MessagesDropped == 0 || rep.Total.RetryTime <= 0 {
+				t.Errorf("lossy plan produced no retry accounting: %+v", rep.Total)
+			}
+			if breakdown := rep.PhaseBreakdown(); breakdown["retry"] <= 0 {
+				t.Errorf("PhaseBreakdown missing retry share: %v", breakdown)
+			}
+		})
+	}
+}
+
+// TestFaultDeterminism: two runs with the same seed, plan and workload must
+// be bit-identical — itemsets, stats, and virtual clocks.
+func TestFaultDeterminism(t *testing.T) {
+	plan := &cluster.FaultPlan{
+		Seed: 4, Drop: 0.04, Dup: 0.04, Reorder: 0.04, Delay: 0.04, DelaySeconds: 1e-4,
+		Crashes:    []cluster.Crash{{Rank: 1, At: 15e-3}},
+		Stragglers: []cluster.Straggler{{Rank: 2, At: 5e-3, Factor: 2}},
+	}
+	for _, algo := range []Algorithm{CD, IDD, HD} {
+		t.Run(string(algo), func(t *testing.T) {
+			a := mineFaulty(t, algo, 4, plan)
+			b := mineFaulty(t, algo, 4, plan)
+			if a.ResponseTime != b.ResponseTime {
+				t.Errorf("response time differs: %v vs %v", a.ResponseTime, b.ResponseTime)
+			}
+			if !reflect.DeepEqual(a.Clocks, b.Clocks) {
+				t.Errorf("clocks differ:\n%v\n%v", a.Clocks, b.Clocks)
+			}
+			if !reflect.DeepEqual(a.Total, b.Total) {
+				t.Errorf("stats differ:\n%+v\n%+v", a.Total, b.Total)
+			}
+			if a.Restarts != b.Restarts {
+				t.Errorf("restarts differ: %d vs %d", a.Restarts, b.Restarts)
+			}
+			aw, bw := a.Result.All(), b.Result.All()
+			if len(aw) != len(bw) {
+				t.Fatalf("itemset counts differ: %d vs %d", len(aw), len(bw))
+			}
+			for i := range aw {
+				if !aw[i].Items.Equal(bw[i].Items) || aw[i].Count != bw[i].Count {
+					t.Fatalf("itemset %d differs", i)
+				}
+			}
+		})
+	}
+}
+
+// TestStragglerAddsOverhead: a slowed processor must raise the response
+// time of an otherwise fault-free run.
+func TestStragglerAddsOverhead(t *testing.T) {
+	d := testData(t)
+	base, err := Mine(d, Params{Algo: CD, P: 4, Apriori: apriori.Params{MinSupport: 0.02}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := mineFaulty(t, CD, 4, &cluster.FaultPlan{
+		Stragglers: []cluster.Straggler{{Rank: 0, At: 0, Factor: 4}},
+	})
+	if !(slow.ResponseTime > base.ResponseTime) {
+		t.Errorf("straggler response %v not above baseline %v", slow.ResponseTime, base.ResponseTime)
+	}
+	assertSameFrequent(t, serialResult(t, d, 0.02), slow)
+}
+
+// TestFaultsRejectedForDD: the non-grid formulations must refuse a plan.
+func TestFaultsRejectedForDD(t *testing.T) {
+	d := testData(t)
+	for _, algo := range []Algorithm{DD, DDComm, HPA} {
+		_, err := Mine(d, Params{
+			Algo:    algo,
+			P:       4,
+			Apriori: apriori.Params{MinSupport: 0.02},
+			Faults:  &cluster.FaultPlan{Drop: 0.1},
+		})
+		if err == nil {
+			t.Errorf("%s accepted a fault plan", algo)
+		}
+	}
+}
+
+// TestRecoveryGivesUp: an unrecoverable plan (every rank permanently
+// crashing) must return an error rather than loop.
+func TestRecoveryGivesUp(t *testing.T) {
+	d := testData(t)
+	plan := &cluster.FaultPlan{Crashes: []cluster.Crash{
+		{Rank: 0, At: 1e-3, Permanent: true},
+		{Rank: 1, At: 1e-3, Permanent: true},
+	}}
+	_, err := Mine(d, Params{Algo: CD, P: 2, Apriori: apriori.Params{MinSupport: 0.02}, Faults: plan})
+	if err == nil {
+		t.Fatal("expected an error when every rank is lost")
+	}
+}

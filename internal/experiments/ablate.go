@@ -24,7 +24,7 @@ import (
 func Ablate(c Config) (*Result, error) {
 	c = c.withDefaults()
 	n := c.scaled(8000)
-	const p = 16
+	p := c.procs(16)
 	minsup := 24.0 / float64(n)
 
 	data, err := mustGen(baseGen(c, n))

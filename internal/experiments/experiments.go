@@ -30,6 +30,14 @@ type Config struct {
 	Scale float64
 	// Quick trims the processor sweeps to their endpoints, for tests.
 	Quick bool
+	// MaxP, if positive, drops processor-sweep entries above it before
+	// Quick trimming.  The -race -short CI job uses it to keep the
+	// emulated machines small: race instrumentation makes the large-P
+	// endpoints (64, 128 goroutines) the dominant cost.  Note that
+	// shrinking Scale instead is counterproductive at the low end — near
+	// the 100-transaction floor the support threshold rounds down to a
+	// count of 1 and the candidate sets explode.
+	MaxP int
 	// Seed seeds the synthetic workload generator.
 	Seed int64
 }
@@ -53,12 +61,33 @@ func (c Config) scaled(n int) int {
 	return v
 }
 
-// sweep returns the full processor sweep, or its endpoints under Quick.
+// sweep returns the processor sweep: entries above MaxP are dropped (at
+// least one survives), then Quick keeps only the endpoints.
 func (c Config) sweep(ps []int) []int {
+	if c.MaxP > 0 {
+		var kept []int
+		for _, p := range ps {
+			if p <= c.MaxP {
+				kept = append(kept, p)
+			}
+		}
+		if len(kept) == 0 {
+			kept = ps[:1]
+		}
+		ps = kept
+	}
 	if !c.Quick || len(ps) <= 2 {
 		return ps
 	}
 	return []int{ps[0], ps[len(ps)-1]}
+}
+
+// procs caps an experiment's fixed processor count by MaxP.
+func (c Config) procs(p int) int {
+	if c.MaxP > 0 && p > c.MaxP {
+		return c.MaxP
+	}
+	return p
 }
 
 // Point is one (x, y) sample of a series.
@@ -152,6 +181,7 @@ func All() []Named {
 		{"model", "Section IV cost model vs emulation", Model},
 		{"ablate", "Design ablations: G sweep, free-communication baseline, overlap", Ablate},
 		{"hpa", "HPA vs IDD vs DD communication volume (Section III-E)", HPAStudy},
+		{"faults", "Recovery overhead under loss/straggler/crash faults (CD, IDD, HD)", Faults},
 	}
 }
 

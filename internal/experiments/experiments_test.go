@@ -1,13 +1,24 @@
 package experiments
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
 
 // quickCfg keeps experiment smoke tests small: endpoint-only sweeps at a
-// tenth of the default workload.
-func quickCfg() Config { return Config{Scale: 0.15, Quick: true, Seed: 7} }
+// tenth of the default workload.  Under `go test -short` (the -race CI
+// job) the processor sweeps are additionally capped — with race
+// instrumentation the 64- and 128-goroutine machines dominate the
+// runtime.  Scale stays put: near the 100-transaction floor the support
+// threshold degenerates and candidate sets blow up.
+func quickCfg() Config {
+	c := Config{Scale: 0.15, Quick: true, Seed: 7}
+	if testing.Short() {
+		c.MaxP = 16
+	}
+	return c
+}
 
 func runNamed(t *testing.T, name string) *Result {
 	t.Helper()
@@ -26,7 +37,7 @@ func runNamed(t *testing.T, name string) *Result {
 }
 
 func TestAllRegistered(t *testing.T) {
-	want := []string{"table2", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "model", "ablate", "hpa"}
+	want := []string{"table2", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "model", "ablate", "hpa", "faults"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("All() has %d entries, want %d", len(all), len(want))
@@ -236,6 +247,42 @@ func TestHPAStudyCommunication(t *testing.T) {
 	}
 }
 
+func TestFaultsOverheadShapes(t *testing.T) {
+	res := runNamed(t, "faults")
+	if len(res.Series) != 3 {
+		t.Fatalf("want 3 algo series, got %d", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if len(s.Points) < 4 {
+			t.Fatalf("%s: only %d fault configurations", s.Name, len(s.Points))
+		}
+		// Overhead never drops below 1: the fault-free baseline carries no
+		// plan, while every sweep configuration (even the all-zero first
+		// one) pays at least the pass-level checkpoint charges.
+		for _, pt := range s.Points {
+			if pt.Y < 1 {
+				t.Errorf("%s cfg %v: overhead %v below 1", s.Name, pt.X, pt.Y)
+			}
+		}
+		// The harshest configuration (last: max loss, max slowdown, crash)
+		// must cost more than the gentlest.
+		first, last := s.Points[0], s.Points[len(s.Points)-1]
+		if last.Y <= first.Y {
+			t.Errorf("%s: overhead did not grow across the sweep: %v -> %v", s.Name, first.Y, last.Y)
+		}
+	}
+}
+
+// TestFaultsDeterministic is the acceptance criterion for the sweep: two
+// runs with the same Config must be bit-identical.
+func TestFaultsDeterministic(t *testing.T) {
+	a := runNamed(t, "faults")
+	b := runNamed(t, "faults")
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("fault sweep not reproducible:\n%+v\n%+v", a, b)
+	}
+}
+
 func TestWriteText(t *testing.T) {
 	res := &Result{
 		ID: "x", Title: "t", XLabel: "p", YLabel: "s",
@@ -258,7 +305,7 @@ func TestWriteText(t *testing.T) {
 
 func TestConfigHelpers(t *testing.T) {
 	c := Config{}.withDefaults()
-	if c.Scale != 1 || c.Seed == 0 {
+	if c.Scale != 1 || c.Seed == 0 { //checkinv:allow floatcmp default is exactly 1
 		t.Errorf("defaults = %+v", c)
 	}
 	if got := (Config{Scale: 0.001}).scaled(1000); got != 100 {
@@ -271,5 +318,12 @@ func TestConfigHelpers(t *testing.T) {
 	quick := Config{Quick: true}.sweep([]int{1, 2, 3, 4})
 	if len(quick) != 2 || quick[0] != 1 || quick[1] != 4 {
 		t.Errorf("quick sweep = %v", quick)
+	}
+	capped := Config{Quick: true, MaxP: 3}.sweep([]int{1, 2, 3, 4})
+	if len(capped) != 2 || capped[0] != 1 || capped[1] != 3 {
+		t.Errorf("capped sweep = %v", capped)
+	}
+	if floor := (Config{MaxP: 2}).sweep([]int{8, 16}); len(floor) != 1 || floor[0] != 8 {
+		t.Errorf("over-capped sweep = %v", floor)
 	}
 }

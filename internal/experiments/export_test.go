@@ -72,7 +72,7 @@ func TestWriteJSON(t *testing.T) {
 	if err := json.Unmarshal([]byte(sb.String()), &got); err != nil {
 		t.Fatalf("output is not valid JSON: %v", err)
 	}
-	if got.ID != "figX" || len(got.Series) != 2 || got.Series[1].Points[3][1] != 8 {
+	if got.ID != "figX" || len(got.Series) != 2 || got.Series[1].Points[3][1] != 8 { //checkinv:allow floatcmp JSON round trip of an exact integer
 		t.Errorf("round trip lost data: %+v", got)
 	}
 	if got.Table == nil || got.Table.Rows[0][0] != "v" {

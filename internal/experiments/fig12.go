@@ -20,7 +20,7 @@ import (
 func Fig12(c Config) (*Result, error) {
 	c = c.withDefaults()
 	n := c.scaled(4000)
-	const p = 16
+	p := c.procs(16)
 	minsups := []float64{0.006, 0.004, 0.003, 0.002, 0.0015}
 	if c.Quick {
 		minsups = []float64{0.006, 0.002}

@@ -13,7 +13,7 @@ import (
 func Fig14(c Config) (*Result, error) {
 	c = c.withDefaults()
 	base := c.scaled(8000)
-	const p = 64
+	p := c.procs(64)
 	// Anchor the support fraction to a fixed absolute count at the base N
 	// so that scaled-down runs keep the same noise floor; the fraction is
 	// then held constant across the N sweep, which is what keeps M fixed.

@@ -19,7 +19,7 @@ import (
 func Fig15(c Config) (*Result, error) {
 	c = c.withDefaults()
 	n := c.scaled(16000)
-	const p = 64
+	p := c.procs(64)
 	minsups := []float64{0.006, 0.004, 0.003, 0.002, 0.0015, 0.001}
 	if c.Quick {
 		minsups = []float64{0.006, 0.002}

@@ -15,7 +15,7 @@ import (
 func HPAStudy(c Config) (*Result, error) {
 	c = c.withDefaults()
 	n := c.scaled(6000)
-	const p = 16
+	p := c.procs(16)
 	minsup := 24.0 / float64(n)
 
 	data, err := mustGen(baseGen(c, n))

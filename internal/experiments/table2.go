@@ -16,7 +16,7 @@ import (
 func Table2(c Config) (*Result, error) {
 	c = c.withDefaults()
 	n := c.scaled(6000)
-	const p = 64
+	p := c.procs(64)
 	const minsup = 0.003
 
 	data, err := mustGen(baseGen(c, n))

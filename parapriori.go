@@ -68,6 +68,21 @@ type (
 	GenOptions = datagen.Params
 	// Vocabulary maps between item IDs and human-readable names.
 	Vocabulary = itemset.Vocabulary
+	// FaultPlan is a deterministic fault-injection schedule for a parallel
+	// run: message drop/duplicate/delay/reorder rates, processor crashes
+	// and stragglers, all decided by a seeded hash of virtual time and
+	// message identity — never by wall time or a shared RNG.
+	FaultPlan = cluster.FaultPlan
+	// Crash schedules one processor failure at a virtual time; Permanent
+	// crashes remove the rank for good (the run degrades to the
+	// survivors), transient ones are rolled back and re-run.
+	Crash = cluster.Crash
+	// Straggler slows a processor's compute by a factor from a virtual
+	// time onward.
+	Straggler = cluster.Straggler
+	// ReliableConfig tunes the retry/ack layer that masks message faults:
+	// bounded retries with exponential virtual-time backoff.
+	ReliableConfig = cluster.ReliableConfig
 )
 
 // The parallel formulations of the paper.
@@ -161,6 +176,19 @@ type ParallelOptions struct {
 	// Trace records the virtual-time event log into Report.Trace for
 	// rendering with TraceTimeline.
 	Trace bool
+	// Faults, when non-nil, injects the plan's message and processor
+	// faults into the run and turns on fault-tolerant execution:
+	// pass-level checkpoints, crash recovery by coordinated rollback, and
+	// graceful degradation to the surviving processors when a rank is
+	// lost.  The mined itemsets stay identical to Mine's; Report.Restarts
+	// and Report.LostRanks record what the recovery did, and the
+	// retry/checkpoint costs appear on the virtual clock.  Only CD, IDD
+	// and HD support fault plans.  Runs with the same plan, seed and
+	// workload are bit-identical.
+	Faults *FaultPlan
+	// MaxRestarts bounds recovery attempts before MineParallel gives up
+	// (default 8).
+	MaxRestarts int
 }
 
 // MineParallel runs a parallel formulation on an emulated cluster.  The
@@ -176,6 +204,8 @@ func MineParallel(data *Dataset, o ParallelOptions) (*Report, error) {
 		HDThreshold: o.HDThreshold,
 		FixedG:      o.FixedG,
 		Trace:       o.Trace,
+		Faults:      o.Faults,
+		MaxRestarts: o.MaxRestarts,
 	}
 	prm.Apriori.MemoryBytes = 0 // parallel cap comes from the machine model
 	return core.Mine(data, prm)
