@@ -82,8 +82,8 @@ func main() {
 			break
 		}
 		if v != nil {
-			fmt.Printf("%-30s => %-20s sup %.4f, conf %.4f\n",
-				v.Label(r.Antecedent), v.Label(r.Consequent), r.Support, r.Confidence)
+			fmt.Printf("%-30s => %-20s sup %.4f, conf %.4f, lift %.4f, lev %+.4f\n",
+				v.Label(r.Antecedent), v.Label(r.Consequent), r.Support, r.Confidence, r.Lift, r.Leverage)
 		} else {
 			fmt.Println(r)
 		}

@@ -1,0 +1,70 @@
+// Serving wires the full pipeline end to end: synthesize a transaction
+// database, mine it in parallel with Hybrid Distribution on the emulated
+// cluster, derive association rules, and stand up the serving layer — then
+// re-mine at a tighter threshold and hot-swap the fresh rules under live
+// queries, the way a production recommender picks up a nightly mining run.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"parapriori"
+)
+
+func main() {
+	// A small synthetic workload (Quest-style, like the paper's T15.I6 but
+	// scaled down so the example runs instantly).
+	gen := parapriori.DefaultGen()
+	gen.NumTransactions = 4000
+	gen.NumItems = 200
+	data, err := parapriori.Generate(gen)
+	if err != nil {
+		log.Fatalf("generate: %v", err)
+	}
+
+	mineAndIndex := func(minsup float64) *parapriori.RuleIndex {
+		rep, err := parapriori.MineParallel(data, parapriori.ParallelOptions{
+			Algorithm:   parapriori.HD,
+			Procs:       16,
+			MineOptions: parapriori.MineOptions{MinSupport: minsup},
+		})
+		if err != nil {
+			log.Fatalf("mine: %v", err)
+		}
+		rs, err := parapriori.GenerateRules(rep.Result, 0.5)
+		if err != nil {
+			log.Fatalf("rules: %v", err)
+		}
+		fmt.Printf("mined at minsup %.3f: %d frequent itemsets, %d rules, %.4fs virtual on 16 procs\n",
+			minsup, rep.Result.NumFrequent(), len(rs), rep.ResponseTime)
+		return parapriori.BuildIndex(rs, parapriori.ServeOptions{})
+	}
+
+	srv := parapriori.NewServer(parapriori.ServeOptions{CacheSize: 256})
+	defer srv.Close()
+	srv.Publish(mineAndIndex(0.01))
+
+	// Shop a basket containing the strongest rule's antecedent, so the
+	// recommender has something to say about it.
+	basket := append(parapriori.Itemset(nil), srv.Index().All()[0].Antecedent...)
+	show := func() {
+		recs, err := srv.Recommend(basket, 3)
+		if err != nil {
+			log.Fatalf("recommend: %v", err)
+		}
+		m := srv.Metrics()
+		fmt.Printf("generation %d: top %d for basket %v\n", m.SnapshotGeneration, len(recs), basket)
+		for _, r := range recs {
+			fmt.Printf("  %v\n", r)
+		}
+	}
+	show()
+
+	// A "nightly re-mine" at a tighter threshold produces a different rule
+	// set; Publish swaps it in atomically — in-flight queries finish on the
+	// old snapshot, new ones see the new rules, and the query cache rolls
+	// over with the snapshot.
+	srv.Publish(mineAndIndex(0.005))
+	show()
+}

@@ -158,6 +158,8 @@ func TestScoping(t *testing.T) {
 		{"mapiter", "internal", true},
 		{"mapiter", "cmd/parminer", false},
 		{"rawchan", "internal/core", true},
+		{"rawchan", "internal/serve", true},
+		{"rawchan", "cmd/ruleserver", true},
 		{"rawchan", "internal/cluster", false},
 		{"floatcmp", "internal/analysis", true},
 		{"floatcmp", "internal/experiments", true},

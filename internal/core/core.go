@@ -94,6 +94,15 @@ type Params struct {
 	// MaxRestarts bounds the recovery attempts before Mine gives up and
 	// returns the last failure.  Defaults to 8.
 	MaxRestarts int
+	// CheckpointDir, when non-empty, persists every completed pass's
+	// frequent levels to <dir>/checkpoint.freq (WriteResult codec, written
+	// atomically via temp file + rename) and resumes from that file on the
+	// next Mine over the same workload — a killed run restarts at its first
+	// unmined pass instead of from scratch.  Resumed passes are marked
+	// Restored in the report.  A checkpoint mined from a different workload
+	// (transaction or minimum count mismatch) is an error.  Grid
+	// formulations only (CD, IDD, HD).
+	CheckpointDir string
 }
 
 func (p Params) withDefaults() Params {
@@ -134,6 +143,13 @@ func (p Params) validate() error {
 			return fmt.Errorf("core: fault-tolerant execution supports cd, idd and hd, not %q", p.Algo)
 		}
 	}
+	if p.CheckpointDir != "" {
+		switch p.Algo {
+		case CD, IDD, HD:
+		default:
+			return fmt.Errorf("core: checkpoint persistence supports cd, idd and hd, not %q", p.Algo)
+		}
+	}
 	return nil
 }
 
@@ -150,6 +166,11 @@ type PassReport struct {
 	// (CD exceeds 1 only when the tree outgrows Machine.MemoryBytes —
 	// the Figure 12 regime).
 	TreeParts int
+	// Restored marks a pass that was not mined by this run but seeded from
+	// a persistent checkpoint (Params.CheckpointDir).  Restored passes carry
+	// only K and Frequent; candidate counts and timings belong to the run
+	// that originally mined them.
+	Restored bool
 	// CandImbalance is (max-mean)/mean of per-processor candidate counts.
 	CandImbalance float64
 	// TimeImbalance is (max-mean)/mean of per-processor compute time in
@@ -192,6 +213,9 @@ type Report struct {
 	// computation (declared dead or crashed with Crash.Permanent).
 	Restarts  int
 	LostRanks []int
+	// ResumedPasses is the number of passes seeded from a persistent
+	// checkpoint (Params.CheckpointDir) instead of being mined by this run.
+	ResumedPasses int
 }
 
 // AvgLeafVisitsPerTxn returns the run-wide average number of distinct hash
@@ -267,6 +291,10 @@ func Mine(data *itemset.Dataset, prm Params) (*Report, error) {
 		restartWant: make([]bool, prm.P),
 	}
 	run.rebuildVRank()
+	resumed, err := run.loadCheckpoint()
+	if err != nil {
+		return nil, err
+	}
 
 	var body func(p *cluster.Proc) error
 	switch prm.Algo {
@@ -295,8 +323,9 @@ func Mine(data *itemset.Dataset, prm Params) (*Report, error) {
 		Clocks:       cl.Clocks(),
 		Total:        cl.TotalStats(),
 		Wall:         time.Since(start), //checkinv:allow walltime — pairs with the Wall stat's time.Now above
-		Restarts:     run.restarts,
-		LostRanks:    append([]int(nil), run.lost...),
+		Restarts:      run.restarts,
+		LostRanks:     append([]int(nil), run.lost...),
+		ResumedPasses: resumed,
 	}
 	if prm.Trace {
 		rep.Trace = cl.Trace()
@@ -386,6 +415,7 @@ type passLocal struct {
 	clockStart    float64
 	clockEnd      float64
 	candImbalance float64
+	restored      bool // seeded from a persistent checkpoint, not mined
 }
 
 // firstActive returns the lowest participating global rank, whose copy of
@@ -437,6 +467,7 @@ func (r *run) assemblePasses() []PassReport {
 			GridCols:      ref.gridCols,
 			TreeParts:     ref.treeParts,
 			CandImbalance: ref.candImbalance,
+			Restored:      ref.restored,
 		}
 		var times []float64
 		var maxEnd, maxStart float64

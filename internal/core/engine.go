@@ -43,7 +43,9 @@ func (r *run) gridBody(p *cluster.Proc) error {
 	if len(tr.levels) == 0 {
 		prev = r.firstPass(p, tr)
 		tr.levels = append(tr.levels, prev)
-		r.checkpoint(p, prev)
+		if err := r.checkpoint(p, prev); err != nil {
+			return err
+		}
 	} else {
 		prev = tr.levels[len(tr.levels)-1]
 	}
@@ -176,7 +178,9 @@ func (r *run) gridBody(p *cluster.Proc) error {
 			candImbalance: candImbalance,
 		})
 		tr.levels = append(tr.levels, level)
-		r.checkpoint(p, level)
+		if err := r.checkpoint(p, level); err != nil {
+			return err
+		}
 		prev = level
 	}
 	return nil

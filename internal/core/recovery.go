@@ -170,16 +170,18 @@ func collectFaults(err error) (crashes []*cluster.CrashError, dead []*cluster.De
 	return crashes, dead, other
 }
 
-// checkpoint charges the cost of persisting one completed level: writing
-// the serialized frequent itemsets (at I/O bandwidth) plus touching each
-// item once.  Free when fault tolerance is off — fault-free runs are
-// unchanged.
-func (r *run) checkpoint(p *cluster.Proc, level []apriori.Frequent) {
-	if r.prm.Faults == nil {
-		return
+// checkpoint persists one completed level.  Under a fault plan it charges
+// the modeled cost — writing the serialized frequent itemsets (at I/O
+// bandwidth) plus touching each item once; the virtual clock of fault-free
+// runs is unchanged.  With Params.CheckpointDir set it also rewrites the
+// on-disk checkpoint (see persist.go), so a killed process resumes from its
+// last completed pass.
+func (r *run) checkpoint(p *cluster.Proc, level []apriori.Frequent) error {
+	if r.prm.Faults != nil {
+		p.ReadIO(int64(frequentBytes(level)), "checkpoint")
+		p.Compute(float64(levelItems(level))*p.Machine().TItem, "checkpoint")
 	}
-	p.ReadIO(int64(frequentBytes(level)), "checkpoint")
-	p.Compute(float64(levelItems(level))*p.Machine().TItem, "checkpoint")
+	return r.persistCheckpoint(p.ID())
 }
 
 // chargeRestore charges the cost of reloading the checkpointed levels when

@@ -178,6 +178,19 @@ func (s Itemset) Key() string {
 	return b.String()
 }
 
+// AppendKey appends the canonical key bytes of s (the Key encoding) to dst
+// and returns the extended slice.  It is the allocation-friendly form for
+// callers that compose keys — e.g. the serving layer's query cache, which
+// keys entries by canonical basket bytes plus the result size.
+func (s Itemset) AppendKey(dst []byte) []byte {
+	var buf [4]byte
+	for _, it := range s {
+		binary.BigEndian.PutUint32(buf[:], uint32(it))
+		dst = append(dst, buf[:]...)
+	}
+	return dst
+}
+
 // KeyToItemset decodes a key produced by Key.
 func KeyToItemset(key string) Itemset {
 	s := make(Itemset, 0, len(key)/4)

@@ -244,3 +244,18 @@ func TestTransactionBytes(t *testing.T) {
 		t.Errorf("Bytes() = %d, want 20", got)
 	}
 }
+
+func TestAppendKeyMatchesKey(t *testing.T) {
+	sets := []Itemset{New(), New(7), New(3, 1, 5), New(0, 1<<20, 42)}
+	for _, s := range sets {
+		if got := string(s.AppendKey(nil)); got != s.Key() {
+			t.Errorf("AppendKey(%v) = %q, Key = %q", s, got, s.Key())
+		}
+	}
+	// Appending onto an existing prefix keeps the prefix intact.
+	pre := []byte("k:")
+	got := New(1, 2).AppendKey(pre)
+	if string(got[:2]) != "k:" || string(got[2:]) != New(1, 2).Key() {
+		t.Errorf("AppendKey onto prefix = %q", got)
+	}
+}

@@ -17,18 +17,24 @@ import (
 // Rule is an association rule X => Y with its quality measures.
 //
 // Support is σ(X ∪ Y)/|T| and Confidence is σ(X ∪ Y)/σ(X), exactly the
-// definitions of Section II.
+// definitions of Section II.  Lift is Confidence / P(Y) — how much more
+// likely Y becomes given X than at its base rate (1 means independence) —
+// and Leverage is P(X ∪ Y) − P(X)·P(Y), the absolute co-occurrence excess.
+// Both are derivable from the support index, so persisted results
+// (apriori.WriteResult) carry everything needed to recompute them.
 type Rule struct {
 	Antecedent itemset.Itemset // X
 	Consequent itemset.Itemset // Y
 	Count      int64           // σ(X ∪ Y)
 	Support    float64
 	Confidence float64
+	Lift       float64
+	Leverage   float64
 }
 
-// String renders the rule as "{1 2} => {3} (sup 0.40, conf 0.66)".
+// String renders the rule as "{1 2} => {3} (sup 0.40, conf 0.66, lift 1.11)".
 func (r Rule) String() string {
-	return fmt.Sprintf("%v => %v (sup %.4f, conf %.4f)", r.Antecedent, r.Consequent, r.Support, r.Confidence)
+	return fmt.Sprintf("%v => %v (sup %.4f, conf %.4f, lift %.4f)", r.Antecedent, r.Consequent, r.Support, r.Confidence, r.Lift)
 }
 
 // Params configures rule generation.
@@ -86,6 +92,28 @@ func Sort(out []Rule) {
 	})
 }
 
+// RankLess is the serving order: descending confidence, then descending
+// lift (a high-lift rule is genuinely informative where an equal-confidence
+// high-base-rate consequent is not), then descending support, then
+// antecedent/consequent order.  The comparator is total — no two distinct
+// rules compare equal — so any sort under it yields one deterministic
+// ranking, the property the serving layer's top-K results rely on.
+func RankLess(a, b Rule) bool {
+	if a.Confidence != b.Confidence {
+		return a.Confidence > b.Confidence
+	}
+	if a.Lift != b.Lift {
+		return a.Lift > b.Lift
+	}
+	if a.Support != b.Support {
+		return a.Support > b.Support
+	}
+	if c := a.Antecedent.Compare(b.Antecedent); c != 0 {
+		return c < 0
+	}
+	return a.Consequent.Compare(b.Consequent) < 0
+}
+
 // FromItemset emits the rules derivable from one frequent itemset f
 // (ap-genrules over growing consequents) and the number of candidate rules
 // evaluated — the work measure the parallel formulation charges for.  The
@@ -134,11 +162,19 @@ func makeRule(f apriori.Frequent, y itemset.Itemset, support map[string]int64, n
 	if conf < minConf {
 		return Rule{}, false
 	}
-	return Rule{
+	r := Rule{
 		Antecedent: x,
 		Consequent: y,
 		Count:      f.Count,
 		Support:    float64(f.Count) / n,
 		Confidence: conf,
-	}, true
+	}
+	// Y is a subset of a frequent itemset, so its support is in the index
+	// whenever the caller passed a consistent result.
+	if sy, ok := support[y.Key()]; ok && sy > 0 {
+		py := float64(sy) / n
+		r.Lift = conf / py
+		r.Leverage = r.Support - (float64(sx)/n)*py
+	}
+	return r, true
 }

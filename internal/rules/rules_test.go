@@ -60,6 +60,14 @@ func TestPaperRule(t *testing.T) {
 	if r.Count != 2 {
 		t.Errorf("count = %d, want 2", r.Count)
 	}
+	// σ(Beer) = 3/5, so lift = (2/3)/(3/5) = 10/9 and
+	// leverage = 0.4 − 0.6·0.6 = 0.04.
+	if math.Abs(r.Lift-10.0/9.0) > 1e-9 {
+		t.Errorf("lift = %v, want 10/9", r.Lift)
+	}
+	if math.Abs(r.Leverage-0.04) > 1e-9 {
+		t.Errorf("leverage = %v, want 0.04", r.Leverage)
+	}
 }
 
 func TestConfidenceThresholdFilters(t *testing.T) {
@@ -143,6 +151,37 @@ func TestRuleMeasuresConsistent(t *testing.T) {
 		if math.Abs(r.Support-float64(cu)/n) > 1e-12 {
 			t.Errorf("rule %v support mismatch", r)
 		}
+		cy := idx[r.Consequent.Key()]
+		if math.Abs(r.Lift-r.Confidence/(float64(cy)/n)) > 1e-12 {
+			t.Errorf("rule %v lift mismatch", r)
+		}
+		if math.Abs(r.Leverage-(r.Support-(float64(cx)/n)*(float64(cy)/n))) > 1e-12 {
+			t.Errorf("rule %v leverage mismatch", r)
+		}
+	}
+}
+
+// TestRankLessTotalOrder asserts the serving comparator is a strict total
+// order over generated rules: antisymmetric, and never equal for distinct
+// rules — the property that makes top-K serving results deterministic.
+func TestRankLessTotalOrder(t *testing.T) {
+	res := mine(t, 0.2)
+	rules, err := Generate(res, Params{MinConfidence: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rules {
+		for j := range rules {
+			if i == j {
+				if RankLess(rules[i], rules[j]) {
+					t.Fatalf("RankLess(r, r) true for %v", rules[i])
+				}
+				continue
+			}
+			if RankLess(rules[i], rules[j]) == RankLess(rules[j], rules[i]) {
+				t.Fatalf("RankLess not a strict total order on %v / %v", rules[i], rules[j])
+			}
+		}
 	}
 }
 
@@ -212,9 +251,9 @@ func TestEmptyResult(t *testing.T) {
 func TestRuleString(t *testing.T) {
 	r := Rule{
 		Antecedent: itemset.New(4, 5), Consequent: itemset.New(2),
-		Support: 0.4, Confidence: 2.0 / 3.0,
+		Support: 0.4, Confidence: 2.0 / 3.0, Lift: 10.0 / 9.0, Leverage: 0.04,
 	}
-	want := "{4 5} => {2} (sup 0.4000, conf 0.6667)"
+	want := "{4 5} => {2} (sup 0.4000, conf 0.6667, lift 1.1111)"
 	if got := r.String(); got != want {
 		t.Errorf("String() = %q, want %q", got, want)
 	}

@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"parapriori/internal/itemset"
+	"parapriori/internal/rules"
+)
+
+// ruleJSON is the wire form of a rule — the serving layer's rules codec.
+// Quality measures ride along in full (support, confidence, and the newer
+// lift and leverage), so clients rank or filter without re-deriving
+// anything.
+type ruleJSON struct {
+	Antecedent []itemset.Item `json:"antecedent"`
+	Consequent []itemset.Item `json:"consequent"`
+	Count      int64          `json:"count"`
+	Support    float64        `json:"support"`
+	Confidence float64        `json:"confidence"`
+	Lift       float64        `json:"lift"`
+	Leverage   float64        `json:"leverage"`
+}
+
+func toRuleJSON(r rules.Rule) ruleJSON {
+	return ruleJSON{
+		Antecedent: r.Antecedent,
+		Consequent: r.Consequent,
+		Count:      r.Count,
+		Support:    r.Support,
+		Confidence: r.Confidence,
+		Lift:       r.Lift,
+		Leverage:   r.Leverage,
+	}
+}
+
+// Handler returns the server's HTTP surface:
+//
+//	GET  /recommend?items=1,2,3&k=10   top-K rules for a basket
+//	GET  /rules?item=5&limit=100       browse the served rule set
+//	GET  /healthz                      liveness + generation
+//	GET  /metrics                      Metrics as JSON
+//	POST /reload                       rebuild via the reload callback and hot-swap
+//
+// reload supplies a freshly built Index on demand (typically re-reading the
+// mined result file); nil disables /reload with 501.
+func (s *Server) Handler(reload func() (*Index, error)) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/recommend", s.handleRecommend)
+	mux.HandleFunc("/rules", s.handleRules)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/reload", s.reloadHandler(reload))
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // the response is already committed; nothing to do on error
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// parseItems parses a comma-separated non-negative item list ("1,2,3").
+func parseItems(raw string) ([]itemset.Item, error) {
+	if strings.TrimSpace(raw) == "" {
+		return nil, fmt.Errorf("empty items")
+	}
+	parts := strings.Split(raw, ",")
+	out := make([]itemset.Item, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad item %q", p)
+		}
+		out = append(out, itemset.Item(v))
+	}
+	return out, nil
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	basket, err := parseItems(r.URL.Query().Get("items"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "items: %v", err)
+		return
+	}
+	k := 0
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		k, err = strconv.Atoi(raw)
+		if err != nil || k < 0 {
+			writeError(w, http.StatusBadRequest, "bad k %q", raw)
+			return
+		}
+	}
+	out, err := s.Recommend(basket, k)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	resp := struct {
+		Generation uint64         `json:"generation"`
+		Basket     []itemset.Item `json:"basket"`
+		Rules      []ruleJSON     `json:"rules"`
+	}{Generation: s.Generation(), Basket: itemset.New(basket...), Rules: make([]ruleJSON, len(out))}
+	for i, rr := range out {
+		resp.Rules[i] = toRuleJSON(rr)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	snap := s.snap.Load()
+	if snap == nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", ErrNoSnapshot)
+		return
+	}
+	limit := 100
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, "bad limit %q", raw)
+			return
+		}
+		limit = v
+	}
+	filterItem := itemset.Item(-1)
+	if raw := r.URL.Query().Get("item"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, "bad item %q", raw)
+			return
+		}
+		filterItem = itemset.Item(v)
+	}
+	all := snap.idx.All()
+	sel := make([]ruleJSON, 0, limit)
+	for _, rr := range all {
+		if filterItem >= 0 && !rr.Antecedent.Contains(filterItem) && !rr.Consequent.Contains(filterItem) {
+			continue
+		}
+		if len(sel) >= limit {
+			break
+		}
+		sel = append(sel, toRuleJSON(rr))
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Generation uint64     `json:"generation"`
+		Total      int        `json:"total"`
+		Rules      []ruleJSON `json:"rules"`
+	}{Generation: snap.gen, Total: snap.idx.NumRules(), Rules: sel})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	snap := s.snap.Load()
+	if snap == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "empty", "generation": 0})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "generation": snap.gen})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+func (s *Server) reloadHandler(reload func() (*Index, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "use POST")
+			return
+		}
+		if reload == nil {
+			writeError(w, http.StatusNotImplemented, "no reload source configured")
+			return
+		}
+		idx, err := reload()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "reload: %v", err)
+			return
+		}
+		gen := s.Publish(idx)
+		writeJSON(w, http.StatusOK, map[string]any{"generation": gen, "num_rules": idx.NumRules()})
+	}
+}

@@ -1,0 +1,241 @@
+// Package serve is the online half of the pipeline: a low-latency,
+// concurrent rule-serving subsystem over the association rules the mining
+// side produces.  The batch stage (serial or parallel Apriori plus
+// ap-genrules) periodically emits a rule set; this package turns it into an
+// immutable, sharded in-memory index and answers basket queries
+// ("customers with these items in the cart should see what?") while a
+// fresh index can be published at any moment with zero downtime.
+//
+// The moving parts:
+//
+//   - Index: an immutable antecedent-keyed rule index.  Rules sharing an
+//     antecedent form one group; groups are sharded by a seeded hash of the
+//     antecedent and, within a shard, reachable through a per-item inverted
+//     index keyed by the antecedent's first (smallest) item.  A basket
+//     query visits only groups whose first item is in the basket — every
+//     antecedent ⊆ basket has its minimum item in the basket, so no
+//     basket-subset enumeration (2^|basket| work) is ever needed, and each
+//     matching group is visited exactly once.
+//   - Server: holds the current snapshot (index + generation + query
+//     cache) behind an atomic.Pointer.  Readers never lock; Publish swaps
+//     the whole snapshot, so queries in flight keep the index they started
+//     with — the hot-reload protocol.
+//   - lruCache: a size-bounded query cache keyed by canonical basket bytes
+//     plus K.  The cache lives inside the snapshot, so a swap invalidates
+//     it wholesale by construction.
+//   - metrics: QPS, latency percentiles, hit rates and snapshot
+//     generation, exported as JSON on /metrics.
+//
+// Unlike the simulation packages, serve runs on the real clock and real
+// goroutines: it is a production subsystem, not an emulation.  Its raw
+// concurrency sites are individually annotated for the checkinv rawchan
+// rule so each one is a deliberate, reviewed decision.
+package serve
+
+import (
+	"sort"
+	"sync"
+
+	"parapriori/internal/itemset"
+	"parapriori/internal/rules"
+)
+
+// Options configures index construction and the server.
+type Options struct {
+	// Shards is the number of index shards (default 8).  Antecedent groups
+	// are placed by hash, so shards are balanced for rule sets with many
+	// distinct antecedents.
+	Shards int
+	// Workers is the size of the query worker pool.  Zero serves each
+	// query by scanning shards inline on the calling goroutine; with
+	// Workers > 0, per-shard scans of one query fan out across the pool.
+	Workers int
+	// CacheSize bounds the per-snapshot query cache in entries (default
+	// 1024).  Negative disables caching.
+	CacheSize int
+	// HashSeed seeds the antecedent→shard placement hash.  Zero selects a
+	// fixed default, keeping shard contents reproducible run to run.
+	HashSeed uint64
+	// MaxK caps a query's K (default 100): a client cannot force a
+	// full-index sort by asking for everything.
+	MaxK int
+}
+
+// DefaultK is the result size when a query does not specify K.
+const DefaultK = 10
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 8
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 1024
+	}
+	if o.HashSeed == 0 {
+		o.HashSeed = 0x5ca1ab1e0ddba11
+	}
+	if o.MaxK <= 0 {
+		o.MaxK = 100
+	}
+	return o
+}
+
+// group is one distinct antecedent and its rules, stored as a range into
+// the shard's rank-sorted rule slice.
+type group struct {
+	ant    itemset.Itemset
+	lo, hi int32
+}
+
+// shard is an immutable slice of the index: the rule groups whose
+// antecedents hash here, plus the first-item inverted index over them.
+type shard struct {
+	rules   []rules.Rule
+	groups  []group
+	byFirst map[itemset.Item][]int32
+}
+
+// Index is an immutable rule index, ready for concurrent basket queries.
+// Build one with NewIndex and install it on a Server with Publish.
+type Index struct {
+	shards []shard
+	nRules int
+
+	allOnce sync.Once
+	all     []rules.Rule
+}
+
+// NewIndex builds an index over the rule set.  The input is grouped by
+// antecedent, each group rank-sorted (rules.RankLess) and placed on a shard
+// by a seeded hash of the antecedent key; construction is deterministic for
+// a given rule set and options whatever the input order.
+func NewIndex(rs []rules.Rule, opt Options) *Index {
+	opt = opt.withDefaults()
+	byAnt := make(map[string][]rules.Rule, len(rs))
+	for _, r := range rs {
+		k := r.Antecedent.Key()
+		byAnt[k] = append(byAnt[k], r)
+	}
+	keys := make([]string, 0, len(byAnt))
+	for k := range byAnt {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	ix := &Index{shards: make([]shard, opt.Shards)}
+	for _, k := range keys {
+		grp := byAnt[k]
+		sort.Slice(grp, func(i, j int) bool { return rules.RankLess(grp[i], grp[j]) })
+		sh := &ix.shards[hashKey(opt.HashSeed, k)%uint64(opt.Shards)]
+		lo := int32(len(sh.rules))
+		sh.rules = append(sh.rules, grp...)
+		sh.groups = append(sh.groups, group{ant: itemset.KeyToItemset(k), lo: lo, hi: int32(len(sh.rules))})
+		ix.nRules += len(grp)
+	}
+	for si := range ix.shards {
+		sh := &ix.shards[si]
+		sh.byFirst = make(map[itemset.Item][]int32)
+		for gi, g := range sh.groups {
+			if len(g.ant) == 0 {
+				continue // rule generation never emits empty antecedents
+			}
+			sh.byFirst[g.ant[0]] = append(sh.byFirst[g.ant[0]], int32(gi))
+		}
+	}
+	return ix
+}
+
+// NumRules returns the number of rules in the index.
+func (ix *Index) NumRules() int { return ix.nRules }
+
+// NumShards returns the shard count the index was built with.
+func (ix *Index) NumShards() int { return len(ix.shards) }
+
+// ShardRuleCounts returns the number of rules on each shard.
+func (ix *Index) ShardRuleCounts() []int {
+	out := make([]int, len(ix.shards))
+	for i := range ix.shards {
+		out[i] = len(ix.shards[i].rules)
+	}
+	return out
+}
+
+// All returns every rule in serving-rank order.  The slice is computed once
+// and shared; callers must not modify it.
+func (ix *Index) All() []rules.Rule {
+	ix.allOnce.Do(func() {
+		all := make([]rules.Rule, 0, ix.nRules)
+		for si := range ix.shards {
+			all = append(all, ix.shards[si].rules...)
+		}
+		sort.Slice(all, func(i, j int) bool { return rules.RankLess(all[i], all[j]) })
+		ix.all = all
+	})
+	return ix.all
+}
+
+// query appends to dst every rule of the shard that fires for the basket: the
+// antecedent is contained in the basket and the consequent recommends at
+// least one item the basket does not already hold.  For each basket item the
+// inverted index yields the groups whose antecedent *starts* there, so a
+// group is tested once and only when its cheapest necessary condition holds.
+func (sh *shard) query(basket itemset.Itemset, dst []rules.Rule) []rules.Rule {
+	for _, it := range basket {
+		for _, gi := range sh.byFirst[it] {
+			g := sh.groups[gi]
+			if !basket.ContainsAll(g.ant) {
+				continue
+			}
+			for _, r := range sh.rules[g.lo:g.hi] {
+				if !basket.ContainsAll(r.Consequent) {
+					dst = append(dst, r)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// Recommend answers a basket query against this index alone — no cache, no
+// worker pool — returning at most k rules in serving-rank order.  It is the
+// reference path the Server's cached/pooled path must agree with, and what
+// the oracle tests exercise.
+func (ix *Index) Recommend(basket itemset.Itemset, k int) []rules.Rule {
+	var matches []rules.Rule
+	for si := range ix.shards {
+		matches = ix.shards[si].query(basket, matches)
+	}
+	return rankTruncate(matches, k)
+}
+
+// rankTruncate sorts matches into serving-rank order and truncates to k.
+// RankLess is a strict total order, so the result is deterministic whatever
+// order the per-shard scans delivered the matches in.
+func rankTruncate(matches []rules.Rule, k int) []rules.Rule {
+	sort.Slice(matches, func(i, j int) bool { return rules.RankLess(matches[i], matches[j]) })
+	if k >= 0 && len(matches) > k {
+		matches = matches[:k]
+	}
+	return matches
+}
+
+// hashKey hashes an antecedent key for shard placement with a splitmix64
+// absorb-per-byte construction — deterministic for a given seed, and
+// reseedable per deployment without touching query results (shard placement
+// never affects ranking).
+func hashKey(seed uint64, key string) uint64 {
+	h := seed
+	for i := 0; i < len(key); i++ {
+		h = splitmix64(h ^ uint64(key[i]))
+	}
+	return splitmix64(h)
+}
+
+// splitmix64 is the finalizer of Steele et al.'s SplitMix64 generator, the
+// same mixer the fault-injection layer uses for its per-message decisions.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

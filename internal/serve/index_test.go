@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"parapriori/internal/apriori"
+	"parapriori/internal/itemset"
+	"parapriori/internal/rules"
+)
+
+// synthRules builds a deterministic synthetic rule set: nRules distinct
+// (antecedent, consequent) pairs over nItems items with plausible measures.
+// Measures are drawn independently, which produces plenty of rank ties to
+// exercise the deterministic tie-breaking.
+func synthRules(nRules, nItems int, seed int64) []rules.Rule {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[string]bool, nRules)
+	out := make([]rules.Rule, 0, nRules)
+	for attempts := 0; len(out) < nRules; attempts++ {
+		if attempts > 200*nRules {
+			panic(fmt.Sprintf("synthRules: item space of %d too small for %d distinct rules", nItems, nRules))
+		}
+		raw := make([]itemset.Item, 1+rng.Intn(3))
+		for i := range raw {
+			raw[i] = itemset.Item(rng.Intn(nItems))
+		}
+		ant := itemset.New(raw...)
+		cons := itemset.New(itemset.Item(rng.Intn(nItems)))
+		if len(ant) == 0 || ant.Contains(cons[0]) {
+			continue
+		}
+		key := ant.Key() + "|" + cons.Key()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		conf := float64(1+rng.Intn(20)) / 20 // coarse grid → ties
+		sup := float64(1+rng.Intn(50)) / 500
+		out = append(out, rules.Rule{
+			Antecedent: ant,
+			Consequent: cons,
+			Count:      int64(1 + rng.Intn(1000)),
+			Support:    sup,
+			Confidence: conf,
+			Lift:       float64(1+rng.Intn(30)) / 10,
+			Leverage:   sup - sup*conf,
+		})
+	}
+	return out
+}
+
+// oracle is the brute-force subset scan Recommend must match: test every
+// rule's antecedent against the basket, drop rules whose consequent is
+// already fully in the basket, rank, truncate.
+func oracle(rs []rules.Rule, basket itemset.Itemset, k int) []rules.Rule {
+	var matches []rules.Rule
+	for _, r := range rs {
+		if basket.ContainsAll(r.Antecedent) && !basket.ContainsAll(r.Consequent) {
+			matches = append(matches, r)
+		}
+	}
+	return rankTruncate(matches, k)
+}
+
+func randomBasket(rng *rand.Rand, nItems, maxLen int) itemset.Itemset {
+	raw := make([]itemset.Item, 1+rng.Intn(maxLen))
+	for i := range raw {
+		raw[i] = itemset.Item(rng.Intn(nItems))
+	}
+	return itemset.New(raw...)
+}
+
+// TestRecommendMatchesOracle drives randomized synthetic rule sets and
+// baskets through the sharded index and checks exact agreement with the
+// brute-force oracle, across shard counts and K values.
+func TestRecommendMatchesOracle(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rs := synthRules(300, 25, seed)
+		for _, shards := range []int{1, 3, 8} {
+			ix := NewIndex(rs, Options{Shards: shards})
+			rng := rand.New(rand.NewSource(seed * 100))
+			for q := 0; q < 50; q++ {
+				basket := randomBasket(rng, 25, 6)
+				k := 1 + rng.Intn(12)
+				got := ix.Recommend(basket, k)
+				want := oracle(rs, basket, k)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("seed %d shards %d basket %v k %d:\n got %v\nwant %v",
+						seed, shards, basket, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRecommendMatchesOracleOnMinedRules repeats the oracle check on rules
+// mined from a real (random) transaction database, so the index sees the
+// measure distributions rule generation actually produces.
+func TestRecommendMatchesOracleOnMinedRules(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var txns []itemset.Transaction
+	for i := 0; i < 120; i++ {
+		raw := make([]itemset.Item, 2+rng.Intn(5))
+		for j := range raw {
+			raw[j] = itemset.Item(rng.Intn(12))
+		}
+		txns = append(txns, itemset.Transaction{ID: int64(i), Items: itemset.New(raw...)})
+	}
+	res, err := apriori.Mine(itemset.NewDataset(txns), apriori.Params{MinSupport: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := rules.Generate(res, rules.Params{MinConfidence: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 {
+		t.Fatal("no rules mined; workload too sparse for the test")
+	}
+	ix := NewIndex(rs, Options{Shards: 4})
+	for q := 0; q < 80; q++ {
+		basket := randomBasket(rng, 12, 5)
+		got := ix.Recommend(basket, 10)
+		want := oracle(rs, basket, 10)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("basket %v:\n got %v\nwant %v", basket, got, want)
+		}
+	}
+}
+
+// TestIndexBuildDeterministic asserts the index (and its query results) do
+// not depend on input rule order or map iteration during construction.
+func TestIndexBuildDeterministic(t *testing.T) {
+	rs := synthRules(400, 30, 11)
+	shuffled := append([]rules.Rule(nil), rs...)
+	rand.New(rand.NewSource(3)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	a := NewIndex(rs, Options{Shards: 5})
+	b := NewIndex(shuffled, Options{Shards: 5})
+	if !reflect.DeepEqual(a.ShardRuleCounts(), b.ShardRuleCounts()) {
+		t.Fatalf("shard layout depends on input order: %v vs %v", a.ShardRuleCounts(), b.ShardRuleCounts())
+	}
+	rng := rand.New(rand.NewSource(5))
+	for q := 0; q < 40; q++ {
+		basket := randomBasket(rng, 30, 6)
+		ra := fmt.Sprintf("%v", a.Recommend(basket, 10))
+		rb := fmt.Sprintf("%v", b.Recommend(basket, 10))
+		if ra != rb {
+			t.Fatalf("basket %v: order-dependent results\n a: %s\n b: %s", basket, ra, rb)
+		}
+	}
+	if !reflect.DeepEqual(a.All(), b.All()) {
+		t.Fatal("All() depends on input order")
+	}
+}
+
+// TestIndexAccounting checks NumRules/ShardRuleCounts/All agree and that
+// every rule landed on exactly one shard.
+func TestIndexAccounting(t *testing.T) {
+	rs := synthRules(250, 40, 9)
+	ix := NewIndex(rs, Options{Shards: 6})
+	if ix.NumRules() != len(rs) {
+		t.Fatalf("NumRules = %d, want %d", ix.NumRules(), len(rs))
+	}
+	if ix.NumShards() != 6 {
+		t.Fatalf("NumShards = %d, want 6", ix.NumShards())
+	}
+	total := 0
+	for _, c := range ix.ShardRuleCounts() {
+		total += c
+	}
+	if total != len(rs) {
+		t.Fatalf("shard counts sum to %d, want %d", total, len(rs))
+	}
+	if got := len(ix.All()); got != len(rs) {
+		t.Fatalf("All() has %d rules, want %d", got, len(rs))
+	}
+	for i := 1; i < len(ix.All()); i++ {
+		if rules.RankLess(ix.All()[i], ix.All()[i-1]) {
+			t.Fatalf("All() unsorted at %d", i)
+		}
+	}
+}
+
+// TestEmptyIndex: an index over zero rules must answer (with nothing)
+// rather than fail.
+func TestEmptyIndex(t *testing.T) {
+	ix := NewIndex(nil, Options{})
+	if got := ix.Recommend(itemset.New(1, 2), 5); len(got) != 0 {
+		t.Fatalf("empty index recommended %v", got)
+	}
+	if ix.NumRules() != 0 {
+		t.Fatalf("NumRules = %d", ix.NumRules())
+	}
+}

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets is the size of the power-of-two latency histogram: bucket
+// i counts queries in [2^(i-1), 2^i) microseconds, so 32 buckets cover up
+// to ~2^31 µs ≈ 36 minutes — more than any query can take.
+const latencyBuckets = 32
+
+// metrics is the server's lock-free counter block.  Every field is an
+// atomic: queries touch it on the hot path, and /metrics reads while
+// queries run.  Percentiles come from the bucketed histogram, so a reader
+// never pauses the writers.
+type metrics struct {
+	start   time.Time
+	queries atomic.Int64
+	hits    atomic.Int64
+	misses  atomic.Int64
+	reloads atomic.Int64
+	latency [latencyBuckets]atomic.Int64
+}
+
+// observe records one query latency.
+func (m *metrics) observe(d time.Duration) {
+	us := d.Microseconds()
+	b := bits.Len64(uint64(us)) // 0µs → bucket 0, [2^(i-1), 2^i) µs → bucket i
+	if b >= latencyBuckets {
+		b = latencyBuckets - 1
+	}
+	m.latency[b].Add(1)
+}
+
+// reset clears the counters and restarts the uptime clock.  Benchmarks use
+// it to exclude warm-up traffic from the reported percentiles; it must only
+// be called while no queries are in flight.
+func (m *metrics) reset() {
+	m.start = time.Now()
+	m.queries.Store(0)
+	m.hits.Store(0)
+	m.misses.Store(0)
+	for i := range m.latency {
+		m.latency[i].Store(0)
+	}
+}
+
+// percentile returns the p-th latency percentile in microseconds, as the
+// upper bound of the histogram bucket holding that rank — an overestimate
+// by at most 2×, which is the usual contract of log-bucketed histograms.
+func (m *metrics) percentile(p float64) float64 {
+	var counts [latencyBuckets]int64
+	var total int64
+	for i := range counts {
+		counts[i] = m.latency[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(p*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			if i == 0 {
+				return 1
+			}
+			return float64(int64(1) << uint(i))
+		}
+	}
+	return float64(int64(1) << uint(latencyBuckets-1))
+}
+
+// Metrics is the JSON view served on /metrics and reused by the benchmarks.
+type Metrics struct {
+	UptimeSeconds      float64 `json:"uptime_seconds"`
+	Queries            int64   `json:"queries"`
+	QPS                float64 `json:"qps"`
+	P50LatencyMicros   float64 `json:"p50_latency_micros"`
+	P99LatencyMicros   float64 `json:"p99_latency_micros"`
+	CacheHits          int64   `json:"cache_hits"`
+	CacheMisses        int64   `json:"cache_misses"`
+	CacheHitRate       float64 `json:"cache_hit_rate"`
+	SnapshotGeneration uint64  `json:"snapshot_generation"`
+	Reloads            int64   `json:"reloads"`
+	NumRules           int     `json:"num_rules"`
+	ShardRules         []int   `json:"shard_rules"`
+}
+
+// Metrics snapshots the server's counters.  Counters are read individually
+// without a global lock, so across-counter consistency is approximate under
+// load — the standard trade for a zero-contention metrics surface.
+func (s *Server) Metrics() Metrics {
+	m := Metrics{
+		UptimeSeconds:    time.Since(s.met.start).Seconds(),
+		Queries:          s.met.queries.Load(),
+		P50LatencyMicros: s.met.percentile(0.50),
+		P99LatencyMicros: s.met.percentile(0.99),
+		CacheHits:        s.met.hits.Load(),
+		CacheMisses:      s.met.misses.Load(),
+		Reloads:          s.met.reloads.Load(),
+	}
+	if m.UptimeSeconds > 0 {
+		m.QPS = float64(m.Queries) / m.UptimeSeconds
+	}
+	if lookups := m.CacheHits + m.CacheMisses; lookups > 0 {
+		m.CacheHitRate = float64(m.CacheHits) / float64(lookups)
+	}
+	if snap := s.snap.Load(); snap != nil {
+		m.SnapshotGeneration = snap.gen
+		m.NumRules = snap.idx.NumRules()
+		m.ShardRules = snap.idx.ShardRuleCounts()
+	}
+	return m
+}

@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parapriori/internal/itemset"
+	"parapriori/internal/rules"
+)
+
+// ErrNoSnapshot is returned by queries before the first Publish.
+var ErrNoSnapshot = errors.New("serve: no snapshot published yet")
+
+// snapshot is one immutable serving state: an index, its generation number
+// and the query cache built for it.  The Server swaps whole snapshots, so a
+// query that loaded one keeps a consistent (index, cache) pair for its full
+// lifetime even while a Publish lands mid-flight.
+type snapshot struct {
+	idx   *Index
+	gen   uint64
+	cache *lruCache // nil when caching is disabled
+}
+
+// Server answers top-K basket queries over the currently published Index.
+// Reads are lock-free: the only shared mutable state on the query path is
+// one atomic.Pointer load (plus the cache's short mutex when caching is
+// on).  Publish is safe to call concurrently with queries from any
+// goroutine — that is the hot-reload path.
+type Server struct {
+	opt   Options
+	snap  atomic.Pointer[snapshot]
+	met   metrics
+	tasks chan func() // nil when Workers == 0
+	wg    sync.WaitGroup
+	once  sync.Once // guards Close
+}
+
+// NewServer creates a server with no snapshot; queries fail with
+// ErrNoSnapshot until the first Publish.  With opt.Workers > 0 it starts
+// the query worker pool; call Close to stop it.
+func NewServer(opt Options) *Server {
+	opt = opt.withDefaults()
+	s := &Server{opt: opt}
+	s.met.start = time.Now()
+	if opt.Workers > 0 {
+		// The pool is real serving concurrency, deliberately outside the
+		// simulation's comm layer: queries fan per-shard scans out to a
+		// fixed set of workers so one slow scan cannot pile goroutines up.
+		s.tasks = make(chan func(), 4*opt.Workers) //checkinv:allow rawchan — serving worker pool, not simulation traffic
+		for i := 0; i < opt.Workers; i++ {
+			s.wg.Add(1)
+			go func() { //checkinv:allow rawchan — pool worker; lifecycle bounded by Close
+				defer s.wg.Done()
+				for f := range s.tasks { //checkinv:allow rawchan — drains the task queue until Close
+					f()
+				}
+			}()
+		}
+	}
+	return s
+}
+
+// Close stops the worker pool, waiting for in-flight tasks.  No queries may
+// be issued after Close.  It is a no-op for poolless servers and idempotent.
+func (s *Server) Close() {
+	s.once.Do(func() {
+		if s.tasks != nil {
+			close(s.tasks) //checkinv:allow rawchan — pool shutdown
+			s.wg.Wait()
+		}
+	})
+}
+
+// Publish atomically swaps the serving snapshot to a freshly built one over
+// idx, with a new empty query cache, and returns the new snapshot
+// generation.  Queries already executing finish against the snapshot they
+// loaded; queries starting after the swap see the new index.  Generations
+// increase monotonically from 1.
+func (s *Server) Publish(idx *Index) uint64 {
+	for {
+		old := s.snap.Load()
+		gen := uint64(1)
+		if old != nil {
+			gen = old.gen + 1
+		}
+		next := &snapshot{idx: idx, gen: gen, cache: newLRU(s.opt.CacheSize)}
+		if s.snap.CompareAndSwap(old, next) {
+			s.met.reloads.Add(1)
+			return gen
+		}
+	}
+}
+
+// Generation returns the current snapshot generation, 0 before the first
+// Publish.
+func (s *Server) Generation() uint64 {
+	if snap := s.snap.Load(); snap != nil {
+		return snap.gen
+	}
+	return 0
+}
+
+// Index returns the currently served index, or nil before the first
+// Publish.
+func (s *Server) Index() *Index {
+	if snap := s.snap.Load(); snap != nil {
+		return snap.idx
+	}
+	return nil
+}
+
+// Recommend returns the top-K rules firing for the basket — antecedent
+// contained in the basket, consequent offering at least one new item —
+// ranked by confidence, then lift, then support, with deterministic
+// tie-breaking (rules.RankLess).  k <= 0 selects DefaultK; k is capped at
+// Options.MaxK.  The result is the caller's to keep.
+//
+// Determinism contract: for a fixed snapshot, basket and K, the returned
+// ranking is byte-identical across calls, cache hits or misses, pooled or
+// inline execution.
+func (s *Server) Recommend(basket []itemset.Item, k int) ([]rules.Rule, error) {
+	start := time.Now()
+	defer func() {
+		s.met.queries.Add(1)
+		s.met.observe(time.Since(start))
+	}()
+
+	snap := s.snap.Load()
+	if snap == nil {
+		return nil, ErrNoSnapshot
+	}
+	if k <= 0 {
+		k = DefaultK
+	}
+	if k > s.opt.MaxK {
+		k = s.opt.MaxK
+	}
+	b := itemset.New(basket...)
+
+	var key string
+	if snap.cache != nil {
+		key = cacheKey(b, k)
+		if v, ok := snap.cache.get(key); ok {
+			s.met.hits.Add(1)
+			return append([]rules.Rule(nil), v...), nil
+		}
+		s.met.misses.Add(1)
+	}
+
+	out := s.query(snap.idx, b, k)
+	if snap.cache != nil {
+		snap.cache.put(key, out)
+	}
+	return append([]rules.Rule(nil), out...), nil
+}
+
+// query runs the per-shard scans — inline, or fanned out across the worker
+// pool — and merges them into one ranked, truncated result.  The merge
+// sorts with the total-order comparator, so scheduling can reorder the
+// scans without ever reordering the answer.
+func (s *Server) query(ix *Index, basket itemset.Itemset, k int) []rules.Rule {
+	var matches []rules.Rule
+	if s.tasks == nil || len(ix.shards) == 1 {
+		for si := range ix.shards {
+			matches = ix.shards[si].query(basket, matches)
+		}
+		return rankTruncate(matches, k)
+	}
+	per := make([][]rules.Rule, len(ix.shards))
+	var wg sync.WaitGroup
+	for si := range ix.shards {
+		si := si
+		wg.Add(1)
+		s.tasks <- func() { //checkinv:allow rawchan — fan one query's shard scans out to the pool
+			defer wg.Done()
+			per[si] = ix.shards[si].query(basket, nil)
+		}
+	}
+	wg.Wait()
+	for _, p := range per {
+		matches = append(matches, p...)
+	}
+	return rankTruncate(matches, k)
+}
+
+// cacheKey builds the canonical cache key: the basket's canonical itemset
+// bytes (sorted, deduplicated — so {3,1,1} and {1,3} share an entry)
+// followed by K.  Keys are unambiguous because the basket encoding has
+// fixed width per item.
+func cacheKey(basket itemset.Itemset, k int) string {
+	kb := basket.AppendKey(make([]byte, 0, 4*len(basket)+4))
+	kb = binary.BigEndian.AppendUint32(kb, uint32(k))
+	return string(kb)
+}

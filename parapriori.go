@@ -36,6 +36,7 @@ import (
 	"parapriori/internal/hashtree"
 	"parapriori/internal/itemset"
 	"parapriori/internal/rules"
+	"parapriori/internal/serve"
 )
 
 // Core vocabulary, aliased from the internal packages so callers never need
@@ -189,6 +190,13 @@ type ParallelOptions struct {
 	// MaxRestarts bounds recovery attempts before MineParallel gives up
 	// (default 8).
 	MaxRestarts int
+	// CheckpointDir, when non-empty, persists each completed pass's
+	// frequent itemsets to <dir>/checkpoint.freq and resumes from that file
+	// on the next run over the same workload — a killed mining run restarts
+	// at its first unmined pass instead of from scratch.  Resumed passes
+	// are marked PassReport.Restored and counted in Report.ResumedPasses.
+	// Grid formulations only (CD, IDD, HD).
+	CheckpointDir string
 }
 
 // MineParallel runs a parallel formulation on an emulated cluster.  The
@@ -204,8 +212,9 @@ func MineParallel(data *Dataset, o ParallelOptions) (*Report, error) {
 		HDThreshold: o.HDThreshold,
 		FixedG:      o.FixedG,
 		Trace:       o.Trace,
-		Faults:      o.Faults,
-		MaxRestarts: o.MaxRestarts,
+		Faults:        o.Faults,
+		MaxRestarts:   o.MaxRestarts,
+		CheckpointDir: o.CheckpointDir,
 	}
 	prm.Apriori.MemoryBytes = 0 // parallel cap comes from the machine model
 	return core.Mine(data, prm)
@@ -312,3 +321,40 @@ func MachineCOW() Machine { return cluster.COW() }
 // MachineIdeal returns a machine with free communication and T3E compute —
 // the ablation baseline that isolates communication effects.
 func MachineIdeal() Machine { return cluster.Ideal() }
+
+// Serving layer: an online recommendation service over mined rules.  Build
+// an Index from any rule set, Publish it into a Server, and answer basket
+// queries while later mining runs hot-swap fresher indexes underneath the
+// traffic:
+//
+//	ix := parapriori.BuildIndex(rs, parapriori.ServeOptions{})
+//	srv := parapriori.NewServer(parapriori.ServeOptions{})
+//	defer srv.Close()
+//	srv.Publish(ix)
+//	recs, _ := srv.Recommend([]parapriori.Item{3, 4}, 10)
+//	http.ListenAndServe(":8080", srv.Handler(nil))
+type (
+	// ServeOptions configures the rule index and server (shards, worker
+	// pool, cache size, placement seed, K cap).
+	ServeOptions = serve.Options
+	// RuleIndex is an immutable sharded index over a rule set, answering
+	// basket queries without scanning every rule.
+	RuleIndex = serve.Index
+	// Server serves basket recommendations from an atomically hot-swappable
+	// RuleIndex snapshot with a per-snapshot query cache.
+	Server = serve.Server
+	// ServerMetrics is the server's observability snapshot (QPS, latency
+	// percentiles, cache hit rate, snapshot generation).
+	ServerMetrics = serve.Metrics
+)
+
+// ErrNoSnapshot is returned by Server.Recommend before the first Publish.
+var ErrNoSnapshot = serve.ErrNoSnapshot
+
+// BuildIndex builds an immutable sharded index over rules (as produced by
+// GenerateRules or GenerateRulesParallel).
+func BuildIndex(rs []Rule, o ServeOptions) *RuleIndex { return serve.NewIndex(rs, o) }
+
+// NewServer creates an empty rule server; Publish an index to start
+// answering queries.
+func NewServer(o ServeOptions) *Server { return serve.NewServer(o) }
