@@ -1,0 +1,161 @@
+package parapriori
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/api.golden from the current source")
+
+// apiSurface renders every exported declaration of the package — function
+// and method signatures, type definitions with their fields, consts and
+// vars — as sorted one-per-entry text.  It parses the source directly, so
+// the snapshot covers exactly what a caller can see, aliases included.
+func apiSurface(t *testing.T) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatalf("parsing package: %v", err)
+	}
+	pkg, ok := pkgs["parapriori"]
+	if !ok {
+		t.Fatalf("package parapriori not found (got %v)", pkgs)
+	}
+
+	render := func(n any) string {
+		var buf bytes.Buffer
+		if err := printer.Fprint(&buf, fset, n); err != nil {
+			t.Fatalf("printing declaration: %v", err)
+		}
+		return buf.String()
+	}
+
+	var entries []string
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				if d.Recv != nil {
+					// Methods count only on exported receiver types.
+					if base := receiverTypeName(d.Recv); base == "" || !ast.IsExported(base) {
+						continue
+					}
+				}
+				sig := *d
+				sig.Body = nil
+				sig.Doc = nil
+				entries = append(entries, strings.TrimSpace(render(&sig)))
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if !s.Name.IsExported() {
+							continue
+						}
+						entries = append(entries, "type "+render(s))
+					case *ast.ValueSpec:
+						var names []string
+						for _, n := range s.Names {
+							if n.IsExported() {
+								names = append(names, n.Name)
+							}
+						}
+						if len(names) == 0 {
+							continue
+						}
+						kw := "var"
+						if d.Tok == token.CONST {
+							kw = "const"
+						}
+						cp := *s
+						cp.Names = nil
+						for _, n := range s.Names {
+							if n.IsExported() {
+								cp.Names = append(cp.Names, n)
+							}
+						}
+						entries = append(entries, kw+" "+render(&cp))
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(entries)
+	return strings.Join(entries, "\n\n") + "\n"
+}
+
+func receiverTypeName(recv *ast.FieldList) string {
+	if recv == nil || len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// TestAPISurfaceGolden snapshots the exported surface of package parapriori
+// against testdata/api.golden.  Any signature change, added or removed
+// export, or struct-field change fails with a diff — deliberate API changes
+// re-bless the snapshot with `go test -run TestAPISurfaceGolden -update .`.
+func TestAPISurfaceGolden(t *testing.T) {
+	got := apiSurface(t)
+	golden := filepath.Join("testdata", "api.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading %s (run with -update to create it): %v", golden, err)
+	}
+	if got == string(want) {
+		return
+	}
+	gotLines := strings.Split(got, "\n")
+	wantLines := strings.Split(string(want), "\n")
+	max := len(gotLines)
+	if len(wantLines) > max {
+		max = len(wantLines)
+	}
+	var diff []string
+	for i := 0; i < max && len(diff) < 30; i++ {
+		g, w := "", ""
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			diff = append(diff, fmt.Sprintf("line %d:\n  got:  %s\n  want: %s", i+1, g, w))
+		}
+	}
+	t.Fatalf("exported API surface changed (re-bless with -update if intended):\n%s", strings.Join(diff, "\n"))
+}

@@ -15,9 +15,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"parapriori"
 )
+
+// machineNames lists the -machine spellings from the preset registry, so
+// the flag stays in sync as models are added.
+func machineNames() string {
+	var names []string
+	for _, p := range parapriori.Machines() {
+		names = append(names, p.Name)
+	}
+	return strings.Join(names, ", ")
+}
 
 // emitJSON prints a machine-readable run summary.
 func emitJSON(rep *parapriori.Report) {
@@ -69,7 +80,7 @@ func main() {
 		algoName = flag.String("algo", "hd", "algorithm: cd, dd, ddcomm, idd, hd or hpa")
 		procs    = flag.Int("p", 8, "number of emulated processors")
 		minsup   = flag.Float64("minsup", 0.01, "minimum support (fraction)")
-		machine  = flag.String("machine", "t3e", "machine model: t3e or sp2")
+		machine  = flag.String("machine", "t3e", "machine model: "+machineNames())
 		hdm      = flag.Int("m", 5000, "HD candidate threshold per grid row")
 		fixedG   = flag.Int("g", 0, "pin HD's grid rows (0 = dynamic)")
 		passes   = flag.Bool("passes", false, "print per-pass detail")
@@ -96,16 +107,12 @@ func main() {
 		os.Exit(1)
 	}
 
-	var mach parapriori.Machine
-	switch *machine {
-	case "t3e":
-		mach = parapriori.MachineT3E()
-	case "sp2":
-		mach = parapriori.MachineSP2()
-	default:
-		fmt.Fprintf(os.Stderr, "parminer: unknown machine %q (want t3e or sp2)\n", *machine)
+	preset, ok := parapriori.MachineByName(*machine)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "parminer: unknown machine %q (want %s)\n", *machine, machineNames())
 		os.Exit(2)
 	}
+	mach := preset.Machine()
 
 	rep, err := parapriori.MineParallel(data, parapriori.ParallelOptions{
 		MineOptions: parapriori.MineOptions{MinSupport: *minsup},

@@ -14,9 +14,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"parapriori"
 )
+
+// machineNames lists the -machine spellings from the preset registry, so
+// the flag stays in sync as models are added.
+func machineNames() string {
+	var names []string
+	for _, p := range parapriori.Machines() {
+		names = append(names, p.Name)
+	}
+	return strings.Join(names, ", ")
+}
 
 func main() {
 	var (
@@ -28,6 +39,7 @@ func main() {
 		item    = flag.Int("item", -1, "only rules whose antecedent or consequent contains this item")
 		vocab   = flag.String("vocab", "", "vocabulary file (one item name per line) for readable output")
 		procs   = flag.Int("p", 0, "generate on an emulated cluster of this many processors (0 = serial)")
+		machine = flag.String("machine", "t3e", "machine model for -p: "+machineNames())
 	)
 	flag.Parse()
 
@@ -54,7 +66,16 @@ func main() {
 
 	var out []parapriori.Rule
 	if *procs > 0 {
-		rep, err := parapriori.GenerateRulesParallel(res, *procs, parapriori.MachineT3E(), *minconf)
+		preset, ok := parapriori.MachineByName(*machine)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "rules: unknown machine %q (want %s)\n", *machine, machineNames())
+			os.Exit(2)
+		}
+		rep, err := parapriori.GenerateRulesOn(res, parapriori.RuleGenOptions{
+			Procs:         *procs,
+			Machine:       preset.Machine(),
+			MinConfidence: *minconf,
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rules: %v\n", err)
 			os.Exit(1)

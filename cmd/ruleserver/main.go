@@ -4,7 +4,7 @@
 // re-mining the data and then sending SIGHUP (or POST /reload) hot-swaps the
 // fresh rules in with zero downtime.
 //
-// Usage:
+// Single-node usage:
 //
 //	apriori -minsup 0.001 -save freq.txt t15i6.dat
 //	ruleserver -load freq.txt -minconf 0.8 -addr :8080
@@ -14,7 +14,30 @@
 //	curl 'localhost:8080/metrics'
 //	curl -X POST 'localhost:8080/reload'      # or: kill -HUP <pid>
 //
-// Endpoints: GET /recommend, GET /rules, GET /healthz, GET /metrics,
+// Multi-node usage — the same binary runs the distributed tier.  Start one
+// process per node, then a router that owns the rule set and shards it
+// across them:
+//
+//	ruleserver -node -addr :9001 &
+//	ruleserver -node -addr :9002 &
+//	ruleserver -router -nodes localhost:9001,localhost:9002 \
+//	    -load freq.txt -minconf 0.8 -addr :8080
+//
+//	curl 'localhost:8080/recommend?items=3,4&k=5'   # scatter-gather top-K
+//	curl 'localhost:8080/placement'                 # shard → node map
+//	curl 'localhost:8080/metrics'                   # fleet-wide metrics
+//	curl -X POST 'localhost:8080/reload'            # delta publish (add ?full=1
+//	                                                # for a full rebuild); or
+//	                                                # kill -HUP <router pid>
+//
+// Node processes need no -load: the router ships each node the antecedent
+// groups its shards own, and on reload ships only the groups whose canonical
+// bytes changed.  Answers are bit-identical to the single-node server over
+// the same rule set.
+//
+// Endpoints (single node and per-node): GET /recommend, /rules, /healthz,
+// /metrics, POST /reload; node mode adds POST /shard/prepare, /shard/commit,
+// GET /shard/state.  Router: GET /recommend, /healthz, /metrics, /placement,
 // POST /reload.
 package main
 
@@ -25,39 +48,55 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"parapriori"
+	"parapriori/internal/distserve"
+	"parapriori/internal/rules"
+	"parapriori/internal/serve"
 )
 
 func main() {
 	var (
 		addr    = flag.String("addr", ":8080", "listen address")
-		load    = flag.String("load", "", "frequent itemsets saved by apriori -save (required)")
+		load    = flag.String("load", "", "frequent itemsets saved by apriori -save (required unless -node)")
 		minconf = flag.Float64("minconf", 0.8, "minimum confidence for generated rules")
-		shards  = flag.Int("shards", 0, "index shards (0 = default)")
+		shards  = flag.Int("shards", 0, "index shards within one server (0 = default)")
 		workers = flag.Int("workers", 0, "query worker pool size (0 = inline execution)")
 		cache   = flag.Int("cache", 0, "query cache entries (0 = default, negative = disabled)")
+
+		nodeMode   = flag.Bool("node", false, "run as a shard node: serve shards assigned by a router, no -load needed")
+		routerMode = flag.Bool("router", false, "run as the router: shard -load rules across -nodes and scatter-gather queries")
+		nodeList   = flag.String("nodes", "", "comma-separated node base URLs (router mode, required)")
+		cshards    = flag.Int("cluster-shards", 0, "shards to distribute across the nodes (router mode, 0 = default)")
+		seed       = flag.Uint64("seed", 0, "placement hash seed (router mode, 0 = fixed default)")
 	)
 	flag.Parse()
+	if *nodeMode && *routerMode {
+		fmt.Fprintln(os.Stderr, "ruleserver: -node and -router are mutually exclusive")
+		os.Exit(2)
+	}
+
+	sopt := serve.Options{Shards: *shards, Workers: *workers, CacheSize: *cache}
+
+	if *nodeMode {
+		runNode(*addr, sopt)
+		return
+	}
+	if *routerMode {
+		runRouter(*addr, *load, *minconf, *nodeList, *cshards, *seed, sopt)
+		return
+	}
+
 	if *load == "" {
 		fmt.Fprintln(os.Stderr, "ruleserver: -load <saved result> is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-
-	opt := parapriori.ServeOptions{Shards: *shards, Workers: *workers, CacheSize: *cache}
+	opt := parapriori.ServeOptions(sopt)
 	build := func() (*parapriori.RuleIndex, error) {
-		f, err := os.Open(*load)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		res, err := parapriori.ReadResult(f)
-		if err != nil {
-			return nil, err
-		}
-		rs, err := parapriori.GenerateRules(res, *minconf)
+		rs, err := loadRules(*load, *minconf)
 		if err != nil {
 			return nil, err
 		}
@@ -73,22 +112,105 @@ func main() {
 	gen := srv.Publish(ix)
 	log.Printf("ruleserver: serving %d rules (generation %d) on %s", ix.NumRules(), gen, *addr)
 
-	// SIGHUP triggers the same rebuild-and-swap as POST /reload.  A plain
-	// signal channel is the idiomatic shape here; this is real-OS territory,
-	// outside the simulation's determinism rules.
+	onHUP(func() {
+		ix, err := build()
+		if err != nil {
+			log.Printf("ruleserver: SIGHUP reload failed: %v", err)
+			return
+		}
+		gen := srv.Publish(ix)
+		log.Printf("ruleserver: SIGHUP reloaded %d rules (generation %d)", ix.NumRules(), gen)
+	})
+
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler(build)))
+}
+
+// loadRules reads a saved mining result and generates rules from it.
+func loadRules(path string, minconf float64) ([]rules.Rule, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	res, err := parapriori.ReadResult(f)
+	if err != nil {
+		return nil, err
+	}
+	return parapriori.GenerateRules(res, minconf)
+}
+
+// runNode serves shards on behalf of a router.  The node starts empty and
+// receives its content through the publish protocol.
+func runNode(addr string, sopt serve.Options) {
+	n := distserve.NewNode(addr, sopt)
+	defer n.Close()
+	log.Printf("ruleserver: node awaiting shard assignments on %s", addr)
+	log.Fatal(http.ListenAndServe(addr, distserve.NodeHandler(n)))
+}
+
+// runRouter shards the rule set across the node fleet and serves
+// scatter-gather queries.  SIGHUP (or POST /reload) regenerates the rules
+// and publishes the delta.
+func runRouter(addr, load string, minconf float64, nodeList string, cshards int, seed uint64, sopt serve.Options) {
+	if load == "" {
+		fmt.Fprintln(os.Stderr, "ruleserver: -router requires -load <saved result>")
+		os.Exit(2)
+	}
+	if strings.TrimSpace(nodeList) == "" {
+		fmt.Fprintln(os.Stderr, "ruleserver: -router requires -nodes <url,url,...>")
+		os.Exit(2)
+	}
+	var clients []distserve.Client
+	for _, raw := range strings.Split(nodeList, ",") {
+		if raw = strings.TrimSpace(raw); raw != "" {
+			clients = append(clients, distserve.NewHTTPClient(raw))
+		}
+	}
+	opt := distserve.Options{Shards: cshards, Seed: seed, Node: sopt}
+	router, err := distserve.NewRouter(clients, opt)
+	if err != nil {
+		log.Fatalf("ruleserver: %v", err)
+	}
+
+	reload := func() ([]rules.Rule, error) { return loadRules(load, minconf) }
+	rs, err := reload()
+	if err != nil {
+		log.Fatalf("ruleserver: %v", err)
+	}
+	stats, err := router.Publish(rs, true)
+	if err != nil {
+		log.Fatalf("ruleserver: initial publish: %v", err)
+	}
+	log.Printf("ruleserver: router on %s — %d rules in %d groups over %d nodes (%d shards, generation %d)",
+		addr, len(rs), stats.Groups, stats.Nodes, len(router.Placement()), stats.Gen)
+
+	onHUP(func() {
+		rs, err := reload()
+		if err != nil {
+			log.Printf("ruleserver: SIGHUP reload failed: %v", err)
+			return
+		}
+		stats, err := router.Publish(rs, false)
+		if err != nil {
+			log.Printf("ruleserver: SIGHUP publish: %v", err)
+			return
+		}
+		log.Printf("ruleserver: SIGHUP published generation %d (delta: %d upserts, %d removes, %d bytes)",
+			stats.Gen, stats.Upserts, stats.Removes, stats.Bytes)
+	})
+
+	log.Fatal(http.ListenAndServe(addr, router.Handler(reload)))
+}
+
+// onHUP runs f on every SIGHUP.  A plain signal channel is the idiomatic
+// shape here; this is real-OS territory, outside the simulation's
+// determinism rules.
+func onHUP(f func()) {
 	hup := make(chan os.Signal, 1) //checkinv:allow rawchan signal.Notify requires a raw channel
 	signal.Notify(hup, syscall.SIGHUP)
 	go func() { //checkinv:allow rawchan serving runs on the real OS, not the emulated cluster
 		for range hup {
-			ix, err := build()
-			if err != nil {
-				log.Printf("ruleserver: SIGHUP reload failed: %v", err)
-				continue
-			}
-			gen := srv.Publish(ix)
-			log.Printf("ruleserver: SIGHUP reloaded %d rules (generation %d)", ix.NumRules(), gen)
+			f()
 		}
 	}()
-
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler(build)))
 }

@@ -7,7 +7,7 @@ import (
 )
 
 // RawchanAnalyzer forbids raw channel machinery in internal/core,
-// internal/serve and the commands.  In core, all inter-processor traffic
+// internal/serve, internal/distserve and the commands.  In core, all inter-processor traffic
 // must flow through cluster.Proc.Send/Recv and the cluster.Comm collectives
 // so it is charged to the virtual clocks; a bare channel (or goroutine) is
 // traffic the cost model never sees, which silently deflates the
@@ -18,9 +18,9 @@ import (
 // Package cluster itself is exempt — it is the comm layer.
 var RawchanAnalyzer = &Analyzer{
 	Name: "rawchan",
-	Doc:  "forbid unannotated raw channels/goroutines in internal/core, internal/serve and cmd",
+	Doc:  "forbid unannotated raw channels/goroutines in internal/core, internal/serve, internal/distserve and cmd",
 	Applies: func(rel string) bool {
-		return underAny(rel, "internal/core", "internal/serve", "cmd")
+		return underAny(rel, "internal/core", "internal/serve", "internal/distserve", "cmd")
 	},
 	Check: checkRawchan,
 }

@@ -1,0 +1,35 @@
+package cluster
+
+// Preset pairs a machine model with the short name commands accept on
+// their -machine flags.
+type Preset struct {
+	// Name is the flag spelling ("t3e", "sp2", "cow", "ideal") — distinct
+	// from Machine.Name, the display label in experiment output.
+	Name string
+	// Doc is a one-line description for usage text.
+	Doc string
+	// Machine builds the cost model.
+	Machine func() Machine
+}
+
+// Presets returns every machine model in presentation order.  Commands
+// build their -machine flag handling from this list instead of hard-coding
+// the switch.
+func Presets() []Preset {
+	return []Preset{
+		{"t3e", "128-processor Cray T3E, memory-resident database", T3E},
+		{"sp2", "16-node IBM SP2 with disk-resident database", SP2},
+		{"cow", "cluster of workstations on switched Ethernet, no overlap", COW},
+		{"ideal", "free communication, T3E compute (ablation baseline)", Ideal},
+	}
+}
+
+// ByName finds a preset by its flag spelling.
+func ByName(name string) (Preset, bool) {
+	for _, p := range Presets() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Preset{}, false
+}

@@ -1,0 +1,136 @@
+package distserve
+
+import (
+	"errors"
+	"fmt"
+
+	"sync/atomic"
+
+	"parapriori/internal/itemset"
+	"parapriori/internal/rules"
+	"parapriori/internal/serve"
+)
+
+// ErrNodeDown reports a node the router could not reach.  The router treats
+// any transport error the same way; this sentinel is what the in-process
+// client returns when a test (or the load generator) takes a node down.
+var ErrNodeDown = errors.New("distserve: node down")
+
+// Client is the router's transport to one node.  Two implementations exist:
+// LocalClient drives an in-process Node directly (tests, experiments, and
+// single-binary deployments), and HTTPClient speaks to a ruleserver -node
+// process.  All methods must be safe for concurrent use.
+type Client interface {
+	// ID returns the node's identity — the string placement hashes on.
+	// For HTTP nodes it is the base URL, so a fixed node list always
+	// yields the same placement.
+	ID() string
+	// Recommend runs a basket query on the node, returning the node's
+	// top-K and the cluster generation it served from.
+	Recommend(basket itemset.Itemset, k int) ([]rules.Rule, uint64, error)
+	// Prepare stages a publish generation on the node.
+	Prepare(req PrepareRequest) error
+	// Commit cuts the node over to a staged generation.
+	Commit(gen uint64) error
+	// Metrics fetches the node's serving metrics.
+	Metrics() (serve.Metrics, error)
+}
+
+// LocalClient is the in-process transport: direct calls into a Node, plus a
+// kill switch so tests and the load generator can exercise the router's
+// degraded paths deterministically.
+type LocalClient struct {
+	node *Node
+	down atomic.Bool
+}
+
+// NewLocalClient wraps a node in the Client interface.
+func NewLocalClient(n *Node) *LocalClient { return &LocalClient{node: n} }
+
+// SetDown makes every subsequent call fail with ErrNodeDown (true) or
+// restores the node (false).  The node's state is untouched — a revived
+// node still serves its last committed generation, exactly like a process
+// that was partitioned away and came back.
+func (c *LocalClient) SetDown(down bool) { c.down.Store(down) }
+
+// Node returns the wrapped node.
+func (c *LocalClient) Node() *Node { return c.node }
+
+// ID implements Client.
+func (c *LocalClient) ID() string { return c.node.ID() }
+
+// Recommend implements Client.
+func (c *LocalClient) Recommend(basket itemset.Itemset, k int) ([]rules.Rule, uint64, error) {
+	if c.down.Load() {
+		return nil, 0, fmt.Errorf("%w: %s", ErrNodeDown, c.node.ID())
+	}
+	return c.node.Recommend(basket, k)
+}
+
+// Prepare implements Client.
+func (c *LocalClient) Prepare(req PrepareRequest) error {
+	if c.down.Load() {
+		return fmt.Errorf("%w: %s", ErrNodeDown, c.node.ID())
+	}
+	return c.node.Prepare(req)
+}
+
+// Commit implements Client.
+func (c *LocalClient) Commit(gen uint64) error {
+	if c.down.Load() {
+		return fmt.Errorf("%w: %s", ErrNodeDown, c.node.ID())
+	}
+	return c.node.Commit(gen)
+}
+
+// Metrics implements Client.
+func (c *LocalClient) Metrics() (serve.Metrics, error) {
+	if c.down.Load() {
+		return serve.Metrics{}, fmt.Errorf("%w: %s", ErrNodeDown, c.node.ID())
+	}
+	return c.node.Metrics(), nil
+}
+
+// Cluster is an in-process serving fleet: n nodes and a router wired with
+// LocalClients.  It is how the tests and the load-generator experiment run
+// a whole multi-node deployment inside one process under -race — the
+// emulated-cluster spirit of the repo, applied to the serving tier.
+type Cluster struct {
+	Router  *Router
+	Nodes   []*Node
+	Clients []*LocalClient
+}
+
+// NewCluster builds n nodes ("node00"…) and a router over them.  Publish a
+// rule set through c.Router to start serving.
+func NewCluster(n int, opt Options) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("distserve: cluster needs at least 1 node, got %d", n)
+	}
+	opt = opt.WithDefaults()
+	c := &Cluster{}
+	clients := make([]Client, n)
+	for i := 0; i < n; i++ {
+		node := NewNode(fmt.Sprintf("node%02d", i), opt.Node)
+		lc := NewLocalClient(node)
+		c.Nodes = append(c.Nodes, node)
+		c.Clients = append(c.Clients, lc)
+		clients[i] = lc
+	}
+	r, err := NewRouter(clients, opt)
+	if err != nil {
+		for _, node := range c.Nodes {
+			node.Close()
+		}
+		return nil, err
+	}
+	c.Router = r
+	return c, nil
+}
+
+// Close stops every node's worker pool.
+func (c *Cluster) Close() {
+	for _, n := range c.Nodes {
+		n.Close()
+	}
+}

@@ -1,0 +1,153 @@
+// Package distserve is the multi-node rule-serving tier: a rule index split
+// into S shards placed across N server nodes, a router that scatter-gathers
+// basket queries, and a delta-publishing protocol that ships only changed
+// antecedent groups when a fresh rule set lands.
+//
+// The design transplants the paper's partitioning ideas from mining to
+// serving.  IDD partitions candidates by first item so each processor owns
+// a disjoint slice of the hash tree; here, antecedent groups are partitioned
+// by their first (smallest) item into S shards, and shards are placed on
+// nodes by rendezvous (highest-random-weight) hashing with a seeded,
+// deterministic tie-break — each node holds only its fraction of the index,
+// the memory-constrained direction of Savasere et al.'s Partition algorithm.
+//
+// The moving parts:
+//
+//   - Placement: shard → node by rendezvous hashing.  Node join/leave moves
+//     only the shards whose argmax changed (≈ S/N per node change), and the
+//     assignment is a pure function of (seed, shard, node IDs) — two runs
+//     with the same membership place identically.
+//
+//   - Node: one serving process (or goroutine).  It keeps its owned shards'
+//     antecedent groups, serves basket queries from a serve.Server over
+//     them (snapshot hot swap, query cache, metrics — the single-node
+//     machinery, reused per node), and participates in two-phase publishes:
+//     Prepare stages the next generation's groups and builds its index off
+//     the query path, Commit atomically cuts the traffic over.
+//
+//   - Router: accepts basket queries, computes the shards the basket can
+//     touch (one per distinct basket item — exactly the posting lists the
+//     first-item inverted index would consult), fans out to only the owning
+//     nodes, and merges per-node top-K into the global top-K under the
+//     rules.RankLess total order.  Any rule in the global top-K is in its
+//     node's local top-K, so the merge is bit-identical to a single-node
+//     scan of the full rule set.  A down node degrades the answer, not the
+//     service: the result is flagged Partial with the missed shards listed,
+//     and the surviving shards' rules are ranked exactly as if the lost
+//     rules never existed.
+//
+//   - Delta publish: the router diffs the new rule set's antecedent groups
+//     against the previous generation's canonical bytes (serve.DiffGroups)
+//     and ships each owner only the groups that changed on its shards, plus
+//     tombstones for vanished groups.  Generations advance cluster-wide;
+//     the cut-over happens only after every owner acknowledged its Prepare.
+//
+// Like package serve, distserve runs on the real clock and real goroutines
+// — it is a production subsystem, not an emulation — so its raw
+// concurrency sites carry reviewed //checkinv:allow rawchan annotations.
+// The in-process Cluster wiring (goroutine nodes, direct calls) keeps the
+// whole tier testable under -race in the emulated-cluster spirit of the
+// repo; the HTTP transport in http.go runs the same protocol between real
+// processes (cmd/ruleserver -node / -router).
+package distserve
+
+import (
+	"sort"
+
+	"parapriori/internal/itemset"
+	"parapriori/internal/serve"
+)
+
+// Options configures the distributed tier.  Router and in-process nodes are
+// built from one Options value; HTTP node processes must be started with
+// the same shard count, seed and serving options for placement and query
+// clamping to agree (cmd/ruleserver wires this up).
+type Options struct {
+	// Shards is the number of index shards S distributed across the nodes
+	// (default 32).  More shards give finer placement granularity and
+	// smoother rebalancing at a little routing-table cost.
+	Shards int
+	// Seed seeds the item→shard hash and the rendezvous placement weights.
+	// Zero selects a fixed default, keeping placement reproducible run to
+	// run — the distributed analogue of serve.Options.HashSeed.
+	Seed uint64
+	// Node is the per-node serving configuration (query cache, worker
+	// pool, MaxK).  The router clamps K with the same defaults, so
+	// router-side and node-side query semantics match exactly.
+	Node serve.Options
+}
+
+// WithDefaults returns the options with every zero field defaulted.
+func (o Options) WithDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 32
+	}
+	if o.Seed == 0 {
+		o.Seed = 0xd157a1b2c3d4e5f6
+	}
+	o.Node = o.Node.WithDefaults()
+	return o
+}
+
+// shardOf maps an antecedent's first (smallest) item to its shard.  Every
+// antecedent contained in a basket has its first item in the basket, so the
+// shards a basket query can touch are exactly {shardOf(item)} over the
+// basket items — the router's fan-out set.
+func (o Options) shardOf(first itemset.Item) int {
+	return int(splitmix64(o.Seed^uint64(uint32(first))) % uint64(o.Shards))
+}
+
+// shardOfKey maps a group key (itemset.Key encoding) to its shard.
+func (o Options) shardOfKey(key string) int {
+	ant := itemset.KeyToItemset(key)
+	if len(ant) == 0 {
+		return 0
+	}
+	return o.shardOf(ant[0])
+}
+
+// Place assigns every shard an owner from nodeIDs by rendezvous hashing:
+// shard s goes to the node with the highest weight(seed, s, id).  The
+// assignment is a pure deterministic function of its inputs — node order
+// does not matter, and adding or removing a node moves only the shards
+// whose winner changed.  Ties (astronomically unlikely with 64-bit
+// weights) break toward the lexicographically smallest ID.  Panics if
+// nodeIDs is empty; returns one owner per shard.
+func Place(seed uint64, shards int, nodeIDs []string) []string {
+	if len(nodeIDs) == 0 {
+		panic("distserve: Place with no nodes")
+	}
+	ids := append([]string(nil), nodeIDs...)
+	sort.Strings(ids)
+	owners := make([]string, shards)
+	for s := range owners {
+		best := ids[0]
+		bestW := placeWeight(seed, s, ids[0])
+		for _, id := range ids[1:] {
+			if w := placeWeight(seed, s, id); w > bestW {
+				best, bestW = id, w
+			}
+		}
+		owners[s] = best
+	}
+	return owners
+}
+
+// placeWeight is the rendezvous weight of (shard, node): a splitmix64
+// absorb of the seed, the shard number and the node ID bytes — the same
+// mixer the serving layer and the fault injector use.
+func placeWeight(seed uint64, shard int, id string) uint64 {
+	h := splitmix64(seed ^ uint64(shard))
+	for i := 0; i < len(id); i++ {
+		h = splitmix64(h ^ uint64(id[i]))
+	}
+	return h
+}
+
+// splitmix64 is the finalizer of Steele et al.'s SplitMix64 generator.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,421 @@
+package distserve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"parapriori/internal/itemset"
+	"parapriori/internal/rules"
+	"parapriori/internal/serve"
+)
+
+// The HTTP transport runs the same node protocol as LocalClient between real
+// processes: cmd/ruleserver -node exposes NodeHandler, cmd/ruleserver
+// -router drives HTTPClients.  Go's JSON encoder emits the shortest float64
+// representation that round-trips exactly, so quality measures survive the
+// wire bit-for-bit and the distributed ranking stays identical to the
+// in-process one.
+
+// ruleWire is the wire form of a rule, field-compatible with the single-node
+// serving API's rule encoding.
+type ruleWire struct {
+	Antecedent []itemset.Item `json:"antecedent"`
+	Consequent []itemset.Item `json:"consequent"`
+	Count      int64          `json:"count"`
+	Support    float64        `json:"support"`
+	Confidence float64        `json:"confidence"`
+	Lift       float64        `json:"lift"`
+	Leverage   float64        `json:"leverage"`
+}
+
+func toWire(r rules.Rule) ruleWire {
+	return ruleWire{
+		Antecedent: r.Antecedent,
+		Consequent: r.Consequent,
+		Count:      r.Count,
+		Support:    r.Support,
+		Confidence: r.Confidence,
+		Lift:       r.Lift,
+		Leverage:   r.Leverage,
+	}
+}
+
+func fromWire(w ruleWire) rules.Rule {
+	return rules.Rule{
+		Antecedent: itemset.Itemset(w.Antecedent),
+		Consequent: itemset.Itemset(w.Consequent),
+		Count:      w.Count,
+		Support:    w.Support,
+		Confidence: w.Confidence,
+		Lift:       w.Lift,
+		Leverage:   w.Leverage,
+	}
+}
+
+func toWireRules(rs []rules.Rule) []ruleWire {
+	out := make([]ruleWire, len(rs))
+	for i, r := range rs {
+		out[i] = toWire(r)
+	}
+	return out
+}
+
+func fromWireRules(ws []ruleWire) []rules.Rule {
+	if len(ws) == 0 {
+		// nil, not an empty slice: decoded answers must be bit-identical
+		// to the in-process ones, which return nil for "no matches".
+		return nil
+	}
+	out := make([]rules.Rule, len(ws))
+	for i, w := range ws {
+		out[i] = fromWire(w)
+	}
+	return out
+}
+
+// groupUpdateWire / groupRefWire / prepareWire are the JSON forms of the
+// publish protocol messages.
+type groupUpdateWire struct {
+	Shard int        `json:"shard"`
+	Rules []ruleWire `json:"rules"`
+}
+
+type groupRefWire struct {
+	Shard int            `json:"shard"`
+	Ant   []itemset.Item `json:"antecedent"`
+}
+
+type prepareWire struct {
+	Gen     uint64            `json:"generation"`
+	Full    bool              `json:"full"`
+	Owned   []int             `json:"owned"`
+	Upserts []groupUpdateWire `json:"upserts,omitempty"`
+	Removes []groupRefWire    `json:"removes,omitempty"`
+}
+
+func toPrepareWire(req PrepareRequest) prepareWire {
+	w := prepareWire{Gen: req.Gen, Full: req.Full, Owned: req.Owned}
+	for _, up := range req.Upserts {
+		w.Upserts = append(w.Upserts, groupUpdateWire{Shard: up.Shard, Rules: toWireRules(up.Rules)})
+	}
+	for _, rm := range req.Removes {
+		w.Removes = append(w.Removes, groupRefWire{Shard: rm.Shard, Ant: rm.Ant})
+	}
+	return w
+}
+
+func fromPrepareWire(w prepareWire) PrepareRequest {
+	req := PrepareRequest{Gen: w.Gen, Full: w.Full, Owned: w.Owned}
+	for _, up := range w.Upserts {
+		req.Upserts = append(req.Upserts, GroupUpdate{Shard: up.Shard, Rules: fromWireRules(up.Rules)})
+	}
+	for _, rm := range w.Removes {
+		req.Removes = append(req.Removes, GroupRef{Shard: rm.Shard, Ant: itemset.New(rm.Ant...)})
+	}
+	return req
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // response already committed; nothing to do on error
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// parseItems parses a comma-separated non-negative item list ("1,2,3").
+func parseItems(raw string) ([]itemset.Item, error) {
+	if strings.TrimSpace(raw) == "" {
+		return nil, fmt.Errorf("empty items")
+	}
+	parts := strings.Split(raw, ",")
+	out := make([]itemset.Item, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad item %q", p)
+		}
+		out = append(out, itemset.Item(v))
+	}
+	return out, nil
+}
+
+// NodeHandler is a node process's HTTP surface: the control-plane endpoints
+//
+//	POST /shard/prepare   stage a publish generation (prepareWire)
+//	POST /shard/commit    cut over to a staged generation ({"generation": n})
+//	GET  /shard/state     node identity, generation, owned shards
+//
+// plus the node's full single-node serving surface (GET /recommend, /rules,
+// /healthz, /metrics) mounted at the root — a node answers basket queries
+// over its own shards exactly like a standalone ruleserver over a small
+// rule set, which is what the router's scatter-gather relies on.
+func NodeHandler(n *Node) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", n.Server().Handler(nil))
+	mux.HandleFunc("/shard/prepare", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "use POST")
+			return
+		}
+		var pw prepareWire
+		if err := json.NewDecoder(r.Body).Decode(&pw); err != nil {
+			writeError(w, http.StatusBadRequest, "prepare: %v", err)
+			return
+		}
+		if err := n.Prepare(fromPrepareWire(pw)); err != nil {
+			writeError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"staged": pw.Gen})
+	})
+	mux.HandleFunc("/shard/commit", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "use POST")
+			return
+		}
+		var body struct {
+			Gen uint64 `json:"generation"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			writeError(w, http.StatusBadRequest, "commit: %v", err)
+			return
+		}
+		if err := n.Commit(body.Gen); err != nil {
+			writeError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"generation": body.Gen})
+	})
+	mux.HandleFunc("/shard/state", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"id":         n.ID(),
+			"generation": n.Gen(),
+			"shards":     n.Shards(),
+			"num_rules":  n.NumRules(),
+		})
+	})
+	return mux
+}
+
+// HTTPClient speaks the node protocol to a ruleserver -node process.  Its ID
+// is the node's base URL, so a fixed node list gives the same rendezvous
+// placement on every router start.
+type HTTPClient struct {
+	base string
+	hc   *http.Client
+}
+
+// NewHTTPClient builds a client for a node at baseURL (e.g.
+// "http://host:9001"; a missing scheme defaults to http, a trailing slash is
+// trimmed).
+func NewHTTPClient(baseURL string) *HTTPClient {
+	base := strings.TrimRight(baseURL, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &HTTPClient{base: base, hc: &http.Client{Timeout: 30 * time.Second}}
+}
+
+// ID implements Client.
+func (c *HTTPClient) ID() string { return c.base }
+
+func (c *HTTPClient) get(path string, out any) error {
+	resp, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrNodeDown, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("distserve: %s%s: HTTP %d: %s", c.base, path, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (c *HTTPClient) post(path string, in, out any) error {
+	payload, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrNodeDown, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("distserve: %s%s: HTTP %d: %s", c.base, path, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Recommend implements Client via the node's GET /recommend.
+func (c *HTTPClient) Recommend(basket itemset.Itemset, k int) ([]rules.Rule, uint64, error) {
+	items := make([]string, len(basket))
+	for i, it := range basket {
+		items[i] = strconv.Itoa(int(it))
+	}
+	var resp struct {
+		Generation uint64     `json:"generation"`
+		Rules      []ruleWire `json:"rules"`
+	}
+	path := "/recommend?items=" + url.QueryEscape(strings.Join(items, ",")) + "&k=" + strconv.Itoa(k)
+	if err := c.get(path, &resp); err != nil {
+		return nil, 0, err
+	}
+	return fromWireRules(resp.Rules), resp.Generation, nil
+}
+
+// Prepare implements Client via POST /shard/prepare.
+func (c *HTTPClient) Prepare(req PrepareRequest) error {
+	return c.post("/shard/prepare", toPrepareWire(req), nil)
+}
+
+// Commit implements Client via POST /shard/commit.
+func (c *HTTPClient) Commit(gen uint64) error {
+	return c.post("/shard/commit", map[string]uint64{"generation": gen}, nil)
+}
+
+// Metrics implements Client via GET /metrics.
+func (c *HTTPClient) Metrics() (serve.Metrics, error) {
+	var m serve.Metrics
+	err := c.get("/metrics", &m)
+	return m, err
+}
+
+// Handler is the router process's HTTP surface:
+//
+//	GET  /recommend?items=1,2,3&k=10   distributed top-K (scatter-gather)
+//	GET  /healthz                      liveness, generation, nodes up
+//	GET  /metrics                      FleetMetrics as JSON
+//	GET  /placement                    shard → node assignment
+//	POST /reload[?full=1]              rebuild rules via the callback and
+//	                                   publish cluster-wide (delta by default)
+//
+// reload supplies a freshly generated rule set (typically re-reading the
+// mined result file); nil disables /reload with 501.
+func (r *Router) Handler(reload func() ([]rules.Rule, error)) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/recommend", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		basket, err := parseItems(req.URL.Query().Get("items"))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "items: %v", err)
+			return
+		}
+		k := 0
+		if raw := req.URL.Query().Get("k"); raw != "" {
+			k, err = strconv.Atoi(raw)
+			if err != nil || k < 0 {
+				writeError(w, http.StatusBadRequest, "bad k %q", raw)
+				return
+			}
+		}
+		res, err := r.Recommend(basket, k)
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Generation   uint64         `json:"generation"`
+			Basket       []itemset.Item `json:"basket"`
+			Rules        []ruleWire     `json:"rules"`
+			Mixed        bool           `json:"mixed,omitempty"`
+			Partial      bool           `json:"partial,omitempty"`
+			MissedShards []int          `json:"missed_shards,omitempty"`
+			NodesQueried int            `json:"nodes_queried"`
+		}{
+			Generation:   res.Generation,
+			Basket:       itemset.New(basket...),
+			Rules:        toWireRules(res.Rules),
+			Mixed:        res.Mixed,
+			Partial:      res.Partial,
+			MissedShards: res.MissedShards,
+			NodesQueried: res.NodesQueried,
+		})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		m := r.Metrics()
+		status := "ok"
+		code := http.StatusOK
+		switch {
+		case m.Generation == 0:
+			status, code = "empty", http.StatusServiceUnavailable
+		case m.NodesUp < m.NumNodes:
+			status = "degraded"
+		}
+		writeJSON(w, code, map[string]any{
+			"status":     status,
+			"generation": m.Generation,
+			"nodes_up":   m.NodesUp,
+			"num_nodes":  m.NumNodes,
+		})
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		writeJSON(w, http.StatusOK, r.Metrics())
+	})
+	mux.HandleFunc("/placement", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"shards":    r.opt.Shards,
+			"nodes":     r.NodeIDs(),
+			"placement": r.Placement(),
+		})
+	})
+	mux.HandleFunc("/reload", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "use POST")
+			return
+		}
+		if reload == nil {
+			writeError(w, http.StatusNotImplemented, "no reload source configured")
+			return
+		}
+		rs, err := reload()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "reload: %v", err)
+			return
+		}
+		full := req.URL.Query().Get("full") != ""
+		stats, err := r.Publish(rs, full)
+		if err != nil {
+			writeError(w, http.StatusBadGateway, "publish: %v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, stats)
+	})
+	return mux
+}

@@ -1,0 +1,166 @@
+package distserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"parapriori/internal/itemset"
+	"parapriori/internal/rules"
+)
+
+// httpFleet spins up n node processes as httptest servers and a router
+// driving them over real HTTP.
+func httpFleet(t *testing.T, n int, opt Options) (*Router, []*Node) {
+	t.Helper()
+	opt = opt.WithDefaults()
+	clients := make([]Client, n)
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		node := NewNode(fmt.Sprintf("httpnode%02d", i), opt.Node)
+		ts := httptest.NewServer(NodeHandler(node))
+		t.Cleanup(ts.Close)
+		t.Cleanup(node.Close)
+		nodes[i] = node
+		clients[i] = NewHTTPClient(ts.URL)
+	}
+	r, err := NewRouter(clients, opt)
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	return r, nodes
+}
+
+// TestHTTPEndToEnd runs the full protocol over real HTTP — publish, delta
+// publish, scatter-gather queries through the router's own HTTP handler —
+// and checks the answers stay bit-identical to the single-node baseline.
+// JSON's shortest-round-trip float encoding makes that exactness possible.
+func TestHTTPEndToEnd(t *testing.T) {
+	v1 := synthRules(200, 40, 30)
+	v2 := mutate(v1)
+	opt := Options{Shards: 16}
+	router, _ := httpFleet(t, 2, opt)
+
+	if _, err := router.Publish(v1, true); err != nil {
+		t.Fatalf("publish over HTTP: %v", err)
+	}
+
+	// The reload callback flips to v2 — exercised through POST /reload.
+	current := v1
+	front := httptest.NewServer(router.Handler(func() ([]rules.Rule, error) { return current, nil }))
+	t.Cleanup(front.Close)
+
+	queryFront := func(basket []itemset.Item, k int) ([]rules.Rule, map[string]any) {
+		t.Helper()
+		items := make([]string, len(basket))
+		for i, it := range basket {
+			items[i] = strconv.Itoa(int(it))
+		}
+		resp, err := http.Get(front.URL + "/recommend?items=" + strings.Join(items, ",") + "&k=" + strconv.Itoa(k))
+		if err != nil {
+			t.Fatalf("GET /recommend: %v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /recommend: HTTP %d", resp.StatusCode)
+		}
+		var body struct {
+			Generation uint64         `json:"generation"`
+			Rules      []ruleWire     `json:"rules"`
+			Partial    bool           `json:"partial"`
+			Extra      map[string]any `json:"-"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatalf("decode /recommend: %v", err)
+		}
+		if body.Partial {
+			t.Fatalf("unexpected partial over HTTP")
+		}
+		return fromWireRules(body.Rules), map[string]any{"generation": body.Generation}
+	}
+
+	srv1 := singleNode(t, v1, opt)
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 25; i++ {
+		basket := randBasket(rng, 40)
+		want, _ := srv1.Recommend(basket, 10)
+		got, meta := queryFront(basket, 10)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("HTTP result mismatch for %v:\n got %v\n want %v", basket, got, want)
+		}
+		if meta["generation"].(uint64) != 1 {
+			t.Fatalf("generation %v, want 1", meta["generation"])
+		}
+	}
+
+	// Delta publish via POST /reload.
+	current = v2
+	resp, err := http.Post(front.URL+"/reload", "application/json", nil)
+	if err != nil {
+		t.Fatalf("POST /reload: %v", err)
+	}
+	var stats PublishStats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatalf("decode /reload: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || stats.Gen != 2 || stats.Full {
+		t.Fatalf("reload: HTTP %d, stats %+v", resp.StatusCode, stats)
+	}
+
+	srv2 := singleNode(t, v2, opt)
+	for i := 0; i < 25; i++ {
+		basket := randBasket(rng, 40)
+		want, _ := srv2.Recommend(basket, 10)
+		got, _ := queryFront(basket, 10)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("post-reload HTTP mismatch for %v", basket)
+		}
+	}
+
+	// Control-plane and observability endpoints respond sensibly.
+	for _, path := range []string{"/healthz", "/metrics", "/placement"} {
+		resp, err := http.Get(front.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		var v map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatalf("decode %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: HTTP %d (%v)", path, resp.StatusCode, v)
+		}
+	}
+	var fm FleetMetrics
+	mresp, err := http.Get(front.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	if err := json.NewDecoder(mresp.Body).Decode(&fm); err != nil {
+		t.Fatalf("decode fleet metrics: %v", err)
+	}
+	mresp.Body.Close()
+	if fm.NodesUp != 2 || fm.Generation != 2 || fm.NumRules != len(serveRules(v2)) {
+		t.Fatalf("fleet metrics over HTTP: %+v", fm)
+	}
+}
+
+// serveRules mirrors the index's routable-rule filter: groups with empty
+// antecedents never land on any shard.
+func serveRules(rs []rules.Rule) []rules.Rule {
+	var out []rules.Rule
+	for _, r := range rs {
+		if len(r.Antecedent) > 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package distserve
+
+import (
+	"sort"
+	"time"
+
+	"parapriori/internal/serve"
+)
+
+// NodeMetrics is one node's view in the fleet report: identity, liveness,
+// the shards placement assigns it, and its full single-node serving metrics
+// (zero-valued when the node is down).
+type NodeMetrics struct {
+	ID     string        `json:"id"`
+	Up     bool          `json:"up"`
+	Shards []int         `json:"shards"`
+	Serve  serve.Metrics `json:"serve"`
+}
+
+// FleetMetrics is the router's aggregated view of the tier: its own query
+// counters plus every node's serving metrics, in sorted node-ID order.
+type FleetMetrics struct {
+	UptimeSeconds    float64 `json:"uptime_seconds"`
+	Queries          int64   `json:"queries"`
+	QPS              float64 `json:"qps"`
+	P50LatencyMicros float64 `json:"p50_latency_micros"`
+	P99LatencyMicros float64 `json:"p99_latency_micros"`
+	// PartialResults counts queries answered with one or more owners down.
+	PartialResults int64 `json:"partial_results"`
+	// FanoutPerQuery is the mean number of nodes consulted per query — the
+	// scatter width the first-item sharding buys down from N.
+	FanoutPerQuery float64 `json:"fanout_per_query"`
+	Generation     uint64  `json:"generation"`
+	NumNodes       int     `json:"num_nodes"`
+	NodesUp        int     `json:"nodes_up"`
+	Shards         int     `json:"shards"`
+	// NumRules is the fleet-wide rule count summed over reachable nodes.
+	NumRules int           `json:"num_rules"`
+	Nodes    []NodeMetrics `json:"nodes"`
+}
+
+// Metrics aggregates the router's own counters with every node's serving
+// metrics.  Down nodes are reported Up=false rather than failing the whole
+// report.
+func (r *Router) Metrics() FleetMetrics {
+	r.mu.RLock()
+	ids := append([]string(nil), r.ids...)
+	clients := make(map[string]Client, len(r.clients))
+	for id, c := range r.clients {
+		clients[id] = c
+	}
+	placement := append([]string(nil), r.placement...)
+	gen := r.gen
+	r.mu.RUnlock()
+
+	shardsByNode := make(map[string][]int, len(ids))
+	for s, id := range placement {
+		shardsByNode[id] = append(shardsByNode[id], s)
+	}
+
+	fm := FleetMetrics{
+		Generation: gen,
+		NumNodes:   len(ids),
+		Shards:     len(placement),
+	}
+	fm.UptimeSeconds = time.Since(r.met.start).Seconds()
+	fm.Queries = r.met.queries.Load()
+	if fm.UptimeSeconds > 0 {
+		fm.QPS = float64(fm.Queries) / fm.UptimeSeconds
+	}
+	fm.P50LatencyMicros = r.met.latency.Percentile(0.50)
+	fm.P99LatencyMicros = r.met.latency.Percentile(0.99)
+	fm.PartialResults = r.met.partials.Load()
+	if fm.Queries > 0 {
+		fm.FanoutPerQuery = float64(r.met.fanout.Load()) / float64(fm.Queries)
+	}
+
+	for _, id := range ids {
+		shards := shardsByNode[id]
+		sort.Ints(shards)
+		nm := NodeMetrics{ID: id, Shards: shards}
+		if m, err := clients[id].Metrics(); err == nil {
+			nm.Up = true
+			nm.Serve = m
+			fm.NodesUp++
+			fm.NumRules += m.NumRules
+		}
+		fm.Nodes = append(fm.Nodes, nm)
+	}
+	return fm
+}

@@ -1,0 +1,486 @@
+package distserve
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parapriori/internal/itemset"
+	"parapriori/internal/rules"
+	"parapriori/internal/serve"
+)
+
+// Router is the query and control plane of the distributed tier.  It owns
+// shard placement and the authoritative rule-group state, publishes
+// generations to the nodes with a two-phase delta protocol, and
+// scatter-gathers basket queries across exactly the nodes whose shards the
+// basket can touch.  All methods are safe for concurrent use; queries never
+// block behind publishes.
+type Router struct {
+	opt Options
+
+	// pubMu serializes publishes and membership changes — the control
+	// plane.  The query path never takes it.
+	pubMu sync.Mutex
+
+	// mu guards the routing state: membership, placement, the published
+	// group set and per-node bookkeeping.  Queries hold it only for the
+	// short read of placement + clients.
+	mu        sync.RWMutex
+	clients   map[string]Client
+	ids       []string // sorted node IDs
+	placement []string // shard → node ID
+	groups    []serve.RuleGroup
+	canon     map[string][]byte
+	held      map[string]map[int]bool // nil entry: node state untrusted, resend fully
+	gen       uint64
+
+	met routerMetrics
+}
+
+// routerMetrics is the router's lock-free counter block.
+type routerMetrics struct {
+	start    time.Time
+	queries  atomic.Int64
+	partials atomic.Int64
+	fanout   atomic.Int64
+	latency  serve.Hist
+}
+
+// NewRouter builds a router over the given node clients.  Placement is
+// computed immediately; queries fail with serve.ErrNoSnapshot until the
+// first Publish.
+func NewRouter(clients []Client, opt Options) (*Router, error) {
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("distserve: router needs at least one node")
+	}
+	opt = opt.WithDefaults()
+	r := &Router{
+		opt:     opt,
+		clients: make(map[string]Client, len(clients)),
+		held:    make(map[string]map[int]bool, len(clients)),
+	}
+	r.met.start = time.Now()
+	for _, c := range clients {
+		id := c.ID()
+		if _, dup := r.clients[id]; dup {
+			return nil, fmt.Errorf("distserve: duplicate node ID %q", id)
+		}
+		r.clients[id] = c
+		r.ids = append(r.ids, id)
+	}
+	sort.Strings(r.ids)
+	r.placement = Place(opt.Seed, opt.Shards, r.ids)
+	return r, nil
+}
+
+// Options returns the router's defaulted options.
+func (r *Router) Options() Options { return r.opt }
+
+// Generation returns the current cluster generation, 0 before the first
+// successful Publish.
+func (r *Router) Generation() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.gen
+}
+
+// Placement returns a copy of the shard → node-ID assignment.
+func (r *Router) Placement() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.placement...)
+}
+
+// NodeIDs returns the member node IDs, sorted.
+func (r *Router) NodeIDs() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.ids...)
+}
+
+// PublishStats reports what one publish shipped.
+type PublishStats struct {
+	// Gen is the cluster generation the publish installed.
+	Gen uint64 `json:"generation"`
+	// Full records whether a full rebuild was requested (delta otherwise;
+	// a delta publish may still resend everything to a node whose state
+	// the router stopped trusting after a failed commit).
+	Full bool `json:"full"`
+	// Groups is the number of antecedent groups in the new rule set.
+	Groups int `json:"groups"`
+	// Upserts and Removes count group updates shipped across all nodes.
+	Upserts int `json:"upserts"`
+	Removes int `json:"removes"`
+	// Bytes is the canonical-byte volume shipped: the wire-cost measure
+	// delta publishing exists to shrink.
+	Bytes int64 `json:"bytes"`
+	// Nodes is the number of nodes that took part in the two-phase commit.
+	Nodes int `json:"nodes"`
+}
+
+// Publish installs a new rule set cluster-wide.  With full=false it ships
+// deltas: each owner receives only the antecedent groups on its shards
+// whose canonical bytes changed since the previous generation, plus
+// tombstones for groups that vanished.  The cut-over is two-phase: every
+// node stages and acks (Prepare) before any node switches (Commit), so a
+// failed node aborts the publish with the old generation still serving
+// everywhere.  Rules with empty antecedents are unroutable and unreachable
+// by basket queries (exactly as in the single-node index) and are dropped.
+func (r *Router) Publish(rs []rules.Rule, full bool) (PublishStats, error) {
+	r.pubMu.Lock()
+	defer r.pubMu.Unlock()
+	return r.publish(serve.Groups(rs), full)
+}
+
+// publish runs the two-phase protocol for a prepared group list.  The
+// caller holds pubMu.
+func (r *Router) publish(next []serve.RuleGroup, full bool) (PublishStats, error) {
+	r.mu.RLock()
+	ids := append([]string(nil), r.ids...)
+	clients := make(map[string]Client, len(r.clients))
+	for id, c := range r.clients {
+		clients[id] = c
+	}
+	placement := r.placement
+	prevCanon := r.canon
+	prevKeys := make([]string, 0, len(prevCanon))
+	for k := range prevCanon {
+		prevKeys = append(prevKeys, k)
+	}
+	sort.Strings(prevKeys)
+	held := r.held
+	newGen := r.gen + 1
+	r.mu.RUnlock()
+
+	// Canonical bytes and shard of every new group; empty antecedents are
+	// dropped (see Publish).
+	kept := next[:0:0]
+	canonOf := make(map[string][]byte, len(next))
+	shardOf := make(map[string]int, len(next))
+	for _, g := range next {
+		if len(g.Ant) == 0 {
+			continue
+		}
+		kept = append(kept, g)
+		canonOf[g.Key] = g.Canonical()
+		shardOf[g.Key] = r.opt.shardOf(g.Ant[0])
+	}
+	next = kept
+
+	// Shards owned by each node under the current placement.
+	owned := make(map[string][]int, len(ids))
+	for s, id := range placement {
+		owned[id] = append(owned[id], s)
+	}
+
+	// Assemble one PrepareRequest per node.
+	stats := PublishStats{Gen: newGen, Full: full, Groups: len(next), Nodes: len(ids)}
+	reqs := make([]PrepareRequest, len(ids))
+	for i, id := range ids {
+		heldShards := held[id]
+		fullNode := full || heldShards == nil
+		req := PrepareRequest{Gen: newGen, Full: fullNode, Owned: owned[id]}
+		ownedSet := make(map[int]bool, len(owned[id]))
+		for _, s := range owned[id] {
+			ownedSet[s] = true
+		}
+		for _, g := range next {
+			s := shardOf[g.Key]
+			if !ownedSet[s] {
+				continue
+			}
+			switch {
+			case fullNode, !heldShards[s]:
+				// Node has nothing for this shard: ship the group.
+			default:
+				if prev, ok := prevCanon[g.Key]; ok && bytes.Equal(prev, canonOf[g.Key]) {
+					continue
+				}
+			}
+			req.Upserts = append(req.Upserts, GroupUpdate{Shard: s, Rules: g.Rules})
+			stats.Upserts++
+			stats.Bytes += int64(len(canonOf[g.Key]))
+		}
+		if !fullNode {
+			for _, k := range prevKeys {
+				if _, still := canonOf[k]; still {
+					continue
+				}
+				s := r.opt.shardOfKey(k)
+				if !ownedSet[s] || !heldShards[s] {
+					continue
+				}
+				req.Removes = append(req.Removes, GroupRef{Shard: s, Ant: itemset.KeyToItemset(k)})
+				stats.Removes++
+				stats.Bytes += int64(len(k)) + 4
+			}
+		}
+		reqs[i] = req
+	}
+
+	// Phase 1: stage everywhere.  Any failure aborts with the previous
+	// generation still serving on every node — staged state is simply
+	// superseded by the next publish's higher generation.
+	prepErrs := make([]error, len(ids))
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		i, c := i, clients[id]
+		wg.Add(1)
+		go func() { //checkinv:allow rawchan — real-OS publish fan-out, joined by WaitGroup below
+			defer wg.Done()
+			prepErrs[i] = c.Prepare(reqs[i])
+		}()
+	}
+	wg.Wait()
+	for i, err := range prepErrs {
+		if err != nil {
+			return stats, fmt.Errorf("distserve: publish gen %d aborted: prepare on %s: %w", newGen, ids[i], err)
+		}
+	}
+
+	// Phase 2: cut over.  A commit failure means that node is partitioned
+	// or dead; survivors switch, and the router stops trusting the
+	// failed node's state (its next publish is a full resend).
+	commitErrs := make([]error, len(ids))
+	for i, id := range ids {
+		i, c := i, clients[id]
+		wg.Add(1)
+		go func() { //checkinv:allow rawchan — real-OS publish fan-out, joined by WaitGroup below
+			defer wg.Done()
+			commitErrs[i] = c.Commit(newGen)
+		}()
+	}
+	wg.Wait()
+
+	r.mu.Lock()
+	r.gen = newGen
+	r.groups = next
+	r.canon = canonOf
+	var failed []string
+	for i, id := range ids {
+		if commitErrs[i] != nil {
+			r.held[id] = nil
+			failed = append(failed, id)
+			continue
+		}
+		set := make(map[int]bool, len(owned[id]))
+		for _, s := range owned[id] {
+			set[s] = true
+		}
+		r.held[id] = set
+	}
+	r.mu.Unlock()
+
+	if len(failed) > 0 {
+		return stats, fmt.Errorf("distserve: publish gen %d committed partially: commit failed on %v", newGen, failed)
+	}
+	return stats, nil
+}
+
+// AddNode brings a new node into the fleet: placement is recomputed
+// (rendezvous hashing moves only the shards the newcomer wins) and, if a
+// rule set is live, the current generation is republished as a delta — the
+// newcomer receives its shards in full, survivors receive nothing but a
+// shrunken owned list.
+func (r *Router) AddNode(c Client) error {
+	r.pubMu.Lock()
+	defer r.pubMu.Unlock()
+	id := c.ID()
+	r.mu.Lock()
+	if _, dup := r.clients[id]; dup {
+		r.mu.Unlock()
+		return fmt.Errorf("distserve: node %q already a member", id)
+	}
+	r.clients[id] = c
+	r.ids = append(r.ids, id)
+	sort.Strings(r.ids)
+	r.held[id] = nil
+	r.placement = Place(r.opt.Seed, r.opt.Shards, r.ids)
+	live := r.gen > 0
+	groups := r.groups
+	r.mu.Unlock()
+	if !live {
+		return nil
+	}
+	_, err := r.publish(groups, false)
+	return err
+}
+
+// RemoveNode drops a member (typically one that died): placement is
+// recomputed and, if a rule set is live, the orphaned shards' groups are
+// republished to their new owners as a delta.  The last node cannot be
+// removed.
+func (r *Router) RemoveNode(id string) error {
+	r.pubMu.Lock()
+	defer r.pubMu.Unlock()
+	r.mu.Lock()
+	if _, ok := r.clients[id]; !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("distserve: node %q is not a member", id)
+	}
+	if len(r.ids) == 1 {
+		r.mu.Unlock()
+		return fmt.Errorf("distserve: cannot remove the last node %q", id)
+	}
+	delete(r.clients, id)
+	delete(r.held, id)
+	ids := r.ids[:0]
+	for _, v := range r.ids {
+		if v != id {
+			ids = append(ids, v)
+		}
+	}
+	r.ids = ids
+	r.placement = Place(r.opt.Seed, r.opt.Shards, r.ids)
+	live := r.gen > 0
+	groups := r.groups
+	r.mu.Unlock()
+	if !live {
+		return nil
+	}
+	_, err := r.publish(groups, false)
+	return err
+}
+
+// Result is one distributed basket query's answer.
+type Result struct {
+	// Rules is the global top-K under rules.RankLess — bit-identical to a
+	// single-node Recommend over the union of the shards that answered.
+	Rules []rules.Rule `json:"rules"`
+	// Generation is the lowest cluster generation among the nodes that
+	// answered; Mixed reports whether they disagreed (a publish was
+	// cutting over mid-query).
+	Generation uint64 `json:"generation"`
+	Mixed      bool   `json:"mixed,omitempty"`
+	// Partial flags a degraded answer: one or more owners were
+	// unreachable and MissedShards lists the needed shards their rules
+	// would have come from.  The rules that did arrive are ranked exactly
+	// as if the missing ones never existed.
+	Partial      bool  `json:"partial,omitempty"`
+	MissedShards []int `json:"missed_shards,omitempty"`
+	// NodesQueried is the fan-out of this query — how many nodes owned a
+	// shard the basket could touch.
+	NodesQueried int `json:"nodes_queried"`
+}
+
+// Recommend answers a basket query: clamp K exactly as a single node would
+// (serve.DefaultK, Options.Node.MaxK), fan out to the nodes owning the
+// shards of the basket's items, and merge the per-node top-K lists under
+// the RankLess total order.  Before the first Publish it returns
+// serve.ErrNoSnapshot.
+func (r *Router) Recommend(basket []itemset.Item, k int) (*Result, error) {
+	start := time.Now()
+	defer func() {
+		r.met.queries.Add(1)
+		r.met.latency.Observe(time.Since(start))
+	}()
+
+	if k <= 0 {
+		k = serve.DefaultK
+	}
+	if k > r.opt.Node.MaxK {
+		k = r.opt.Node.MaxK
+	}
+	b := itemset.New(basket...)
+
+	r.mu.RLock()
+	if r.gen == 0 {
+		r.mu.RUnlock()
+		return nil, serve.ErrNoSnapshot
+	}
+	placement := r.placement
+	clients := make(map[string]Client, len(r.clients))
+	for id, c := range r.clients {
+		clients[id] = c
+	}
+	r.mu.RUnlock()
+
+	// The shards this basket can touch: one per distinct item.  Every
+	// antecedent ⊆ basket has its first item in the basket, and a group's
+	// shard is a function of its first item, so no other shard can hold a
+	// matching group.
+	shards := make([]int, 0, len(b))
+	for _, it := range b {
+		shards = append(shards, r.opt.shardOf(it))
+	}
+	sort.Ints(shards)
+	shards = dedupInts(shards)
+
+	// Owners of those shards, in deterministic (sorted-ID) order.
+	shardsByNode := make(map[string][]int, len(shards))
+	for _, s := range shards {
+		id := placement[s]
+		shardsByNode[id] = append(shardsByNode[id], s)
+	}
+	nodeIDs := make([]string, 0, len(shardsByNode))
+	for id := range shardsByNode {
+		nodeIDs = append(nodeIDs, id)
+	}
+	sort.Strings(nodeIDs)
+
+	res := &Result{NodesQueried: len(nodeIDs)}
+	if len(nodeIDs) == 0 { // empty basket: nothing can match
+		r.mu.RLock()
+		res.Generation = r.gen
+		r.mu.RUnlock()
+		return res, nil
+	}
+	r.met.fanout.Add(int64(len(nodeIDs)))
+
+	type answer struct {
+		rules []rules.Rule
+		gen   uint64
+		err   error
+	}
+	answers := make([]answer, len(nodeIDs))
+	var wg sync.WaitGroup
+	for i, id := range nodeIDs {
+		i, c := i, clients[id]
+		wg.Add(1)
+		go func() { //checkinv:allow rawchan — real-OS scatter-gather fan-out, joined by WaitGroup below
+			defer wg.Done()
+			rs, gen, err := c.Recommend(b, k)
+			answers[i] = answer{rules: rs, gen: gen, err: err}
+		}()
+	}
+	wg.Wait()
+
+	var matches []rules.Rule
+	first := true
+	for i, a := range answers {
+		if a.err != nil {
+			res.Partial = true
+			res.MissedShards = append(res.MissedShards, shardsByNode[nodeIDs[i]]...)
+			continue
+		}
+		matches = append(matches, a.rules...)
+		if first || a.gen < res.Generation {
+			res.Generation = a.gen
+		}
+		if !first && a.gen != answers[i-1].gen {
+			res.Mixed = true
+		}
+		first = false
+	}
+	sort.Ints(res.MissedShards)
+	res.Rules = serve.RankTruncate(matches, k)
+	if res.Partial {
+		r.met.partials.Add(1)
+	}
+	return res, nil
+}
+
+// dedupInts removes adjacent duplicates from a sorted slice.
+func dedupInts(s []int) []int {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

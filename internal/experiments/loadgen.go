@@ -1,0 +1,278 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"time"
+
+	"parapriori/internal/apriori"
+	"parapriori/internal/distserve"
+	"parapriori/internal/itemset"
+	"parapriori/internal/rules"
+	"parapriori/internal/serve"
+)
+
+// LoadGen exercises the distributed serving tier end to end: rules mined
+// from a Quest-style workload are sharded across an in-process fleet, and
+// closed-loop workers replay the workload's own transactions as basket
+// queries against the router.  The sweep reports, per node count:
+//
+//   - throughput and p99 latency of the scatter-gather path (wall-clock
+//     measurements of real goroutines — the one experiment family that is
+//     *meant* to run on the real clock, like package serve itself);
+//   - the router's mean fan-out per query, which the first-item sharding
+//     keeps well below the node count;
+//   - the canonical-byte cost of publishing a perturbed rule set as a
+//     delta versus re-publishing it in full — the delta protocol's win;
+//   - placement and result hashes: pure functions of the seed, identical
+//     across runs, so two invocations with one Config must produce the
+//     same hash columns even though the timing columns differ.
+//
+// Absolute throughput numbers are in-process (no network, shared CPUs) and
+// only comparable within one run; the reproducible quantities are the
+// hashes, the byte counts and the fan-out.
+func LoadGen(c Config) (*Result, error) {
+	c = c.withDefaults()
+	n := c.scaled(2000)
+	const minsup = 0.01
+	const minconf = 0.5
+	const topK = 10
+
+	data, err := mustGen(baseGen(c, n))
+	if err != nil {
+		return nil, err
+	}
+	mined, err := apriori.Mine(data, mineParams(minsup, 0))
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: mining: %w", err)
+	}
+	v1, err := rules.Generate(mined, rules.Params{MinConfidence: minconf})
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: rule generation: %w", err)
+	}
+	if len(v1) == 0 {
+		return nil, fmt.Errorf("loadgen: no rules at minsup %g / minconf %g", minsup, minconf)
+	}
+	v2 := perturbRules(v1)
+
+	queries := c.scaled(600)
+	if c.Quick {
+		queries = 200
+	}
+	const workers = 8
+
+	res := &Result{
+		ID:     "loadgen",
+		Title:  "Distributed serving under closed-loop load (throughput, p99, delta publish)",
+		XLabel: "nodes",
+		YLabel: "queries/s (in-process)",
+		Notes: []string{
+			fmt.Sprintf("workload: %d transactions, minsup %.3g, minconf %.3g → %d rules; %d closed-loop workers × %d queries, K=%d",
+				n, minsup, minconf, len(v1), workers, queries/workers, topK),
+			"throughput/p99 are wall-clock over in-process nodes: shapes only, not absolute serving capacity",
+			"placement/result hashes are seed-deterministic; timing columns are not",
+			fmt.Sprintf("delta(B) ships v1→v2 changed groups (%d of %d rules perturbed); full(B) re-ships all of v2", len(v1)-countUnchanged(v1, v2), len(v1)),
+		},
+		TableHeader: []string{"nodes", "qps", "p99(ms)", "fanout/q", "partial", "delta(B)", "full(B)", "placement", "results"},
+	}
+	thr := Series{Name: "qps"}
+	fan := Series{Name: "fanout"}
+
+	for _, nodes := range c.sweep([]int{1, 2, 4, 8}) {
+		row, err := loadOne(data, v1, v2, nodes, workers, queries, topK, uint64(c.Seed))
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: %d nodes: %w", nodes, err)
+		}
+		res.TableRows = append(res.TableRows, []string{
+			fmt.Sprintf("%d", nodes),
+			fmt.Sprintf("%.0f", row.qps),
+			fmt.Sprintf("%.3f", row.p99ms),
+			fmt.Sprintf("%.2f", row.fanout),
+			fmt.Sprintf("%d", row.partials),
+			fmt.Sprintf("%d", row.deltaBytes),
+			fmt.Sprintf("%d", row.fullBytes),
+			fmt.Sprintf("%016x", row.placementHash),
+			fmt.Sprintf("%016x", row.resultHash),
+		})
+		thr.Points = append(thr.Points, Point{X: float64(nodes), Y: row.qps})
+		fan.Points = append(fan.Points, Point{X: float64(nodes), Y: row.fanout})
+	}
+	res.Series = []Series{thr, fan}
+	return res, nil
+}
+
+// loadRow is one node-count sample of the load sweep.
+type loadRow struct {
+	qps           float64
+	p99ms         float64
+	fanout        float64
+	partials      int64
+	deltaBytes    int64
+	fullBytes     int64
+	placementHash uint64
+	resultHash    uint64
+}
+
+// loadOne runs the whole lifecycle against one fleet size: full publish of
+// v1, the closed-loop load phase, a deterministic probe pass for the result
+// hash, then the v1→v2 delta publish and a full v2 publish for the byte
+// comparison.
+func loadOne(data *itemset.Dataset, v1, v2 []rules.Rule, nodes, workers, queries, topK int, seed uint64) (loadRow, error) {
+	cl, err := distserve.NewCluster(nodes, distserve.Options{Shards: 64, Seed: seed, Node: serve.Options{}})
+	if err != nil {
+		return loadRow{}, err
+	}
+	defer cl.Close()
+	if _, err := cl.Router.Publish(v1, true); err != nil {
+		return loadRow{}, err
+	}
+
+	var row loadRow
+	row.placementHash = hashStrings(cl.Router.Placement())
+
+	// Closed-loop load phase: each worker replays a strided slice of the
+	// transaction log as baskets, back to back.  Elapsed wall time over
+	// total queries is the throughput.
+	txns := data.Transactions
+	perWorker := queries / workers
+	start := time.Now() //checkinv:allow walltime — the load generator measures real serving latency, never the virtual clock
+	errs := make([]error, workers)
+	done := make(chan int, workers) //checkinv:allow rawchan — load-generator coordination, real-OS serving territory
+	for w := 0; w < workers; w++ {
+		w := w
+		go func() { //checkinv:allow rawchan — closed-loop load worker
+			for i := 0; i < perWorker; i++ {
+				basket := txns[(w+i*workers)%len(txns)].Items
+				if _, err := cl.Router.Recommend(basket, topK); err != nil {
+					errs[w] = err
+					break
+				}
+			}
+			done <- w //checkinv:allow rawchan — worker completion signal
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		<-done //checkinv:allow rawchan — join the load workers
+	}
+	elapsed := time.Since(start) //checkinv:allow walltime — pairs with the load phase's time.Now above
+	for _, err := range errs {
+		if err != nil {
+			return loadRow{}, err
+		}
+	}
+	if elapsed > 0 {
+		row.qps = float64(workers*perWorker) / elapsed.Seconds()
+	}
+
+	m := cl.Router.Metrics()
+	row.p99ms = m.P99LatencyMicros / 1000
+	row.fanout = m.FanoutPerQuery
+	row.partials = m.PartialResults
+
+	// Deterministic probe pass: a fixed set of baskets queried serially;
+	// the hash of the ranked answers must agree across runs and fleets.
+	h := fnv.New64a()
+	probes := 50
+	if probes > len(txns) {
+		probes = len(txns)
+	}
+	for i := 0; i < probes; i++ {
+		r, err := cl.Router.Recommend(txns[i].Items, topK)
+		if err != nil {
+			return loadRow{}, err
+		}
+		hashAnswer(h, txns[i].Items, r.Rules)
+	}
+	row.resultHash = h.Sum64()
+
+	// Delta versus full: ship v1→v2 as a delta, then re-ship v2 in full.
+	delta, err := cl.Router.Publish(v2, false)
+	if err != nil {
+		return loadRow{}, err
+	}
+	full, err := cl.Router.Publish(v2, true)
+	if err != nil {
+		return loadRow{}, err
+	}
+	row.deltaBytes = delta.Bytes
+	row.fullBytes = full.Bytes
+	return row, nil
+}
+
+// perturbRules derives the "next day's rules" deterministically from the
+// current set: about one group in ten loses its last rule and one in ten
+// gets a confidence nudge, leaving the bulk byte-identical — the small-
+// delta regime the delta protocol targets.
+func perturbRules(rs []rules.Rule) []rules.Rule {
+	out := make([]rules.Rule, 0, len(rs))
+	for _, r := range rs {
+		h := fnv.New64a()
+		h.Write([]byte(r.Antecedent.Key()))
+		switch h.Sum64() % 10 {
+		case 0: // drop this antecedent group entirely
+		case 1:
+			r.Confidence *= 0.97
+			out = append(out, r)
+		default:
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// countUnchanged counts rules common to both sets (by full identity), for
+// the notes line.
+func countUnchanged(a, b []rules.Rule) int {
+	h := fnv.New64a()
+	keys := make(map[uint64]bool, len(b))
+	for _, r := range b {
+		h.Reset()
+		hashRule(h, r)
+		keys[h.Sum64()] = true
+	}
+	n := 0
+	for _, r := range a {
+		h.Reset()
+		hashRule(h, r)
+		if keys[h.Sum64()] {
+			n++
+		}
+	}
+	return n
+}
+
+// hashAnswer absorbs one (basket, ranked rules) pair into h.
+func hashAnswer(h interface{ Write([]byte) (int, error) }, basket itemset.Itemset, rs []rules.Rule) {
+	var buf [8]byte
+	h.Write([]byte(basket.Key()))
+	binary.BigEndian.PutUint64(buf[:], uint64(len(rs)))
+	h.Write(buf[:])
+	for _, r := range rs {
+		hashRule(h, r)
+	}
+}
+
+// hashRule absorbs one rule, floats by IEEE bit pattern so any drift shows.
+func hashRule(h interface{ Write([]byte) (int, error) }, r rules.Rule) {
+	var buf [8]byte
+	h.Write([]byte(r.Antecedent.Key()))
+	h.Write([]byte(r.Consequent.Key()))
+	binary.BigEndian.PutUint64(buf[:], uint64(r.Count))
+	h.Write(buf[:])
+	for _, f := range [...]float64{r.Support, r.Confidence, r.Lift, r.Leverage} {
+		binary.BigEndian.PutUint64(buf[:], math.Float64bits(f))
+		h.Write(buf[:])
+	}
+}
+
+// hashStrings hashes a string slice in order.
+func hashStrings(ss []string) uint64 {
+	h := fnv.New64a()
+	for _, s := range ss {
+		h.Write([]byte(s))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}

@@ -64,7 +64,11 @@ type Options struct {
 // DefaultK is the result size when a query does not specify K.
 const DefaultK = 10
 
-func (o Options) withDefaults() Options {
+// WithDefaults returns the options with every zero field replaced by its
+// default.  The serving layer applies it internally; the distributed tier
+// calls it too so router-side query clamping (DefaultK, MaxK) agrees exactly
+// with what each node's server will do.
+func (o Options) WithDefaults() Options {
 	if o.Shards <= 0 {
 		o.Shards = 8
 	}
@@ -110,27 +114,14 @@ type Index struct {
 // by a seeded hash of the antecedent key; construction is deterministic for
 // a given rule set and options whatever the input order.
 func NewIndex(rs []rules.Rule, opt Options) *Index {
-	opt = opt.withDefaults()
-	byAnt := make(map[string][]rules.Rule, len(rs))
-	for _, r := range rs {
-		k := r.Antecedent.Key()
-		byAnt[k] = append(byAnt[k], r)
-	}
-	keys := make([]string, 0, len(byAnt))
-	for k := range byAnt {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-
+	opt = opt.WithDefaults()
 	ix := &Index{shards: make([]shard, opt.Shards)}
-	for _, k := range keys {
-		grp := byAnt[k]
-		sort.Slice(grp, func(i, j int) bool { return rules.RankLess(grp[i], grp[j]) })
-		sh := &ix.shards[hashKey(opt.HashSeed, k)%uint64(opt.Shards)]
+	for _, g := range Groups(rs) {
+		sh := &ix.shards[hashKey(opt.HashSeed, g.Key)%uint64(opt.Shards)]
 		lo := int32(len(sh.rules))
-		sh.rules = append(sh.rules, grp...)
-		sh.groups = append(sh.groups, group{ant: itemset.KeyToItemset(k), lo: lo, hi: int32(len(sh.rules))})
-		ix.nRules += len(grp)
+		sh.rules = append(sh.rules, g.Rules...)
+		sh.groups = append(sh.groups, group{ant: g.Ant, lo: lo, hi: int32(len(sh.rules))})
+		ix.nRules += len(g.Rules)
 	}
 	for si := range ix.shards {
 		sh := &ix.shards[si]
@@ -205,13 +196,15 @@ func (ix *Index) Recommend(basket itemset.Itemset, k int) []rules.Rule {
 	for si := range ix.shards {
 		matches = ix.shards[si].query(basket, matches)
 	}
-	return rankTruncate(matches, k)
+	return RankTruncate(matches, k)
 }
 
-// rankTruncate sorts matches into serving-rank order and truncates to k.
+// RankTruncate sorts matches into serving-rank order and truncates to k.
 // RankLess is a strict total order, so the result is deterministic whatever
-// order the per-shard scans delivered the matches in.
-func rankTruncate(matches []rules.Rule, k int) []rules.Rule {
+// order the per-shard scans delivered the matches in — the property that
+// also lets the distributed router merge per-node top-K lists into a global
+// top-K bit-identical to a single-node scan.
+func RankTruncate(matches []rules.Rule, k int) []rules.Rule {
 	sort.Slice(matches, func(i, j int) bool { return rules.RankLess(matches[i], matches[j]) })
 	if k >= 0 && len(matches) > k {
 		matches = matches[:k]

@@ -62,7 +62,7 @@ func oracle(rs []rules.Rule, basket itemset.Itemset, k int) []rules.Rule {
 			matches = append(matches, r)
 		}
 	}
-	return rankTruncate(matches, k)
+	return RankTruncate(matches, k)
 }
 
 func randomBasket(rng *rand.Rand, nItems, maxLen int) itemset.Itemset {

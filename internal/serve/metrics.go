@@ -11,50 +11,34 @@ import (
 // to ~2^31 µs ≈ 36 minutes — more than any query can take.
 const latencyBuckets = 32
 
-// metrics is the server's lock-free counter block.  Every field is an
-// atomic: queries touch it on the hot path, and /metrics reads while
-// queries run.  Percentiles come from the bucketed histogram, so a reader
-// never pauses the writers.
-type metrics struct {
-	start   time.Time
-	queries atomic.Int64
-	hits    atomic.Int64
-	misses  atomic.Int64
-	reloads atomic.Int64
-	latency [latencyBuckets]atomic.Int64
+// Hist is a lock-free power-of-two latency histogram: concurrent writers
+// call Observe on the hot path while readers take percentiles without ever
+// pausing them.  The zero value is ready to use.  It is the recording half
+// of the server's metrics block, exported so the distributed router can
+// track its end-to-end latency with the same machinery.
+type Hist struct {
+	buckets [latencyBuckets]atomic.Int64
 }
 
-// observe records one query latency.
-func (m *metrics) observe(d time.Duration) {
+// Observe records one latency sample.
+func (h *Hist) Observe(d time.Duration) {
 	us := d.Microseconds()
 	b := bits.Len64(uint64(us)) // 0µs → bucket 0, [2^(i-1), 2^i) µs → bucket i
 	if b >= latencyBuckets {
 		b = latencyBuckets - 1
 	}
-	m.latency[b].Add(1)
+	h.buckets[b].Add(1)
 }
 
-// reset clears the counters and restarts the uptime clock.  Benchmarks use
-// it to exclude warm-up traffic from the reported percentiles; it must only
-// be called while no queries are in flight.
-func (m *metrics) reset() {
-	m.start = time.Now()
-	m.queries.Store(0)
-	m.hits.Store(0)
-	m.misses.Store(0)
-	for i := range m.latency {
-		m.latency[i].Store(0)
-	}
-}
-
-// percentile returns the p-th latency percentile in microseconds, as the
+// Percentile returns the p-th latency percentile in microseconds, as the
 // upper bound of the histogram bucket holding that rank — an overestimate
-// by at most 2×, which is the usual contract of log-bucketed histograms.
-func (m *metrics) percentile(p float64) float64 {
+// by at most 2×, the usual contract of log-bucketed histograms.  It returns
+// 0 before the first sample.
+func (h *Hist) Percentile(p float64) float64 {
 	var counts [latencyBuckets]int64
 	var total int64
 	for i := range counts {
-		counts[i] = m.latency[i].Load()
+		counts[i] = h.buckets[i].Load()
 		total += counts[i]
 	}
 	if total == 0 {
@@ -76,6 +60,43 @@ func (m *metrics) percentile(p float64) float64 {
 	}
 	return float64(int64(1) << uint(latencyBuckets-1))
 }
+
+// reset clears the histogram.
+func (h *Hist) reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// metrics is the server's lock-free counter block.  Every field is an
+// atomic: queries touch it on the hot path, and /metrics reads while
+// queries run.  Percentiles come from the bucketed histogram, so a reader
+// never pauses the writers.
+type metrics struct {
+	start   time.Time
+	queries atomic.Int64
+	hits    atomic.Int64
+	misses  atomic.Int64
+	reloads atomic.Int64
+	latency Hist
+}
+
+// observe records one query latency.
+func (m *metrics) observe(d time.Duration) { m.latency.Observe(d) }
+
+// reset clears the counters and restarts the uptime clock.  Benchmarks use
+// it to exclude warm-up traffic from the reported percentiles; it must only
+// be called while no queries are in flight.
+func (m *metrics) reset() {
+	m.start = time.Now()
+	m.queries.Store(0)
+	m.hits.Store(0)
+	m.misses.Store(0)
+	m.latency.reset()
+}
+
+// percentile returns the p-th latency percentile in microseconds.
+func (m *metrics) percentile(p float64) float64 { return m.latency.Percentile(p) }
 
 // Metrics is the JSON view served on /metrics and reused by the benchmarks.
 type Metrics struct {

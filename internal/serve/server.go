@@ -42,7 +42,7 @@ type Server struct {
 // ErrNoSnapshot until the first Publish.  With opt.Workers > 0 it starts
 // the query worker pool; call Close to stop it.
 func NewServer(opt Options) *Server {
-	opt = opt.withDefaults()
+	opt = opt.WithDefaults()
 	s := &Server{opt: opt}
 	s.met.start = time.Now()
 	if opt.Workers > 0 {
@@ -86,12 +86,37 @@ func (s *Server) Publish(idx *Index) uint64 {
 		if old != nil {
 			gen = old.gen + 1
 		}
-		next := &snapshot{idx: idx, gen: gen, cache: newLRU(s.opt.CacheSize)}
-		if s.snap.CompareAndSwap(old, next) {
-			s.met.reloads.Add(1)
+		if s.publishAt(old, idx, gen) {
 			return gen
 		}
 	}
+}
+
+// PublishAt is Publish with a caller-chosen generation.  The distributed
+// tier uses it to stamp every node's snapshot with the cluster-wide publish
+// generation, so the generations different nodes report for one query are
+// directly comparable.  Callers must keep generations strictly increasing;
+// a gen at or below the current snapshot's is rejected (returns false).
+func (s *Server) PublishAt(idx *Index, gen uint64) bool {
+	for {
+		old := s.snap.Load()
+		if old != nil && gen <= old.gen {
+			return false
+		}
+		if s.publishAt(old, idx, gen) {
+			return true
+		}
+	}
+}
+
+// publishAt attempts one snapshot swap from old to a fresh snapshot at gen.
+func (s *Server) publishAt(old *snapshot, idx *Index, gen uint64) bool {
+	next := &snapshot{idx: idx, gen: gen, cache: newLRU(s.opt.CacheSize)}
+	if s.snap.CompareAndSwap(old, next) {
+		s.met.reloads.Add(1)
+		return true
+	}
+	return false
 }
 
 // Generation returns the current snapshot generation, 0 before the first
@@ -167,7 +192,7 @@ func (s *Server) query(ix *Index, basket itemset.Itemset, k int) []rules.Rule {
 		for si := range ix.shards {
 			matches = ix.shards[si].query(basket, matches)
 		}
-		return rankTruncate(matches, k)
+		return RankTruncate(matches, k)
 	}
 	per := make([][]rules.Rule, len(ix.shards))
 	var wg sync.WaitGroup
@@ -183,7 +208,7 @@ func (s *Server) query(ix *Index, basket itemset.Itemset, k int) []rules.Rule {
 	for _, p := range per {
 		matches = append(matches, p...)
 	}
-	return rankTruncate(matches, k)
+	return RankTruncate(matches, k)
 }
 
 // cacheKey builds the canonical cache key: the basket's canonical itemset

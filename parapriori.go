@@ -152,8 +152,12 @@ func (o MineOptions) params() apriori.Params {
 	}
 }
 
-// Mine runs the serial Apriori algorithm.
+// Mine runs the serial Apriori algorithm.  Options are validated first;
+// misconfigurations return a *OptionError naming the field.
 func Mine(data *Dataset, o MineOptions) (*Result, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
 	return apriori.Mine(data, o.params())
 }
 
@@ -202,21 +206,27 @@ type ParallelOptions struct {
 // MineParallel runs a parallel formulation on an emulated cluster.  The
 // mined itemsets are always identical to Mine's; the Report adds virtual
 // response time and per-pass behaviour of the chosen formulation.
+//
+// Options are validated first; misconfigurations — including the serial-only
+// MineOptions knobs (MemoryBytes, DHPBuckets, DHPTrim), which earlier
+// versions ignored silently — return a *OptionError naming the field.
 func MineParallel(data *Dataset, o ParallelOptions) (*Report, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
 	prm := core.Params{
-		Algo:        o.Algorithm,
-		P:           o.Procs,
-		Machine:     o.Machine,
-		Apriori:     o.MineOptions.params(),
-		PageBytes:   o.PageBytes,
-		HDThreshold: o.HDThreshold,
-		FixedG:      o.FixedG,
-		Trace:       o.Trace,
+		Algo:          o.Algorithm,
+		P:             o.Procs,
+		Machine:       o.Machine,
+		Apriori:       o.MineOptions.params(),
+		PageBytes:     o.PageBytes,
+		HDThreshold:   o.HDThreshold,
+		FixedG:        o.FixedG,
+		Trace:         o.Trace,
 		Faults:        o.Faults,
 		MaxRestarts:   o.MaxRestarts,
 		CheckpointDir: o.CheckpointDir,
 	}
-	prm.Apriori.MemoryBytes = 0 // parallel cap comes from the machine model
 	return core.Mine(data, prm)
 }
 
@@ -230,12 +240,35 @@ func GenerateRules(res *Result, minConfidence float64) ([]Rule, error) {
 // the emulated step's virtual response time and work accounting.
 type RulesReport = core.RulesReport
 
-// GenerateRulesParallel runs the second discovery step on an emulated
-// cluster: frequent itemsets are dealt round-robin to procs processors,
-// each runs ap-genrules on its share, and the rules are collected with an
-// all-to-all broadcast.  The rules are identical to GenerateRules's.
+// RuleGenOptions configures parallel rule generation.
+type RuleGenOptions struct {
+	// Procs is the number of emulated processors.
+	Procs int
+	// Machine is the cost model; the zero value selects MachineT3E().
+	Machine Machine
+	// MinConfidence is the minimum confidence threshold in [0, 1].
+	MinConfidence float64
+}
+
+// GenerateRulesOn runs the second discovery step on an emulated cluster:
+// frequent itemsets are dealt round-robin to Procs processors, each runs
+// ap-genrules on its share, and the rules are collected with an all-to-all
+// broadcast.  The rules are identical to GenerateRules's.  Options are
+// validated first; misconfigurations return a *OptionError naming the
+// field.
+func GenerateRulesOn(res *Result, o RuleGenOptions) (*RulesReport, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	return core.GenerateRules(res, o.Procs, o.Machine, o.MinConfidence)
+}
+
+// GenerateRulesParallel is the positional-argument form of GenerateRulesOn.
+//
+// Deprecated: use GenerateRulesOn, which validates its options and leaves
+// room to grow without another signature change.
 func GenerateRulesParallel(res *Result, procs int, machine Machine, minConfidence float64) (*RulesReport, error) {
-	return core.GenerateRules(res, procs, machine, minConfidence)
+	return GenerateRulesOn(res, RuleGenOptions{Procs: procs, Machine: machine, MinConfidence: minConfidence})
 }
 
 // Generate produces a synthetic transaction database with the Quest-style
@@ -322,6 +355,18 @@ func MachineCOW() Machine { return cluster.COW() }
 // the ablation baseline that isolates communication effects.
 func MachineIdeal() Machine { return cluster.Ideal() }
 
+// MachinePreset pairs a machine model with the short name commands accept
+// on their -machine flags ("t3e", "sp2", "cow", "ideal").
+type MachinePreset = cluster.Preset
+
+// Machines returns every built-in machine model in presentation order, so
+// commands and callers can enumerate the presets instead of hard-coding a
+// flag switch.
+func Machines() []MachinePreset { return cluster.Presets() }
+
+// MachineByName finds a machine preset by its flag spelling.
+func MachineByName(name string) (MachinePreset, bool) { return cluster.ByName(name) }
+
 // Serving layer: an online recommendation service over mined rules.  Build
 // an Index from any rule set, Publish it into a Server, and answer basket
 // queries while later mining runs hot-swap fresher indexes underneath the
@@ -333,10 +378,12 @@ func MachineIdeal() Machine { return cluster.Ideal() }
 //	srv.Publish(ix)
 //	recs, _ := srv.Recommend([]parapriori.Item{3, 4}, 10)
 //	http.ListenAndServe(":8080", srv.Handler(nil))
+// ServeOptions configures the rule index and server (shards, worker pool,
+// cache size, placement seed, K cap).  It is a defined type (not an alias)
+// so it can carry Validate; zero fields select defaults throughout.
+type ServeOptions serve.Options
+
 type (
-	// ServeOptions configures the rule index and server (shards, worker
-	// pool, cache size, placement seed, K cap).
-	ServeOptions = serve.Options
 	// RuleIndex is an immutable sharded index over a rule set, answering
 	// basket queries without scanning every rule.
 	RuleIndex = serve.Index
@@ -352,9 +399,9 @@ type (
 var ErrNoSnapshot = serve.ErrNoSnapshot
 
 // BuildIndex builds an immutable sharded index over rules (as produced by
-// GenerateRules or GenerateRulesParallel).
-func BuildIndex(rs []Rule, o ServeOptions) *RuleIndex { return serve.NewIndex(rs, o) }
+// GenerateRules or GenerateRulesOn).
+func BuildIndex(rs []Rule, o ServeOptions) *RuleIndex { return serve.NewIndex(rs, serve.Options(o)) }
 
 // NewServer creates an empty rule server; Publish an index to start
 // answering queries.
-func NewServer(o ServeOptions) *Server { return serve.NewServer(o) }
+func NewServer(o ServeOptions) *Server { return serve.NewServer(serve.Options(o)) }

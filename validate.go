@@ -1,0 +1,154 @@
+package parapriori
+
+import "fmt"
+
+// OptionError reports an invalid or contradictory field in an options
+// struct.  Mine, MineParallel and GenerateRulesOn validate before running,
+// so misconfigurations surface as one named field error instead of a deep
+// failure — or, worse, a silently ignored knob — later.
+type OptionError struct {
+	// Struct is the options type the field belongs to, e.g. "ParallelOptions".
+	Struct string
+	// Field is the offending field name.
+	Field string
+	// Reason says what is wrong with the value.
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("parapriori: %s.%s: %s", e.Struct, e.Field, e.Reason)
+}
+
+func optErr(strct, field, format string, args ...any) *OptionError {
+	return &OptionError{Struct: strct, Field: field, Reason: fmt.Sprintf(format, args...)}
+}
+
+// Validate checks the options for serial mining.  It returns nil or a
+// *OptionError naming the first offending field.
+func (o MineOptions) Validate() error {
+	return o.validate("MineOptions", true)
+}
+
+// validate implements Validate for both the serial and the embedded-in-
+// ParallelOptions case; serial reports whether the serial-only knobs
+// (MemoryBytes, DHPBuckets, DHPTrim) are legal at all.
+func (o MineOptions) validate(strct string, serial bool) error {
+	if o.MinSupport <= 0 || o.MinSupport > 1 {
+		return optErr(strct, "MinSupport", "%v outside (0, 1]", o.MinSupport)
+	}
+	if o.HashTreeFanout < 0 {
+		return optErr(strct, "HashTreeFanout", "negative (%d)", o.HashTreeFanout)
+	}
+	if o.MaxLeafSize < 0 {
+		return optErr(strct, "MaxLeafSize", "negative (%d)", o.MaxLeafSize)
+	}
+	if o.MaxPasses < 0 {
+		return optErr(strct, "MaxPasses", "negative (%d)", o.MaxPasses)
+	}
+	if o.MemoryBytes < 0 {
+		return optErr(strct, "MemoryBytes", "negative (%d)", o.MemoryBytes)
+	}
+	if o.DHPBuckets < 0 {
+		return optErr(strct, "DHPBuckets", "negative (%d)", o.DHPBuckets)
+	}
+	if !serial {
+		// These knobs configure the serial miner only.  MineParallel used
+		// to zero or ignore them silently; now the contradiction is named.
+		if o.MemoryBytes > 0 {
+			return optErr(strct, "MemoryBytes", "serial mining only — the parallel memory cap comes from Machine.MemoryBytes")
+		}
+		if o.DHPBuckets > 0 {
+			return optErr(strct, "DHPBuckets", "DHP filtering is serial mining only")
+		}
+		if o.DHPTrim {
+			return optErr(strct, "DHPTrim", "DHP trimming is serial mining only")
+		}
+	}
+	if o.DHPTrim && o.MemoryBytes > 0 {
+		return optErr(strct, "DHPTrim", "incompatible with MemoryBytes: trimming rewrites the transactions the multi-scan passes must rescan")
+	}
+	return nil
+}
+
+// Validate checks the options for a parallel mining run.  It returns nil
+// or a *OptionError naming the first offending field — including the
+// MineOptions knobs that only the serial miner honors, which MineParallel
+// previously ignored without comment.
+func (o ParallelOptions) Validate() error {
+	const strct = "ParallelOptions"
+	if err := o.MineOptions.validate(strct, false); err != nil {
+		return err
+	}
+	if o.Procs < 1 {
+		return optErr(strct, "Procs", "must be at least 1 (got %d)", o.Procs)
+	}
+	switch o.Algorithm {
+	case CD, DD, DDComm, IDD, HD, HPA:
+	default:
+		return optErr(strct, "Algorithm", "unknown algorithm %q (want cd, dd, ddcomm, idd, hd or hpa)", string(o.Algorithm))
+	}
+	if o.PageBytes < 0 {
+		return optErr(strct, "PageBytes", "negative (%d)", o.PageBytes)
+	}
+	if o.HDThreshold < 0 {
+		return optErr(strct, "HDThreshold", "negative (%d)", o.HDThreshold)
+	}
+	if o.FixedG < 0 {
+		return optErr(strct, "FixedG", "negative (%d)", o.FixedG)
+	}
+	if o.FixedG > 0 {
+		if o.Algorithm != HD {
+			return optErr(strct, "FixedG", "grid shape applies to HD only, not %q", string(o.Algorithm))
+		}
+		if o.Procs%o.FixedG != 0 {
+			return optErr(strct, "FixedG", "%d does not divide Procs %d", o.FixedG, o.Procs)
+		}
+	}
+	if o.MaxRestarts < 0 {
+		return optErr(strct, "MaxRestarts", "negative (%d)", o.MaxRestarts)
+	}
+	if o.Faults != nil {
+		switch o.Algorithm {
+		case CD, IDD, HD:
+		default:
+			return optErr(strct, "Faults", "fault-tolerant execution supports cd, idd and hd, not %q", string(o.Algorithm))
+		}
+	}
+	if o.CheckpointDir != "" {
+		switch o.Algorithm {
+		case CD, IDD, HD:
+		default:
+			return optErr(strct, "CheckpointDir", "checkpoint persistence supports cd, idd and hd, not %q", string(o.Algorithm))
+		}
+	}
+	return nil
+}
+
+// Validate checks the options for parallel rule generation.
+func (o RuleGenOptions) Validate() error {
+	const strct = "RuleGenOptions"
+	if o.Procs < 1 {
+		return optErr(strct, "Procs", "must be at least 1 (got %d)", o.Procs)
+	}
+	if o.MinConfidence < 0 || o.MinConfidence > 1 {
+		return optErr(strct, "MinConfidence", "%v outside [0, 1]", o.MinConfidence)
+	}
+	return nil
+}
+
+// Validate checks the serving options.  Zero values mean "use the default"
+// throughout and are always valid; only contradictions are errors.
+func (o ServeOptions) Validate() error {
+	const strct = "ServeOptions"
+	if o.Shards < 0 {
+		return optErr(strct, "Shards", "negative (%d)", o.Shards)
+	}
+	if o.Workers < 0 {
+		return optErr(strct, "Workers", "negative (%d); zero means inline execution", o.Workers)
+	}
+	if o.MaxK < 0 {
+		return optErr(strct, "MaxK", "negative (%d)", o.MaxK)
+	}
+	return nil
+}

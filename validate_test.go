@@ -1,0 +1,131 @@
+package parapriori
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// wantOptionError asserts err is a *OptionError naming the given struct
+// and field.
+func wantOptionError(t *testing.T, err error, strct, field string) {
+	t.Helper()
+	var oe *OptionError
+	if !errors.As(err, &oe) {
+		t.Fatalf("got %v, want *OptionError for %s.%s", err, strct, field)
+	}
+	if oe.Struct != strct || oe.Field != field {
+		t.Fatalf("got %s.%s (%q), want %s.%s", oe.Struct, oe.Field, oe.Reason, strct, field)
+	}
+}
+
+func TestMineOptionsValidate(t *testing.T) {
+	wantOptionError(t, MineOptions{}.Validate(), "MineOptions", "MinSupport")
+	wantOptionError(t, MineOptions{MinSupport: 1.5}.Validate(), "MineOptions", "MinSupport")
+	wantOptionError(t, MineOptions{MinSupport: 0.1, MaxPasses: -1}.Validate(), "MineOptions", "MaxPasses")
+	wantOptionError(t, MineOptions{MinSupport: 0.1, DHPTrim: true, MemoryBytes: 1 << 20}.Validate(), "MineOptions", "DHPTrim")
+	if err := (MineOptions{MinSupport: 0.1, DHPTrim: true}).Validate(); err != nil {
+		t.Fatalf("valid serial options rejected: %v", err)
+	}
+	if _, err := Mine(FromItems([][]Item{{1, 2}}), MineOptions{MinSupport: -1}); err == nil {
+		t.Fatal("Mine accepted negative support")
+	}
+}
+
+func TestParallelOptionsValidate(t *testing.T) {
+	ok := ParallelOptions{MineOptions: MineOptions{MinSupport: 0.1}, Algorithm: HD, Procs: 8}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid parallel options rejected: %v", err)
+	}
+
+	bad := ok
+	bad.Procs = 0
+	wantOptionError(t, bad.Validate(), "ParallelOptions", "Procs")
+
+	bad = ok
+	bad.Algorithm = "bogus"
+	wantOptionError(t, bad.Validate(), "ParallelOptions", "Algorithm")
+
+	// The serial-only knobs MineParallel used to ignore silently are now
+	// named errors.
+	bad = ok
+	bad.MemoryBytes = 1 << 20
+	wantOptionError(t, bad.Validate(), "ParallelOptions", "MemoryBytes")
+	bad = ok
+	bad.DHPBuckets = 1024
+	wantOptionError(t, bad.Validate(), "ParallelOptions", "DHPBuckets")
+	bad = ok
+	bad.DHPTrim = true
+	wantOptionError(t, bad.Validate(), "ParallelOptions", "DHPTrim")
+
+	bad = ok
+	bad.FixedG = 3 // does not divide 8
+	wantOptionError(t, bad.Validate(), "ParallelOptions", "FixedG")
+	bad = ok
+	bad.Algorithm = CD
+	bad.FixedG = 2 // grid shape is HD-only
+	wantOptionError(t, bad.Validate(), "ParallelOptions", "FixedG")
+
+	bad = ok
+	bad.Algorithm = DD
+	bad.Faults = &FaultPlan{}
+	wantOptionError(t, bad.Validate(), "ParallelOptions", "Faults")
+	bad = ok
+	bad.Algorithm = HPA
+	bad.CheckpointDir = t.TempDir()
+	wantOptionError(t, bad.Validate(), "ParallelOptions", "CheckpointDir")
+
+	if _, err := MineParallel(FromItems([][]Item{{1, 2}, {1, 2}}), ParallelOptions{
+		MineOptions: MineOptions{MinSupport: 0.5, MemoryBytes: 1 << 20},
+		Algorithm:   CD, Procs: 2,
+	}); err == nil {
+		t.Fatal("MineParallel accepted the serial-only MemoryBytes knob")
+	}
+}
+
+func TestRuleGenOptionsValidate(t *testing.T) {
+	wantOptionError(t, RuleGenOptions{Procs: 0, MinConfidence: 0.5}.Validate(), "RuleGenOptions", "Procs")
+	wantOptionError(t, RuleGenOptions{Procs: 2, MinConfidence: 1.5}.Validate(), "RuleGenOptions", "MinConfidence")
+	if err := (RuleGenOptions{Procs: 2, MinConfidence: 0.5}).Validate(); err != nil {
+		t.Fatalf("valid rule-gen options rejected: %v", err)
+	}
+}
+
+func TestServeOptionsValidate(t *testing.T) {
+	wantOptionError(t, ServeOptions{Shards: -1}.Validate(), "ServeOptions", "Shards")
+	wantOptionError(t, ServeOptions{Workers: -1}.Validate(), "ServeOptions", "Workers")
+	wantOptionError(t, ServeOptions{MaxK: -1}.Validate(), "ServeOptions", "MaxK")
+	if err := (ServeOptions{CacheSize: -1}).Validate(); err != nil {
+		t.Fatalf("negative CacheSize means disabled and must be valid: %v", err)
+	}
+}
+
+// TestGenerateRulesOnMatchesDeprecatedForm checks the new options form and
+// the deprecated positional wrapper produce identical rules and reports.
+func TestGenerateRulesOnMatchesDeprecatedForm(t *testing.T) {
+	data := FromItems([][]Item{
+		{1, 2, 3}, {1, 2, 3}, {1, 2}, {2, 3}, {1, 3}, {1, 2, 3, 4},
+	})
+	res, err := Mine(data, MineOptions{MinSupport: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := GenerateRulesOn(res, RuleGenOptions{Procs: 4, Machine: MachineT3E(), MinConfidence: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateRulesParallel(res, 4, MachineT3E(), 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("GenerateRulesOn and GenerateRulesParallel disagree")
+	}
+	serial, err := GenerateRules(res, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Rules, serial) {
+		t.Fatal("parallel rules differ from serial rules")
+	}
+}
