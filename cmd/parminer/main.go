@@ -8,6 +8,11 @@
 //	parminer -algo hd -p 64 -minsup 0.001 t15i6.dat
 //	parminer -algo hpa -p 8 -minsup 0.01 t15i6.dat
 //	parminer -algo idd -p 16 -machine sp2 -minsup 0.005 -passes t15i6.dat
+//	parminer -algo idd -p 8 -minsup 0.01 -trace trace.json t15i6.dat
+//
+// -trace writes the run's span trace as Perfetto-loadable JSON (inspect it
+// with cmd/trace or load it at ui.perfetto.dev); -timeline renders the text
+// Gantt chart.
 package main
 
 import (
@@ -28,6 +33,20 @@ func machineNames() string {
 		names = append(names, p.Name)
 	}
 	return strings.Join(names, ", ")
+}
+
+// writeTrace saves the collected span trace as Perfetto-loadable
+// trace-event JSON.
+func writeTrace(path string, rec *parapriori.SpanCollector) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := parapriori.WriteSpanTrace(f, rec.Trace()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // emitJSON prints a machine-readable run summary.
@@ -84,7 +103,8 @@ func main() {
 		hdm      = flag.Int("m", 5000, "HD candidate threshold per grid row")
 		fixedG   = flag.Int("g", 0, "pin HD's grid rows (0 = dynamic)")
 		passes   = flag.Bool("passes", false, "print per-pass detail")
-		trace    = flag.Bool("trace", false, "render a per-processor virtual-time Gantt chart")
+		timeline = flag.Bool("timeline", false, "render a per-processor virtual-time Gantt chart")
+		traceOut = flag.String("trace", "", "write the run's span trace as Perfetto-loadable JSON to this file")
 		asJSON   = flag.Bool("json", false, "emit a JSON summary instead of text")
 		itemsets = flag.Bool("itemsets", false, "print the frequent itemsets")
 	)
@@ -114,18 +134,33 @@ func main() {
 	}
 	mach := preset.Machine()
 
-	rep, err := parapriori.MineParallel(data, parapriori.ParallelOptions{
+	var rec *parapriori.SpanCollector
+	if *traceOut != "" {
+		rec = parapriori.NewSpanCollector()
+	}
+	popt := parapriori.ParallelOptions{
 		MineOptions: parapriori.MineOptions{MinSupport: *minsup},
 		Algorithm:   parapriori.Algorithm(*algoName),
 		Procs:       *procs,
 		Machine:     mach,
 		HDThreshold: *hdm,
 		FixedG:      *fixedG,
-		Trace:       *trace,
-	})
+		Trace:       *timeline,
+	}
+	if rec != nil {
+		popt.Recorder = rec
+	}
+	rep, err := parapriori.MineParallel(data, popt)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "parminer: %v\n", err)
 		os.Exit(1)
+	}
+
+	if rec != nil {
+		if err := writeTrace(*traceOut, rec); err != nil {
+			fmt.Fprintf(os.Stderr, "parminer: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	if *asJSON {
@@ -151,7 +186,7 @@ func main() {
 				p.CandImbalance, p.TimeImbalance, p.BytesMoved)
 		}
 	}
-	if *trace {
+	if *timeline {
 		if err := parapriori.TraceTimeline(os.Stdout, rep, 100); err != nil {
 			fmt.Fprintf(os.Stderr, "parminer: %v\n", err)
 			os.Exit(1)

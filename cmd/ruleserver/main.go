@@ -39,6 +39,18 @@
 // /metrics, POST /reload; node mode adds POST /shard/prepare, /shard/commit,
 // GET /shard/state.  Router: GET /recommend, /healthz, /metrics, /placement,
 // POST /reload.
+//
+// Observability: /metrics answers JSON by default and Prometheus text
+// exposition when the request carries Accept: text/plain — point a
+// Prometheus scrape job straight at it in every mode:
+//
+//	curl -H 'Accept: text/plain' 'localhost:8080/metrics'
+//
+// -pprof ADDR additionally serves net/http/pprof on a separate listener
+// (keep it on localhost; it is operator-only):
+//
+//	ruleserver -load freq.txt -addr :8080 -pprof localhost:6060
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
 package main
 
 import (
@@ -46,6 +58,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux, served only by -pprof's listener
 	"os"
 	"os/signal"
 	"strings"
@@ -71,11 +84,20 @@ func main() {
 		nodeList   = flag.String("nodes", "", "comma-separated node base URLs (router mode, required)")
 		cshards    = flag.Int("cluster-shards", 0, "shards to distribute across the nodes (router mode, 0 = default)")
 		seed       = flag.Uint64("seed", 0, "placement hash seed (router mode, 0 = fixed default)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060; off by default)")
 	)
 	flag.Parse()
 	if *nodeMode && *routerMode {
 		fmt.Fprintln(os.Stderr, "ruleserver: -node and -router are mutually exclusive")
 		os.Exit(2)
+	}
+	if *pprofAddr != "" {
+		// The profiling surface stays off the serving listener: it is
+		// operator-only, typically bound to localhost while the API is not.
+		go func() { //checkinv:allow rawchan the pprof listener is a second real-OS HTTP server
+			log.Printf("ruleserver: pprof on http://%s/debug/pprof/", *pprofAddr)
+			log.Fatal(http.ListenAndServe(*pprofAddr, nil))
+		}()
 	}
 
 	sopt := serve.Options{Shards: *shards, Workers: *workers, CacheSize: *cache}

@@ -1,0 +1,86 @@
+// Command trace inspects span traces saved by `parminer -trace out.json`:
+// it prints the per-pass cost-attribution table (the measured counterpart of
+// the paper's parallel-runtime decomposition), renders a text Gantt chart of
+// the leaf compute/send/idle slices, or re-emits the trace as normalized,
+// byte-deterministic Perfetto JSON.
+//
+// Usage:
+//
+//	parminer -algo idd -p 8 -minsup 0.01 -trace trace.json t15i6.dat
+//	trace trace.json                     # attribution table (the default)
+//	trace -timeline -width 120 trace.json
+//	trace -perfetto normalized.json trace.json
+//
+// The Perfetto output loads in ui.perfetto.dev or chrome://tracing: one
+// process per rank, structural spans (run → pass → section) on one thread
+// track and the leaf slices on another.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parapriori/internal/obsv"
+)
+
+func main() {
+	var (
+		attrib   = flag.Bool("attrib", false, "print the per-pass cost-attribution table (default action)")
+		timeline = flag.Bool("timeline", false, "render the leaf slices as a text Gantt chart")
+		width    = flag.Int("width", 100, "timeline width in columns")
+		perfetto = flag.String("perfetto", "", "re-emit the trace as normalized Perfetto JSON to this file")
+	)
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: trace [flags] <trace.json>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	t, err := obsv.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	did := false
+	if *perfetto != "" {
+		out, err := os.Create(*perfetto)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obsv.WriteTrace(out, t); err != nil {
+			out.Close()
+			fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			fatal(err)
+		}
+		did = true
+	}
+	if *timeline {
+		if err := obsv.WriteTimeline(os.Stdout, t, *width); err != nil {
+			fatal(err)
+		}
+		did = true
+	}
+	if *attrib || !did {
+		if algo, ok := t.MetaValue("algo"); ok {
+			p, _ := t.MetaValue("p")
+			fmt.Printf("algorithm %s on %s procs (%s clock), %d spans\n", algo, p, t.Clock, len(t.Spans))
+		}
+		if err := obsv.WriteAttribution(os.Stdout, obsv.Attribution(t)); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+	os.Exit(1)
+}

@@ -2,6 +2,7 @@ package parapriori
 
 import (
 	"bytes"
+	"encoding/json"
 	"reflect"
 	"testing"
 )
@@ -30,11 +31,13 @@ func TestMineParallelDeterministic(t *testing.T) {
 	for _, algo := range []Algorithm{CD, DD, IDD, HD} {
 		algo := algo
 		t.Run(string(algo), func(t *testing.T) {
-			run := func() (*Report, []byte) {
+			run := func() (*Report, []byte, []byte, []byte) {
+				rec := NewSpanCollector()
 				rep, err := MineParallel(data, ParallelOptions{
 					MineOptions: MineOptions{MinSupport: 0.03},
 					Algorithm:   algo,
 					Procs:       6,
+					Recorder:    rec,
 				})
 				if err != nil {
 					t.Fatalf("%s: %v", algo, err)
@@ -43,10 +46,32 @@ func TestMineParallelDeterministic(t *testing.T) {
 				if err := WriteResult(&buf, rep.Result); err != nil {
 					t.Fatalf("%s: serialize: %v", algo, err)
 				}
-				return rep, buf.Bytes()
+				// The exporters must be byte-deterministic too: the Perfetto
+				// trace-event JSON and the attribution table of a seeded run
+				// are part of the determinism contract.
+				tr := rec.Trace()
+				var perfetto bytes.Buffer
+				if err := WriteSpanTrace(&perfetto, tr); err != nil {
+					t.Fatalf("%s: trace export: %v", algo, err)
+				}
+				var attrib bytes.Buffer
+				if err := WriteAttributionTable(&attrib, TraceAttribution(tr)); err != nil {
+					t.Fatalf("%s: attribution: %v", algo, err)
+				}
+				return rep, buf.Bytes(), perfetto.Bytes(), attrib.Bytes()
 			}
-			a, aBytes := run()
-			b, bBytes := run()
+			a, aBytes, aTrace, aAttrib := run()
+			b, bBytes, bTrace, bAttrib := run()
+
+			if len(aTrace) == 0 || !json.Valid(aTrace) {
+				t.Errorf("%s: Perfetto export is not valid JSON", algo)
+			}
+			if !bytes.Equal(aTrace, bTrace) {
+				t.Errorf("%s: Perfetto trace JSON differs between identical runs", algo)
+			}
+			if !bytes.Equal(aAttrib, bAttrib) {
+				t.Errorf("%s: attribution table differs between identical runs:\n  run 1:\n%s\n  run 2:\n%s", algo, aAttrib, bAttrib)
+			}
 
 			if a.Result.NumFrequent() == 0 {
 				t.Fatalf("%s: trivial workload, no frequent itemsets", algo)

@@ -18,9 +18,9 @@ import (
 // Package cluster itself is exempt — it is the comm layer.
 var RawchanAnalyzer = &Analyzer{
 	Name: "rawchan",
-	Doc:  "forbid unannotated raw channels/goroutines in internal/core, internal/serve, internal/distserve and cmd",
+	Doc:  "forbid unannotated raw channels/goroutines in internal/core, internal/serve, internal/distserve, internal/obsv and cmd",
 	Applies: func(rel string) bool {
-		return underAny(rel, "internal/core", "internal/serve", "internal/distserve", "cmd")
+		return underAny(rel, "internal/core", "internal/serve", "internal/distserve", "internal/obsv", "cmd")
 	},
 	Check: checkRawchan,
 }

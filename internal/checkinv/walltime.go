@@ -25,7 +25,7 @@ var WalltimeAnalyzer = &Analyzer{
 	Name: "walltime",
 	Doc:  "forbid time.Now/Since/Sleep (and friends) in simulation packages",
 	Applies: func(rel string) bool {
-		return underAny(rel, "internal/cluster", "internal/core", "internal/analysis", "internal/experiments")
+		return underAny(rel, "internal/cluster", "internal/core", "internal/obsv", "internal/analysis", "internal/experiments")
 	},
 	Check: checkWalltime,
 }

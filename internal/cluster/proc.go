@@ -176,6 +176,7 @@ func (p *Proc) SendBlocking(to int, tag string, payload any, bytes int, congesti
 	t := p.c.machine.transferTime(bytes, congestion)
 	p.clock += t
 	p.stats.SendTime += t
+	p.record(EvSend, tag, p.clock-t, p.clock, to, bytes)
 	msg := p.prepSend(to, tag, payload, bytes, congestion)
 	p.c.boxes[to][p.id].put(msg)
 }

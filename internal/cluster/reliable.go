@@ -180,6 +180,7 @@ func (p *Proc) retryRecover(fs *faultState, tomb Message) (Message, bool) {
 		// NACK startup on the receiver's NIC.
 		p.clock += m.Latency
 		p.stats.SendTime += m.Latency
+		p.record(EvSend, "nack", p.clock-m.Latency, p.clock, tomb.From, 0)
 		// Wait out the backoff before the retransmission can land.
 		p.stats.RetryTime += backoff
 		p.record(EvRetry, tomb.Tag, p.clock, p.clock+backoff, tomb.From, tomb.Bytes)
@@ -226,6 +227,7 @@ func (p *Proc) chargeAck(fs *faultState) {
 	m := p.c.machine
 	p.clock += m.Latency
 	p.stats.SendTime += m.Latency
+	p.record(EvSend, "ack", p.clock-m.Latency, p.clock, -1, 0)
 }
 
 // chargeDeadDetect charges the cost of discovering a terminated peer: the

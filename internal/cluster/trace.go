@@ -104,7 +104,7 @@ func WriteTimeline(w io.Writer, events []Event, procs int, width int) error {
 		}
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "virtual time 0 .. %.6fs   (# compute, > send, o io, . idle)\n", horizon)
+	fmt.Fprintf(&b, "virtual time 0 .. %.6fs   (# compute, > send, o io, . idle, r retry, x drop)\n", horizon)
 	for i, row := range rows {
 		fmt.Fprintf(&b, "P%-3d |%s|\n", i, row)
 	}

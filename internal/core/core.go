@@ -27,6 +27,7 @@ import (
 	"parapriori/internal/cluster"
 	"parapriori/internal/hashtree"
 	"parapriori/internal/itemset"
+	"parapriori/internal/obsv"
 )
 
 // Algorithm selects a parallel formulation.
@@ -85,6 +86,13 @@ type Params struct {
 	// cluster.WriteTimeline.  Off by default: big runs generate an event
 	// per message.
 	Trace bool
+	// Recorder, when non-nil, receives the run's observability spans: a
+	// hierarchy of run → pass → engine section over the virtual clock, plus
+	// every cluster event as a leaf slice (a Recorder implies event
+	// tracing).  Spans carry only virtual time, so a seeded run records a
+	// bit-identical trace every time.  See package obsv for the collector
+	// and the Perfetto/attribution exporters.
+	Recorder obsv.Recorder
 	// Faults installs a deterministic fault plan on the emulated cluster
 	// and turns on fault-tolerant execution: pass-level checkpointing,
 	// crash recovery via coordinated rollback, and graceful degradation to
@@ -264,7 +272,7 @@ func Mine(data *itemset.Dataset, prm Params) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	if prm.Trace {
+	if prm.Trace || prm.Recorder != nil {
 		cl.EnableTrace()
 	}
 	if err := cl.InstallFaults(prm.Faults); err != nil {
@@ -289,8 +297,10 @@ func Mine(data *itemset.Dataset, prm Params) (*Report, error) {
 		active:      active,
 		ownedShards: owned,
 		restartWant: make([]bool, prm.P),
+		rec:         prm.Recorder,
 	}
 	run.rebuildVRank()
+	run.setRunMeta()
 	resumed, err := run.loadCheckpoint()
 	if err != nil {
 		return nil, err
@@ -312,6 +322,7 @@ func Mine(data *itemset.Dataset, prm Params) (*Report, error) {
 	} else if err := cl.Run(body); err != nil {
 		return nil, err
 	}
+	run.recordRunTrace(resumed)
 
 	rep := &Report{
 		Algo:         prm.Algo,
@@ -361,6 +372,9 @@ type run struct {
 	restartWant []bool
 	restarts    int
 	lost        []int
+	// rec receives observability spans (nil when not tracing); the bodies
+	// emit pass and section spans through the helpers in obsv.go.
+	rec obsv.Recorder
 }
 
 // np returns the number of participating processors — the "P" the grid is

@@ -7,6 +7,7 @@ import (
 	"parapriori/internal/cluster"
 	"parapriori/internal/hashtree"
 	"parapriori/internal/itemset"
+	"parapriori/internal/obsv"
 	"parapriori/internal/partition"
 )
 
@@ -26,6 +27,7 @@ func (r *run) ddBody(p *cluster.Proc) error {
 	tr := &r.perProc[p.ID()]
 	prev := r.firstPass(p, tr)
 	tr.levels = append(tr.levels, prev)
+	r.passSpan(p, tr)
 
 	shard := r.shards[p.ID()]
 	for k := 2; len(prev) > 0; k++ {
@@ -36,6 +38,7 @@ func (r *run) ddBody(p *cluster.Proc) error {
 
 		cands := apriori.Gen(itemsetsOf(prev))
 		chargeGen(p, len(cands))
+		r.sec(p, "candidate gen", clockStart, obsv.Int("k", int64(k)))
 		if len(cands) == 0 {
 			break
 		}
@@ -48,6 +51,7 @@ func (r *run) ddBody(p *cluster.Proc) error {
 		}
 		candImbalance := partition.Imbalance(counts)
 
+		buildStart := p.Clock()
 		hcands := make([]*hashtree.Candidate, len(myCands))
 		for i, s := range myCands {
 			hcands[i] = &hashtree.Candidate{Items: s}
@@ -57,6 +61,7 @@ func (r *run) ddBody(p *cluster.Proc) error {
 			return fmt.Errorf("pass %d: %w", k, err)
 		}
 		chargeBuild(p, tree.Stats().Inserts)
+		r.sec(p, "build", buildStart, obsv.Int("k", int64(k)))
 
 		computeBefore := p.Stats().ComputeTime
 		process := func(page []itemset.Transaction) {
@@ -70,6 +75,7 @@ func (r *run) ddBody(p *cluster.Proc) error {
 			chargeSubset(p, treeDelta(before, tree.Stats()))
 		}
 
+		countStart := p.Clock()
 		pages := shard.Pages(r.prm.PageBytes)
 		p.ReadIO(int64(shard.Bytes()), "io")
 		var bytesMoved int64
@@ -79,9 +85,12 @@ func (r *run) ddBody(p *cluster.Proc) error {
 			bytesMoved = r.allToAllCount(p, fmt.Sprintf("k%d/a2a", k), pages, process)
 		}
 		countTime := p.Stats().ComputeTime - computeBefore
+		r.sec(p, "count", countStart, obsv.Int("k", int64(k)))
 
+		exStart := p.Clock()
 		frequentLocal := pruneLocal(myCands, tree.Counts(), r.minCount)
 		level := exchangeFrequent(p, r.world, fmt.Sprintf("k%d/freq", k), frequentLocal)
+		r.sec(p, "exchange", exStart, obsv.Int("k", int64(k)))
 
 		tr.passes = append(tr.passes, passLocal{
 			k:             k,
@@ -99,6 +108,7 @@ func (r *run) ddBody(p *cluster.Proc) error {
 			candImbalance: candImbalance,
 		})
 		tr.levels = append(tr.levels, level)
+		r.passSpan(p, tr)
 		prev = level
 	}
 	return nil

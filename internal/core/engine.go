@@ -8,6 +8,7 @@ import (
 	"parapriori/internal/cluster"
 	"parapriori/internal/hashtree"
 	"parapriori/internal/itemset"
+	"parapriori/internal/obsv"
 	"parapriori/internal/partition"
 )
 
@@ -43,9 +44,12 @@ func (r *run) gridBody(p *cluster.Proc) error {
 	if len(tr.levels) == 0 {
 		prev = r.firstPass(p, tr)
 		tr.levels = append(tr.levels, prev)
+		ckStart := p.Clock()
 		if err := r.checkpoint(p, prev); err != nil {
 			return err
 		}
+		r.sec(p, "checkpoint", ckStart, obsv.Int("k", 1))
+		r.passSpan(p, tr)
 	} else {
 		prev = tr.levels[len(tr.levels)-1]
 	}
@@ -58,6 +62,7 @@ func (r *run) gridBody(p *cluster.Proc) error {
 
 		cands := apriori.Gen(itemsetsOf(prev))
 		chargeGen(p, len(cands))
+		r.sec(p, "candidate gen", clockStart, obsv.Int("k", int64(k)))
 		if len(cands) == 0 {
 			break
 		}
@@ -77,6 +82,7 @@ func (r *run) gridBody(p *cluster.Proc) error {
 		if g == 1 {
 			myCands = cands
 		} else {
+			partStart := p.Clock()
 			asg := partition.BinPack(cands, g, r.prm.SplitThreshold)
 			myCands = asg.PerProc[row]
 			candImbalance = asg.Imbalance()
@@ -86,6 +92,7 @@ func (r *run) gridBody(p *cluster.Proc) error {
 				bm.Set(int(c[0]))
 			}
 			filter = func(it itemset.Item) bool { return bm.Test(int(it)) }
+			r.sec(p, "partition", partStart, obsv.Int("k", int64(k)))
 		}
 
 		// Only the pure-CD configuration (a column of one) may need the
@@ -111,6 +118,7 @@ func (r *run) gridBody(p *cluster.Proc) error {
 		// rows): the collectives are what keep the column in step.
 		for part := 0; part < parts; part++ {
 			lo, hi := part*len(myCands)/parts, (part+1)*len(myCands)/parts
+			buildStart := p.Clock()
 			hcands := make([]*hashtree.Candidate, hi-lo)
 			for i, s := range myCands[lo:hi] {
 				hcands[i] = &hashtree.Candidate{Items: s}
@@ -120,6 +128,7 @@ func (r *run) gridBody(p *cluster.Proc) error {
 				return fmt.Errorf("pass %d: %w", k, err)
 			}
 			chargeBuild(p, tree.Stats().Inserts)
+			r.sec(p, "build", buildStart, obsv.Int("k", int64(k)), obsv.Int("part", int64(part)))
 
 			process := func(page []itemset.Transaction) {
 				if len(page) == 0 {
@@ -143,11 +152,15 @@ func (r *run) gridBody(p *cluster.Proc) error {
 				}
 			}
 
+			countStart := p.Clock()
 			p.ReadIO(shardBytes, "io")
 			bytesMoved += ringCount(p, colComm, fmt.Sprintf("k%d.p%d/ring", k, part), pages, process)
+			r.sec(p, "count", countStart, obsv.Int("k", int64(k)), obsv.Int("part", int64(part)))
 
+			redStart := p.Clock()
 			counts := tree.Counts()
 			global := rowComm.AllReduceInt64(p, fmt.Sprintf("k%d.p%d/red", k, part), counts)
+			r.sec(p, "reduce", redStart, obsv.Int("k", int64(k)), obsv.Int("part", int64(part)))
 			frequentLocal = append(frequentLocal, pruneLocal(myCands[lo:hi], global, r.minCount)...)
 			passTree.Add(tree.Stats())
 		}
@@ -159,7 +172,9 @@ func (r *run) gridBody(p *cluster.Proc) error {
 			// no frequent-set exchange is needed.
 			level = frequentLocal
 		} else {
+			exStart := p.Clock()
 			level = exchangeFrequent(p, colComm, fmt.Sprintf("k%d/freq", k), frequentLocal)
+			r.sec(p, "exchange", exStart, obsv.Int("k", int64(k)))
 		}
 
 		tr.passes = append(tr.passes, passLocal{
@@ -178,9 +193,12 @@ func (r *run) gridBody(p *cluster.Proc) error {
 			candImbalance: candImbalance,
 		})
 		tr.levels = append(tr.levels, level)
+		ckStart := p.Clock()
 		if err := r.checkpoint(p, level); err != nil {
 			return err
 		}
+		r.sec(p, "checkpoint", ckStart, obsv.Int("k", int64(k)))
+		r.passSpan(p, tr, obsv.Int("row", int64(row)), obsv.Int("col", int64(col)))
 		prev = level
 	}
 	return nil

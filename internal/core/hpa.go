@@ -7,6 +7,7 @@ import (
 	"parapriori/internal/apriori"
 	"parapriori/internal/cluster"
 	"parapriori/internal/itemset"
+	"parapriori/internal/obsv"
 	"parapriori/internal/partition"
 )
 
@@ -28,6 +29,7 @@ func (r *run) hpaBody(p *cluster.Proc) error {
 	tr := &r.perProc[p.ID()]
 	prev := r.firstPass(p, tr)
 	tr.levels = append(tr.levels, prev)
+	r.passSpan(p, tr)
 
 	shard := r.shards[p.ID()]
 	procs := r.prm.P
@@ -39,6 +41,7 @@ func (r *run) hpaBody(p *cluster.Proc) error {
 
 		cands := apriori.Gen(itemsetsOf(prev))
 		chargeGen(p, len(cands))
+		r.sec(p, "candidate gen", clockStart, obsv.Int("k", int64(k)))
 		if len(cands) == 0 {
 			break
 		}
@@ -58,12 +61,17 @@ func (r *run) hpaBody(p *cluster.Proc) error {
 		}
 		candImbalance := partition.Imbalance(owners)
 		// Building the lookup table stands in for tree construction.
+		buildStart := p.Clock()
 		chargeBuild(p, int64(len(myCands)))
+		r.sec(p, "build", buildStart, obsv.Int("k", int64(k)))
 
 		computeBefore := p.Stats().ComputeTime
+		countStart := p.Clock()
 		bytesMoved := r.hpaExchange(p, k, shard, counts)
 		countTime := p.Stats().ComputeTime - computeBefore
+		r.sec(p, "count", countStart, obsv.Int("k", int64(k)))
 
+		exStart := p.Clock()
 		var frequentLocal []apriori.Frequent
 		for _, c := range myCands {
 			if n := *counts[c.Key()]; n >= r.minCount {
@@ -71,6 +79,7 @@ func (r *run) hpaBody(p *cluster.Proc) error {
 			}
 		}
 		level := exchangeFrequent(p, r.world, fmt.Sprintf("k%d/freq", k), frequentLocal)
+		r.sec(p, "exchange", exStart, obsv.Int("k", int64(k)))
 
 		tr.passes = append(tr.passes, passLocal{
 			k:             k,
@@ -87,6 +96,7 @@ func (r *run) hpaBody(p *cluster.Proc) error {
 			candImbalance: candImbalance,
 		})
 		tr.levels = append(tr.levels, level)
+		r.passSpan(p, tr)
 		prev = level
 	}
 	return nil

@@ -6,6 +6,7 @@ import (
 	"parapriori/internal/apriori"
 	"parapriori/internal/cluster"
 	"parapriori/internal/itemset"
+	"parapriori/internal/obsv"
 )
 
 // firstPass computes the globally frequent items F1.  Every formulation
@@ -30,8 +31,10 @@ func (r *run) firstPass(p *cluster.Proc, tr *procTrace) []apriori.Frequent {
 	p.ReadIO(shardBytes, "io")
 	chargeScan(p, items, "scan")
 	countStart := p.Clock()
+	r.sec(p, "scan", start, obsv.Int("k", 1))
 
 	global := r.world.AllReduceInt64(p, "f1", counts)
+	r.sec(p, "reduce", countStart, obsv.Int("k", 1))
 
 	var f1 []apriori.Frequent
 	for it, c := range global {

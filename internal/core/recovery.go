@@ -191,6 +191,7 @@ func (r *run) chargeRestore(p *cluster.Proc, tr *procTrace) {
 		return
 	}
 	r.restartWant[p.ID()] = false
+	restStart := p.Clock()
 	var bytes, items int64
 	for _, level := range tr.levels {
 		bytes += int64(frequentBytes(level))
@@ -198,6 +199,7 @@ func (r *run) chargeRestore(p *cluster.Proc, tr *procTrace) {
 	}
 	p.ReadIO(bytes, "recovery")
 	p.Compute(float64(items)*p.Machine().TItem, "recovery")
+	r.sec(p, "recovery", restStart)
 }
 
 // levelItems counts the items across a frequent level.

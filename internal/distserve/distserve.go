@@ -55,6 +55,7 @@ import (
 	"sort"
 
 	"parapriori/internal/itemset"
+	"parapriori/internal/obsv"
 	"parapriori/internal/serve"
 )
 
@@ -75,6 +76,11 @@ type Options struct {
 	// pool, MaxK).  The router clamps K with the same defaults, so
 	// router-side and node-side query semantics match exactly.
 	Node serve.Options
+	// Recorder, when non-nil, receives the router's real-time spans: one
+	// request span plus per-node fan-out spans for each Recommend, and
+	// prepare/commit spans for each publish.  Node-side request spans are
+	// configured separately through Node.Recorder.
+	Recorder obsv.Recorder
 }
 
 // WithDefaults returns the options with every zero field defaulted.

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"parapriori/internal/itemset"
+	"parapriori/internal/obsv"
 	"parapriori/internal/rules"
 	"parapriori/internal/serve"
 )
@@ -306,7 +307,8 @@ func (c *HTTPClient) Metrics() (serve.Metrics, error) {
 //
 //	GET  /recommend?items=1,2,3&k=10   distributed top-K (scatter-gather)
 //	GET  /healthz                      liveness, generation, nodes up
-//	GET  /metrics                      FleetMetrics as JSON
+//	GET  /metrics                      FleetMetrics as JSON; Prometheus text
+//	                                   exposition when Accept: text/plain
 //	GET  /placement                    shard → node assignment
 //	POST /reload[?full=1]              rebuild rules via the callback and
 //	                                   publish cluster-wide (delta by default)
@@ -380,6 +382,13 @@ func (r *Router) Handler(reload func() ([]rules.Rule, error)) http.Handler {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodGet {
 			writeError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		if serve.WantsProm(req) {
+			pw := obsv.NewPromWriter()
+			r.WriteProm(pw)
+			w.Header().Set("Content-Type", obsv.ContentType)
+			_, _ = w.Write(pw.Bytes())
 			return
 		}
 		writeJSON(w, http.StatusOK, r.Metrics())

@@ -3,6 +3,7 @@ package distserve
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -12,8 +13,91 @@ import (
 	"testing"
 
 	"parapriori/internal/itemset"
+	"parapriori/internal/obsv"
 	"parapriori/internal/rules"
 )
+
+// TestRouterMetricsPromNegotiation: the router's /metrics serves the
+// Prometheus text exposition under Accept: text/plain — including per-node
+// families gathered over the node protocol — and keeps JSON as the default.
+// The router's recorder sees request, fan-out and publish spans.
+func TestRouterMetricsPromNegotiation(t *testing.T) {
+	rec := obsv.NewCollector(obsv.ClockReal)
+	router, _ := httpFleet(t, 2, Options{Shards: 16, Recorder: rec})
+	if _, err := router.Publish(synthRules(200, 40, 30), true); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	if _, err := router.Recommend([]itemset.Item{1, 2, 3}, 5); err != nil {
+		t.Fatalf("recommend: %v", err)
+	}
+
+	front := httptest.NewServer(router.Handler(nil))
+	t.Cleanup(front.Close)
+	req, _ := http.NewRequest(http.MethodGet, front.URL+"/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	resp, err := front.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != obsv.ContentType {
+		t.Fatalf("Content-Type %q, want %q", ct, obsv.ContentType)
+	}
+	var sb strings.Builder
+	if _, err := io.Copy(&sb, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"# TYPE parapriori_router_queries_total counter",
+		"parapriori_router_queries_total 1\n",
+		"parapriori_cluster_generation 1\n",
+		"parapriori_nodes 2\n",
+		"parapriori_nodes_up 2\n",
+		"# TYPE parapriori_router_query_latency_seconds histogram",
+		"parapriori_router_query_latency_seconds_count 1\n",
+		`parapriori_node_up{node="`,
+		`parapriori_node_queries_total{node="`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	// JSON stays the default view.
+	jr, err := front.Client().Get(front.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jr.Body.Close()
+	var fm FleetMetrics
+	if err := json.NewDecoder(jr.Body).Decode(&fm); err != nil {
+		t.Fatalf("JSON view: %v", err)
+	}
+	if fm.Queries != 1 || fm.NumNodes != 2 {
+		t.Fatalf("JSON view: %+v", fm)
+	}
+
+	// Span census: one request span, ≥1 fan-out span, prepare + commit.
+	tr := rec.Trace()
+	var reqs, fans, preps, commits int
+	for _, sp := range tr.Spans {
+		switch {
+		case sp.Cat == obsv.CatRequest && sp.Name == "recommend":
+			reqs++
+		case sp.Cat == obsv.CatRequest && sp.Name == "fanout":
+			fans++
+		case sp.Cat == obsv.CatPublish && sp.Name == "prepare":
+			preps++
+		case sp.Cat == obsv.CatPublish && sp.Name == "commit":
+			commits++
+		}
+	}
+	if reqs != 1 || fans < 1 || preps != 1 || commits != 1 {
+		t.Fatalf("spans: %d recommend (want 1), %d fanout (want ≥1), %d prepare, %d commit (want 1 each)",
+			reqs, fans, preps, commits)
+	}
+}
 
 // httpFleet spins up n node processes as httptest servers and a router
 // driving them over real HTTP.

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"parapriori/internal/obsv"
 	"parapriori/internal/serve"
 )
 
@@ -88,4 +89,43 @@ func (r *Router) Metrics() FleetMetrics {
 		fm.Nodes = append(fm.Nodes, nm)
 	}
 	return fm
+}
+
+// WriteProm renders the fleet metrics as Prometheus text exposition — the
+// content-negotiated alternative to the JSON view on the router's /metrics.
+// Router-level counters come out as native families (including the real
+// latency histogram); per-node serving metrics, which arrive pre-aggregated
+// over the node protocol, are labeled gauges/counters keyed by node ID.
+func (r *Router) WriteProm(w *obsv.PromWriter) {
+	m := r.Metrics()
+	w.Gauge("parapriori_router_uptime_seconds", "Seconds since the router started.", m.UptimeSeconds)
+	w.Counter("parapriori_router_queries_total", "Distributed basket queries routed.", float64(m.Queries))
+	w.Counter("parapriori_router_partial_results_total", "Queries answered with one or more owners down.", float64(m.PartialResults))
+	w.Counter("parapriori_router_fanout_total", "Node consultations summed over all queries.", float64(r.met.fanout.Load()))
+	w.Gauge("parapriori_cluster_generation", "Current cluster publish generation.", float64(m.Generation))
+	w.Gauge("parapriori_nodes", "Member nodes.", float64(m.NumNodes))
+	w.Gauge("parapriori_nodes_up", "Member nodes that answered the metrics poll.", float64(m.NodesUp))
+	w.Gauge("parapriori_shards", "Index shards distributed across the fleet.", float64(m.Shards))
+	w.Gauge("parapriori_rules", "Fleet-wide rules summed over reachable nodes.", float64(m.NumRules))
+	w.Histogram("parapriori_router_query_latency_seconds", "End-to-end distributed query latency (power-of-two buckets).",
+		r.met.latency.UppersSeconds(), r.met.latency.Counts(), r.met.latency.SumSeconds())
+	for _, n := range m.Nodes {
+		node := obsv.String("node", n.ID)
+		up := 0.0
+		if n.Up {
+			up = 1
+		}
+		w.Gauge("parapriori_node_up", "Whether the node answered the metrics poll.", up, node)
+		w.Gauge("parapriori_node_shards", "Shards placement assigns the node.", float64(len(n.Shards)), node)
+		if !n.Up {
+			continue
+		}
+		w.Counter("parapriori_node_queries_total", "Basket queries the node served.", float64(n.Serve.Queries), node)
+		w.Counter("parapriori_node_cache_hits_total", "Node query cache hits.", float64(n.Serve.CacheHits), node)
+		w.Counter("parapriori_node_cache_misses_total", "Node query cache misses.", float64(n.Serve.CacheMisses), node)
+		w.Gauge("parapriori_node_generation", "Node snapshot generation.", float64(n.Serve.SnapshotGeneration), node)
+		w.Gauge("parapriori_node_rules", "Rules in the node's served index.", float64(n.Serve.NumRules), node)
+		w.Gauge("parapriori_node_p50_latency_micros", "Node p50 query latency in microseconds.", n.Serve.P50LatencyMicros, node)
+		w.Gauge("parapriori_node_p99_latency_micros", "Node p99 query latency in microseconds.", n.Serve.P99LatencyMicros, node)
+	}
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"parapriori/internal/itemset"
+	"parapriori/internal/obsv"
 	"parapriori/internal/rules"
 	"parapriori/internal/serve"
 )
@@ -39,6 +40,7 @@ type Router struct {
 	gen       uint64
 
 	met routerMetrics
+	rc  *obsv.RealClock // nil unless Options.Recorder is set
 }
 
 // routerMetrics is the router's lock-free counter block.
@@ -62,7 +64,9 @@ func NewRouter(clients []Client, opt Options) (*Router, error) {
 		opt:     opt,
 		clients: make(map[string]Client, len(clients)),
 		held:    make(map[string]map[int]bool, len(clients)),
+		rc:      obsv.NewRealClock(opt.Recorder),
 	}
+	r.rc.SetMeta("tier", "router")
 	r.met.start = time.Now()
 	for _, c := range clients {
 		id := c.ID()
@@ -225,6 +229,7 @@ func (r *Router) publish(next []serve.RuleGroup, full bool) (PublishStats, error
 	// Phase 1: stage everywhere.  Any failure aborts with the previous
 	// generation still serving on every node — staged state is simply
 	// superseded by the next publish's higher generation.
+	prepStart := r.rc.Now()
 	prepErrs := make([]error, len(ids))
 	var wg sync.WaitGroup
 	for i, id := range ids {
@@ -236,6 +241,12 @@ func (r *Router) publish(next []serve.RuleGroup, full bool) (PublishStats, error
 		}()
 	}
 	wg.Wait()
+	r.rc.Record("prepare", obsv.CatPublish, 0, prepStart,
+		obsv.Int("generation", int64(newGen)),
+		obsv.Int("nodes", int64(len(ids))),
+		obsv.Int("upserts", int64(stats.Upserts)),
+		obsv.Int("removes", int64(stats.Removes)),
+		obsv.Int("bytes", stats.Bytes))
 	for i, err := range prepErrs {
 		if err != nil {
 			return stats, fmt.Errorf("distserve: publish gen %d aborted: prepare on %s: %w", newGen, ids[i], err)
@@ -245,6 +256,7 @@ func (r *Router) publish(next []serve.RuleGroup, full bool) (PublishStats, error
 	// Phase 2: cut over.  A commit failure means that node is partitioned
 	// or dead; survivors switch, and the router stops trusting the
 	// failed node's state (its next publish is a full resend).
+	commitStart := r.rc.Now()
 	commitErrs := make([]error, len(ids))
 	for i, id := range ids {
 		i, c := i, clients[id]
@@ -255,6 +267,9 @@ func (r *Router) publish(next []serve.RuleGroup, full bool) (PublishStats, error
 		}()
 	}
 	wg.Wait()
+	r.rc.Record("commit", obsv.CatPublish, 0, commitStart,
+		obsv.Int("generation", int64(newGen)),
+		obsv.Int("nodes", int64(len(ids))))
 
 	r.mu.Lock()
 	r.gen = newGen
@@ -374,9 +389,20 @@ type Result struct {
 // serve.ErrNoSnapshot.
 func (r *Router) Recommend(basket []itemset.Item, k int) (*Result, error) {
 	start := time.Now()
+	spanStart := r.rc.Now()
+	fanout, partial := 0, false
 	defer func() {
 		r.met.queries.Add(1)
 		r.met.latency.Observe(time.Since(start))
+		p := int64(0)
+		if partial {
+			p = 1
+		}
+		r.rc.Record("recommend", obsv.CatRequest, 0, spanStart,
+			obsv.Int("basket", int64(len(basket))),
+			obsv.Int("k", int64(k)),
+			obsv.Int("fanout", int64(fanout)),
+			obsv.Int("partial", p))
 	}()
 
 	if k <= 0 {
@@ -436,15 +462,27 @@ func (r *Router) Recommend(basket []itemset.Item, k int) (*Result, error) {
 		gen   uint64
 		err   error
 	}
+	fanout = len(nodeIDs)
 	answers := make([]answer, len(nodeIDs))
 	var wg sync.WaitGroup
 	for i, id := range nodeIDs {
-		i, c := i, clients[id]
+		i, id, c := i, id, clients[id]
 		wg.Add(1)
 		go func() { //checkinv:allow rawchan — real-OS scatter-gather fan-out, joined by WaitGroup below
 			defer wg.Done()
+			nodeStart := r.rc.Now()
 			rs, gen, err := c.Recommend(b, k)
 			answers[i] = answer{rules: rs, gen: gen, err: err}
+			ok := int64(1)
+			if err != nil {
+				ok = 0
+			}
+			// One span per consulted node, on its own rank track (the
+			// router's own spans live on rank 0).
+			r.rc.Record("fanout", obsv.CatRequest, 1+i, nodeStart,
+				obsv.String("node", id),
+				obsv.Int("shards", int64(len(shardsByNode[id]))),
+				obsv.Int("ok", ok))
 		}()
 	}
 	wg.Wait()
@@ -454,6 +492,7 @@ func (r *Router) Recommend(basket []itemset.Item, k int) (*Result, error) {
 	for i, a := range answers {
 		if a.err != nil {
 			res.Partial = true
+			partial = true
 			res.MissedShards = append(res.MissedShards, shardsByNode[nodeIDs[i]]...)
 			continue
 		}

@@ -182,6 +182,7 @@ func All() []Named {
 		{"ablate", "Design ablations: G sweep, free-communication baseline, overlap", Ablate},
 		{"hpa", "HPA vs IDD vs DD communication volume (Section III-E)", HPAStudy},
 		{"faults", "Recovery overhead under loss/straggler/crash faults (CD, IDD, HD)", Faults},
+		{"attrib", "Per-pass cost attribution from span traces, reconciled with cluster stats", Attrib},
 		{"loadgen", "Distributed serving under closed-loop load (throughput, p99, delta publish)", LoadGen},
 	}
 }

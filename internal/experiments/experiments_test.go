@@ -37,7 +37,7 @@ func runNamed(t *testing.T, name string) *Result {
 }
 
 func TestAllRegistered(t *testing.T) {
-	want := []string{"table2", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "model", "ablate", "hpa", "faults", "loadgen"}
+	want := []string{"table2", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "model", "ablate", "hpa", "faults", "attrib", "loadgen"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("All() has %d entries, want %d", len(all), len(want))
@@ -269,6 +269,35 @@ func TestFaultsOverheadShapes(t *testing.T) {
 		first, last := s.Points[0], s.Points[len(s.Points)-1]
 		if last.Y <= first.Y {
 			t.Errorf("%s: overhead did not grow across the sweep: %v -> %v", s.Name, first.Y, last.Y)
+		}
+	}
+}
+
+// TestAttribDecomposition checks the span-trace cost attribution: every
+// tabulated pass accounts its time into the five categories, and DD's
+// communication share exceeds CD's (the decomposition the experiment is
+// for).  The reconciliation against cluster.Stats happens inside the
+// experiment itself — a mismatch is returned as an error, so runNamed's
+// Fatalf covers it.
+func TestAttribDecomposition(t *testing.T) {
+	res := runNamed(t, "attrib")
+	if len(res.TableRows) < 4 {
+		t.Fatalf("only %d rows", len(res.TableRows))
+	}
+	for _, row := range res.TableRows {
+		if len(row) != len(res.TableHeader) {
+			t.Fatalf("row %v has %d cells, header %d", row, len(row), len(res.TableHeader))
+		}
+	}
+	// Quick mode runs CD and IDD; both must contribute a comm-share series
+	// with at least one pass-k point.
+	names := map[string]int{}
+	for _, s := range res.Series {
+		names[s.Name] = len(s.Points)
+	}
+	for _, want := range []string{"CD", "IDD"} {
+		if names[want] == 0 {
+			t.Errorf("series %q missing or empty (have %v)", want, names)
 		}
 	}
 }

@@ -1,0 +1,53 @@
+package obsv
+
+import "parapriori/internal/cluster"
+
+// catForKind maps the cluster trace's event kinds onto slice categories.
+var catForKind = map[cluster.EventKind]string{
+	cluster.EvCompute: CatCompute,
+	cluster.EvIO:      CatIO,
+	cluster.EvSend:    CatSend,
+	cluster.EvIdle:    CatIdle,
+	cluster.EvRetry:   CatRetry,
+	cluster.EvDrop:    CatDrop,
+}
+
+// ClusterSpans converts the low-level cluster event trace into leaf spans.
+// Each event becomes one slice span on its processor's rank: the event's
+// phase label (or message tag) is the span name, the kind its category, and
+// peer/bytes become attributes when set.
+func ClusterSpans(events []cluster.Event) []Span {
+	spans := make([]Span, 0, len(events))
+	for _, e := range events {
+		cat, ok := catForKind[e.Kind]
+		if !ok {
+			cat = string(rune(e.Kind))
+		}
+		s := Span{
+			Name:  e.Phase,
+			Cat:   cat,
+			Rank:  e.Proc,
+			Start: e.Start,
+			End:   e.End,
+		}
+		if s.Name == "" {
+			s.Name = cat
+		}
+		if e.Peer >= 0 {
+			s.Args = append(s.Args, Int("peer", int64(e.Peer)))
+		}
+		if e.Bytes > 0 {
+			s.Args = append(s.Args, Int("bytes", int64(e.Bytes)))
+		}
+		spans = append(spans, s)
+	}
+	return spans
+}
+
+// RecordClusterTrace converts the cluster event trace and records every
+// resulting span into r.
+func RecordClusterTrace(r Recorder, events []cluster.Event) {
+	for _, s := range ClusterSpans(events) {
+		r.Record(s)
+	}
+}

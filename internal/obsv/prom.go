@@ -1,0 +1,134 @@
+package obsv
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromWriter builds Prometheus text exposition (format version 0.0.4) for
+// the serving tier's /metrics endpoints.  Each metric family gets its
+// # HELP / # TYPE header once, on first use; samples with labels render the
+// label set sorted by key with standard escaping.  Everything is written in
+// call order with canonical float formatting, so the output is a pure
+// function of the calls.
+type PromWriter struct {
+	b    strings.Builder
+	seen map[string]bool
+}
+
+// NewPromWriter returns an empty writer.
+func NewPromWriter() *PromWriter {
+	return &PromWriter{seen: make(map[string]bool)}
+}
+
+// ContentType is the Content-Type of the text exposition format.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+func (w *PromWriter) header(name, help, typ string) {
+	if w.seen[name] {
+		return
+	}
+	w.seen[name] = true
+	w.b.WriteString("# HELP ")
+	w.b.WriteString(name)
+	w.b.WriteByte(' ')
+	w.b.WriteString(escapeHelp(help))
+	w.b.WriteString("\n# TYPE ")
+	w.b.WriteString(name)
+	w.b.WriteByte(' ')
+	w.b.WriteString(typ)
+	w.b.WriteByte('\n')
+}
+
+func (w *PromWriter) sample(name string, labels []Attr, value float64) {
+	w.b.WriteString(name)
+	writeLabels(&w.b, labels)
+	w.b.WriteByte(' ')
+	w.b.WriteString(promFloat(value))
+	w.b.WriteByte('\n')
+}
+
+// Gauge emits one gauge sample.  The help text is used the first time the
+// family appears.
+func (w *PromWriter) Gauge(name, help string, value float64, labels ...Attr) {
+	w.header(name, help, "gauge")
+	w.sample(name, labels, value)
+}
+
+// Counter emits one counter sample.
+func (w *PromWriter) Counter(name, help string, value float64, labels ...Attr) {
+	w.header(name, help, "counter")
+	w.sample(name, labels, value)
+}
+
+// Histogram emits a cumulative histogram family from per-bucket counts.
+// uppers[i] is bucket i's inclusive upper bound and counts[i] its
+// (non-cumulative) count; sum is the sum of all observations, in the
+// metric's unit.  The +Inf bucket is added automatically.
+func (w *PromWriter) Histogram(name, help string, uppers []float64, counts []int64, sum float64, labels ...Attr) {
+	w.header(name, help, "histogram")
+	var cum int64
+	for i, ub := range uppers {
+		cum += counts[i]
+		bl := append(append([]Attr(nil), labels...), Attr{Key: "le", Val: promFloat(ub)})
+		w.sample(name+"_bucket", bl, float64(cum))
+	}
+	for i := len(uppers); i < len(counts); i++ {
+		cum += counts[i]
+	}
+	bl := append(append([]Attr(nil), labels...), Attr{Key: "le", Val: "+Inf"})
+	w.sample(name+"_bucket", bl, float64(cum))
+	w.sample(name+"_sum", labels, sum)
+	w.sample(name+"_count", labels, float64(cum))
+}
+
+// Bytes returns the exposition built so far.
+func (w *PromWriter) Bytes() []byte { return []byte(w.b.String()) }
+
+func writeLabels(b *strings.Builder, labels []Attr) {
+	if len(labels) == 0 {
+		return
+	}
+	ls := make([]Attr, len(labels))
+	copy(ls, labels)
+	sort.SliceStable(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Val))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+// promFloat formats a sample value: integral values without an exponent,
+// everything else with the shortest round-trip encoding.
+func promFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

@@ -1,0 +1,130 @@
+package obsv_test
+
+import (
+	"math"
+	"testing"
+
+	"parapriori/internal/apriori"
+	"parapriori/internal/cluster"
+	"parapriori/internal/core"
+	"parapriori/internal/datagen"
+	"parapriori/internal/itemset"
+	"parapriori/internal/obsv"
+)
+
+// These tests live in the external test package: obsv itself depends only on
+// cluster, but verifying the attribution report against a real mining run
+// needs core, which imports obsv.
+
+func reconcileData(tb testing.TB) *itemset.Dataset {
+	tb.Helper()
+	p := datagen.Defaults()
+	p.NumTransactions = 800
+	p.NumItems = 80
+	p.NumPatterns = 40
+	p.AvgTxnLen = 8
+	p.AvgPatternLen = 4
+	p.Seed = 7
+	d, err := datagen.Generate(p)
+	if err != nil {
+		tb.Fatalf("generate: %v", err)
+	}
+	return d
+}
+
+// TestAttributionReconcilesWithStats mines with a recorder installed and
+// checks that the attribution report's category totals — summed over every
+// pass and the outside-any-pass bucket — equal the cluster's own Stats
+// accounting (ComputeTime/IOTime/SendTime/IdleTime/RetryTime) to float
+// tolerance.  Run per formulation: each exercises different charging paths
+// (CD the partitioned tree, DD the blocking all-to-all, IDD the reliable
+// ring, HD the grid).
+func TestAttributionReconcilesWithStats(t *testing.T) {
+	data := reconcileData(t)
+	for _, algo := range []core.Algorithm{core.CD, core.DD, core.IDD, core.HD, core.HPA} {
+		algo := algo
+		t.Run(string(algo), func(t *testing.T) {
+			rec := obsv.NewCollector(obsv.ClockVirtual)
+			rep, err := core.Mine(data, core.Params{
+				Algo:     algo,
+				P:        6,
+				Machine:  cluster.SP2(), // nonzero I/O costs exercise the io category
+				Apriori:  apriori.Params{MinSupport: 0.03},
+				Recorder: rec,
+			})
+			if err != nil {
+				t.Fatalf("mine: %v", err)
+			}
+			checkReconciles(t, rec.Trace(), rep.Total, len(rep.Passes))
+		})
+	}
+}
+
+// TestAttributionReconcilesUnderFaults repeats the reconciliation on a
+// faulty IDD run: retries, drops, acks and recovery charges must all land
+// in the report (mostly via the retry category and the -1 bucket), still
+// summing to the Stats totals.
+func TestAttributionReconcilesUnderFaults(t *testing.T) {
+	data := reconcileData(t)
+	rec := obsv.NewCollector(obsv.ClockVirtual)
+	rep, err := core.Mine(data, core.Params{
+		Algo:     core.IDD,
+		P:        6,
+		Machine:  cluster.SP2(),
+		Apriori:  apriori.Params{MinSupport: 0.03},
+		Faults:   &cluster.FaultPlan{Seed: 3, Drop: 0.05, Dup: 0.05, Reorder: 0.05},
+		Recorder: rec,
+	})
+	if err != nil {
+		t.Fatalf("mine: %v", err)
+	}
+	if rep.Total.RetryTime == 0 {
+		t.Fatal("fault plan injected no retry time; test is vacuous")
+	}
+	checkReconciles(t, rec.Trace(), rep.Total, len(rep.Passes))
+}
+
+func checkReconciles(t *testing.T, tr *obsv.Trace, stats cluster.Stats, passes int) {
+	t.Helper()
+	costs := obsv.Attribution(tr)
+	tot := obsv.TotalCost(costs)
+
+	// Every pass the report mentions must have a bucket (plus possibly -1).
+	kinds := make(map[int]bool)
+	for _, c := range costs {
+		kinds[c.Pass] = true
+	}
+	for k := 1; k <= passes; k++ {
+		if !kinds[k] {
+			t.Errorf("no attribution bucket for pass k=%d", k)
+		}
+	}
+
+	const tol = 1e-9
+	for _, c := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"compute", tot.Compute, stats.ComputeTime},
+		{"io", tot.IO, stats.IOTime},
+		{"send", tot.Send, stats.SendTime},
+		{"idle", tot.Idle, stats.IdleTime},
+		{"retry", tot.Retry, stats.RetryTime},
+	} {
+		if math.Abs(c.got-c.want) > tol {
+			t.Errorf("%s: attribution %.12f != stats %.12f (diff %g)", c.name, c.got, c.want, c.got-c.want)
+		}
+	}
+
+	// The critical path of each pass can never exceed its elapsed time
+	// (busy time on one rank is bounded by the pass's span), except in the
+	// catch-all bucket which has no bounds.
+	for _, c := range costs {
+		if c.Pass == -1 {
+			continue
+		}
+		if c.CriticalPath > c.Elapsed+tol {
+			t.Errorf("pass %d: critical path %.9f exceeds elapsed %.9f", c.Pass, c.CriticalPath, c.Elapsed)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"parapriori/internal/itemset"
+	"parapriori/internal/obsv"
 	"parapriori/internal/rules"
 )
 
@@ -42,7 +43,8 @@ func toRuleJSON(r rules.Rule) ruleJSON {
 //	GET  /recommend?items=1,2,3&k=10   top-K rules for a basket
 //	GET  /rules?item=5&limit=100       browse the served rule set
 //	GET  /healthz                      liveness + generation
-//	GET  /metrics                      Metrics as JSON
+//	GET  /metrics                      Metrics as JSON; Prometheus text
+//	                                   exposition when Accept: text/plain
 //	POST /reload                       rebuild via the reload callback and hot-swap
 //
 // reload supplies a freshly built Index on demand (typically re-reading the
@@ -179,9 +181,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "generation": snap.gen})
 }
 
+// WantsProm reports whether the request negotiates the Prometheus text
+// exposition instead of JSON: any Accept header mentioning a text/plain or
+// OpenMetrics media type (what Prometheus scrapers send) selects text; the
+// JSON view stays the default for bare GETs and API clients.
+func WantsProm(r *http.Request) bool {
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	if WantsProm(r) {
+		pw := obsv.NewPromWriter()
+		s.WriteProm(pw)
+		w.Header().Set("Content-Type", obsv.ContentType)
+		_, _ = w.Write(pw.Bytes())
 		return
 	}
 	writeJSON(w, http.StatusOK, s.Metrics())

@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"parapriori/internal/itemset"
+	"parapriori/internal/obsv"
 )
 
 func newTestServer(t *testing.T, reload func() (*Index, error)) (*Server, *httptest.Server) {
@@ -176,6 +177,84 @@ func TestMetricsRoundTrip(t *testing.T) {
 	}
 	if m.P99LatencyMicros < m.P50LatencyMicros || m.P99LatencyMicros <= 0 {
 		t.Fatalf("latency percentiles: %+v", m)
+	}
+}
+
+// TestMetricsPromNegotiation: GET /metrics with a Prometheus-style Accept
+// header returns the text exposition; bare GETs keep returning JSON.
+func TestMetricsPromNegotiation(t *testing.T) {
+	rec := obsv.NewCollector(obsv.ClockReal)
+	s := NewServer(Options{Shards: 4, CacheSize: 128, Recorder: rec})
+	ts := httptest.NewServer(s.Handler(nil))
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	s.Publish(NewIndex(synthRules(80, 10, 6), Options{Shards: 4}))
+	for i := 0; i < 3; i++ {
+		if _, err := s.Recommend([]itemset.Item{1, 2}, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != obsv.ContentType {
+		t.Fatalf("Content-Type %q, want %q", ct, obsv.ContentType)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE parapriori_queries_total counter",
+		"parapriori_queries_total 3\n",
+		"parapriori_cache_hits_total 2\n",
+		"# TYPE parapriori_query_latency_seconds histogram",
+		"parapriori_query_latency_seconds_count 3\n",
+		`parapriori_shard_rules{shard="0"}`,
+		"parapriori_snapshot_generation 1\n",
+		"parapriori_rules 80\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// Sanity of the format: every non-comment line is "name[{labels}] value".
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(strings.Fields(line)) < 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+
+	// Without the Accept header the JSON view is unchanged.
+	var m Metrics
+	if code := getJSON(t, ts, "/metrics", &m); code != http.StatusOK || m.Queries != 3 {
+		t.Fatalf("JSON view: code %d metrics %+v", code, m)
+	}
+
+	// The recorder saw one request span per query and the publish span.
+	tr := rec.Trace()
+	reqs, pubs := 0, 0
+	for _, sp := range tr.Spans {
+		switch sp.Cat {
+		case obsv.CatRequest:
+			reqs++
+			if sp.Name != "recommend" || sp.End < sp.Start {
+				t.Errorf("bad request span %+v", sp)
+			}
+		case obsv.CatPublish:
+			pubs++
+		}
+	}
+	if reqs != 3 || pubs != 1 {
+		t.Fatalf("spans: %d requests (want 3), %d publishes (want 1)", reqs, pubs)
 	}
 }
 

@@ -37,6 +37,7 @@ import (
 	"sync"
 
 	"parapriori/internal/itemset"
+	"parapriori/internal/obsv"
 	"parapriori/internal/rules"
 )
 
@@ -59,6 +60,11 @@ type Options struct {
 	// MaxK caps a query's K (default 100): a client cannot force a
 	// full-index sort by asking for everything.
 	MaxK int
+	// Recorder, when non-nil, receives a real-time span per request and
+	// publish (obsv.CatRequest / obsv.CatPublish), timed on an epoch anchored
+	// at server construction.  Nil disables span recording at the cost of one
+	// branch per request.
+	Recorder obsv.Recorder
 }
 
 // DefaultK is the result size when a query does not specify K.

@@ -4,6 +4,8 @@ import (
 	"math/bits"
 	"sync/atomic"
 	"time"
+
+	"parapriori/internal/obsv"
 )
 
 // latencyBuckets is the size of the power-of-two latency histogram: bucket
@@ -18,6 +20,7 @@ const latencyBuckets = 32
 // track its end-to-end latency with the same machinery.
 type Hist struct {
 	buckets [latencyBuckets]atomic.Int64
+	sumUs   atomic.Int64
 }
 
 // Observe records one latency sample.
@@ -28,6 +31,33 @@ func (h *Hist) Observe(d time.Duration) {
 		b = latencyBuckets - 1
 	}
 	h.buckets[b].Add(1)
+	h.sumUs.Add(us)
+}
+
+// Counts returns a snapshot of the per-bucket sample counts, index-aligned
+// with UppersSeconds.
+func (h *Hist) Counts() []int64 {
+	out := make([]int64, latencyBuckets)
+	for i := range out {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// SumSeconds returns the total observed latency in seconds — the _sum of the
+// Prometheus histogram this Hist renders as.
+func (h *Hist) SumSeconds() float64 {
+	return float64(h.sumUs.Load()) / 1e6
+}
+
+// UppersSeconds returns each bucket's upper bound in seconds (bucket i is
+// ≤ 2^i µs), the `le` labels of the Prometheus rendering.
+func (h *Hist) UppersSeconds() []float64 {
+	out := make([]float64, latencyBuckets)
+	for i := range out {
+		out[i] = float64(int64(1)<<uint(i)) / 1e6
+	}
+	return out
 }
 
 // Percentile returns the p-th latency percentile in microseconds, as the
@@ -66,6 +96,7 @@ func (h *Hist) reset() {
 	for i := range h.buckets {
 		h.buckets[i].Store(0)
 	}
+	h.sumUs.Store(0)
 }
 
 // metrics is the server's lock-free counter block.  Every field is an
@@ -139,4 +170,22 @@ func (s *Server) Metrics() Metrics {
 		m.ShardRules = snap.idx.ShardRuleCounts()
 	}
 	return m
+}
+
+// WriteProm renders the server's metrics as Prometheus text exposition — the
+// content-negotiated alternative to the JSON view on /metrics.
+func (s *Server) WriteProm(w *obsv.PromWriter) {
+	m := s.Metrics()
+	w.Gauge("parapriori_uptime_seconds", "Seconds since the server started (or metrics were reset).", m.UptimeSeconds)
+	w.Counter("parapriori_queries_total", "Basket queries served.", float64(m.Queries))
+	w.Counter("parapriori_cache_hits_total", "Query cache hits.", float64(m.CacheHits))
+	w.Counter("parapriori_cache_misses_total", "Query cache misses.", float64(m.CacheMisses))
+	w.Counter("parapriori_reloads_total", "Snapshot publishes since start.", float64(m.Reloads))
+	w.Gauge("parapriori_snapshot_generation", "Generation of the currently served snapshot (0 before the first publish).", float64(m.SnapshotGeneration))
+	w.Gauge("parapriori_rules", "Rules in the currently served index.", float64(m.NumRules))
+	for i, n := range m.ShardRules {
+		w.Gauge("parapriori_shard_rules", "Rules per index shard.", float64(n), obsv.Int("shard", int64(i)))
+	}
+	w.Histogram("parapriori_query_latency_seconds", "Query latency (power-of-two buckets).",
+		s.met.latency.UppersSeconds(), s.met.latency.Counts(), s.met.latency.SumSeconds())
 }

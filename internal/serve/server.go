@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"parapriori/internal/itemset"
+	"parapriori/internal/obsv"
 	"parapriori/internal/rules"
 )
 
@@ -33,7 +34,8 @@ type Server struct {
 	opt   Options
 	snap  atomic.Pointer[snapshot]
 	met   metrics
-	tasks chan func() // nil when Workers == 0
+	rc    *obsv.RealClock // nil unless Options.Recorder is set
+	tasks chan func()     // nil when Workers == 0
 	wg    sync.WaitGroup
 	once  sync.Once // guards Close
 }
@@ -43,7 +45,8 @@ type Server struct {
 // the query worker pool; call Close to stop it.
 func NewServer(opt Options) *Server {
 	opt = opt.WithDefaults()
-	s := &Server{opt: opt}
+	s := &Server{opt: opt, rc: obsv.NewRealClock(opt.Recorder)}
+	s.rc.SetMeta("tier", "serve")
 	s.met.start = time.Now()
 	if opt.Workers > 0 {
 		// The pool is real serving concurrency, deliberately outside the
@@ -111,9 +114,13 @@ func (s *Server) PublishAt(idx *Index, gen uint64) bool {
 
 // publishAt attempts one snapshot swap from old to a fresh snapshot at gen.
 func (s *Server) publishAt(old *snapshot, idx *Index, gen uint64) bool {
+	spanStart := s.rc.Now()
 	next := &snapshot{idx: idx, gen: gen, cache: newLRU(s.opt.CacheSize)}
 	if s.snap.CompareAndSwap(old, next) {
 		s.met.reloads.Add(1)
+		s.rc.Record("publish", obsv.CatPublish, 0, spanStart,
+			obsv.Int("generation", int64(gen)),
+			obsv.Int("rules", int64(idx.NumRules())))
 		return true
 	}
 	return false
@@ -148,13 +155,21 @@ func (s *Server) Index() *Index {
 // inline execution.
 func (s *Server) Recommend(basket []itemset.Item, k int) ([]rules.Rule, error) {
 	start := time.Now()
+	spanStart := s.rc.Now()
+	cache, results := "off", 0
 	defer func() {
 		s.met.queries.Add(1)
 		s.met.observe(time.Since(start))
+		s.rc.Record("recommend", obsv.CatRequest, 0, spanStart,
+			obsv.Int("basket", int64(len(basket))),
+			obsv.Int("k", int64(k)),
+			obsv.String("cache", cache),
+			obsv.Int("results", int64(results)))
 	}()
 
 	snap := s.snap.Load()
 	if snap == nil {
+		cache = "error"
 		return nil, ErrNoSnapshot
 	}
 	if k <= 0 {
@@ -170,15 +185,18 @@ func (s *Server) Recommend(basket []itemset.Item, k int) ([]rules.Rule, error) {
 		key = cacheKey(b, k)
 		if v, ok := snap.cache.get(key); ok {
 			s.met.hits.Add(1)
+			cache, results = "hit", len(v)
 			return append([]rules.Rule(nil), v...), nil
 		}
 		s.met.misses.Add(1)
+		cache = "miss"
 	}
 
 	out := s.query(snap.idx, b, k)
 	if snap.cache != nil {
 		snap.cache.put(key, out)
 	}
+	results = len(out)
 	return append([]rules.Rule(nil), out...), nil
 }
 

@@ -35,6 +35,7 @@ import (
 	"parapriori/internal/datagen"
 	"parapriori/internal/hashtree"
 	"parapriori/internal/itemset"
+	"parapriori/internal/obsv"
 	"parapriori/internal/rules"
 	"parapriori/internal/serve"
 )
@@ -201,6 +202,12 @@ type ParallelOptions struct {
 	// are marked PassReport.Restored and counted in Report.ResumedPasses.
 	// Grid formulations only (CD, IDD, HD).
 	CheckpointDir string
+	// Recorder, when non-nil, receives the run's hierarchical spans (run →
+	// pass → section → message/compute slice) on the virtual clock; use
+	// NewSpanCollector and the span exporters (WriteSpanTrace,
+	// TraceAttribution) to consume them.  Setting a Recorder implies event
+	// tracing.  Traces of seeded runs are bit-identical run to run.
+	Recorder Recorder
 }
 
 // MineParallel runs a parallel formulation on an emulated cluster.  The
@@ -226,6 +233,7 @@ func MineParallel(data *Dataset, o ParallelOptions) (*Report, error) {
 		Faults:        o.Faults,
 		MaxRestarts:   o.MaxRestarts,
 		CheckpointDir: o.CheckpointDir,
+		Recorder:      o.Recorder,
 	}
 	return core.Mine(data, prm)
 }
@@ -338,6 +346,65 @@ func ReadResult(r io.Reader) (*Result, error) { return apriori.ReadResult(r) }
 // compute as '#', sends as '>', disk I/O as 'o', idle waits as '.'.
 func TraceTimeline(w io.Writer, rep *Report, width int) error {
 	return cluster.WriteTimeline(w, rep.Trace, rep.P, width)
+}
+
+// Observability: structured spans over the repo's two clocks.  Install a
+// collector on a parallel run (ParallelOptions.Recorder) or a server
+// (ServeOptions.Recorder), then export the assembled trace as Perfetto-
+// loadable JSON or distill it into the per-pass cost-attribution report:
+//
+//	rec := parapriori.NewSpanCollector()
+//	rep, _ := parapriori.MineParallel(data, parapriori.ParallelOptions{
+//		Algorithm: parapriori.IDD, Procs: 8, Recorder: rec,
+//		MineOptions: parapriori.MineOptions{MinSupport: 0.01},
+//	})
+//	tr := rec.Trace()
+//	parapriori.WriteSpanTrace(f, tr)                               // open in ui.perfetto.dev
+//	parapriori.WriteAttributionTable(os.Stdout, parapriori.TraceAttribution(tr))
+type (
+	// Span is one named interval on one rank's timeline, carrying
+	// deterministic key/value attributes.
+	Span = obsv.Span
+	// SpanAttr is one key/value attribute on a span or trace.
+	SpanAttr = obsv.Attr
+	// Recorder is the pluggable span sink a run or server emits into.
+	Recorder = obsv.Recorder
+	// SpanCollector is the standard in-memory Recorder; its Trace() output
+	// is deterministically ordered.
+	SpanCollector = obsv.Collector
+	// SpanTrace is an assembled span log: metadata plus canonically ordered
+	// spans.
+	SpanTrace = obsv.Trace
+	// PassCost is one pass's cost-attribution bucket: compute/IO/send/idle/
+	// retry totals, elapsed time and critical path.
+	PassCost = obsv.PassCost
+)
+
+// NewSpanCollector builds a collector for a virtual-time mining run.  (The
+// serving tier builds its own real-clock collectors internally; mining is
+// the case callers assemble by hand.)
+func NewSpanCollector() *SpanCollector { return obsv.NewCollector(obsv.ClockVirtual) }
+
+// WriteSpanTrace writes a trace as Chrome trace-event JSON, loadable in
+// Perfetto (ui.perfetto.dev) or chrome://tracing.  Output is
+// byte-deterministic for deterministic span sets.
+func WriteSpanTrace(w io.Writer, t *SpanTrace) error { return obsv.WriteTrace(w, t) }
+
+// ReadSpanTrace parses trace-event JSON written by WriteSpanTrace.
+func ReadSpanTrace(r io.Reader) (*SpanTrace, error) { return obsv.ReadTrace(r) }
+
+// TraceAttribution distills a trace into per-pass cost buckets — the
+// measured counterpart of the paper's parallel-runtime decomposition.  The
+// category totals reconcile exactly with the run's cluster Stats.
+func TraceAttribution(t *SpanTrace) []PassCost { return obsv.Attribution(t) }
+
+// TotalTraceCost sums attribution buckets into one total.
+func TotalTraceCost(costs []PassCost) PassCost { return obsv.TotalCost(costs) }
+
+// WriteAttributionTable renders attribution buckets as an aligned text
+// table, one row per pass plus the out-of-pass bucket and the total.
+func WriteAttributionTable(w io.Writer, costs []PassCost) error {
+	return obsv.WriteAttribution(w, costs)
 }
 
 // MachineT3E returns the cost model of the paper's 128-processor Cray T3E.
