@@ -1,7 +1,7 @@
 // Command checkinv enforces the project's simulation invariants (walltime,
-// mapiter, rawchan, floatcmp) over the given packages.  It is zero-
-// dependency — stdlib go/parser + go/ast + go/types only — and is wired
-// into CI ahead of the test suite.
+// mapiter, rawchan, floatcmp, snapshotmut, goroleak, hotalloc) over the
+// given packages.  It is zero-dependency — stdlib go/parser + go/ast +
+// go/types only — and is wired into CI ahead of the test suite.
 //
 // Usage:
 //
@@ -9,6 +9,8 @@
 //	go run ./cmd/checkinv -json internal/core
 //	go run ./cmd/checkinv -disable mapiter,floatcmp ./...
 //	go run ./cmd/checkinv -allpkgs internal/checkinv/testdata/src/walltime
+//	go run ./cmd/checkinv -debt ./...
+//	go run ./cmd/checkinv -fix ./...
 //
 // Findings print as "file:line: [rule] message"; the exit status is 1 when
 // any finding survives, 2 on a loading error, 0 on a clean tree.  Rules are
@@ -18,13 +20,22 @@
 // too by default (-tests=false restores source-only runs): a wall-clock
 // read or a map-order dependence in a test is the same determinism bug in
 // disguise.  Intentional sites are annotated in the source with
-// //checkinv:allow <rule>.
+// //checkinv:allow <rule>; -fix inserts those annotations for the current
+// findings, and -debt reports every annotation in the tree with its rule,
+// age and reason, flagging stale ones.
+//
+// Packages whose content (including every module-internal dependency) is
+// unchanged since the last run are served from a findings cache under
+// -cache (default: a parapriori-checkinv directory in the user cache dir;
+// "off" disables it) without being re-parsed or re-type-checked; -timings
+// prints the hit/miss split and where the time went.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -33,20 +44,34 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole driver, factored for the e2e tests: args excludes the
+// program name; the return value is the process exit status.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("checkinv", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		jsonOut = flag.Bool("json", false, "emit findings as a JSON array")
-		disable = flag.String("disable", "", "comma-separated rules to skip")
-		allPkgs = flag.Bool("allpkgs", false, "apply rules to every package, ignoring path scopes")
-		list    = flag.Bool("list", false, "list the available rules and exit")
-		tests   = flag.Bool("tests", true, "also analyze _test.go files (in-package and external test packages)")
+		jsonOut  = fs.Bool("json", false, "emit findings (or -debt entries) as a JSON array")
+		disable  = fs.String("disable", "", "comma-separated rules to skip")
+		allPkgs  = fs.Bool("allpkgs", false, "apply rules to every package, ignoring path scopes")
+		list     = fs.Bool("list", false, "list the available rules and exit")
+		tests    = fs.Bool("tests", true, "also analyze _test.go files (in-package and external test packages)")
+		cacheDir = fs.String("cache", "auto", `findings cache directory; "auto" picks the user cache dir, "off" disables caching`)
+		fix      = fs.Bool("fix", false, "insert //checkinv:allow annotations for the findings instead of failing")
+		debt     = fs.Bool("debt", false, "report every allow annotation (rule, used/stale, age, reason) instead of findings")
+		timings  = fs.Bool("timings", false, "print cache and phase timings to stderr")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, az := range checkinv.Analyzers() {
-			fmt.Printf("%-10s %s\n", az.Name, az.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", az.Name, az.Doc)
 		}
-		return
+		return 0
 	}
 
 	analyzers := checkinv.Analyzers()
@@ -58,8 +83,8 @@ func main() {
 				continue
 			}
 			if checkinv.AnalyzerByName(name) == nil {
-				fmt.Fprintf(os.Stderr, "checkinv: unknown rule %q (see -list)\n", name)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "checkinv: unknown rule %q (see -list)\n", name)
+				return 2
 			}
 			off[name] = true
 		}
@@ -72,35 +97,79 @@ func main() {
 		analyzers = kept
 	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	cwd, err := os.Getwd()
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
-	loader := checkinv.NewLoader()
-	loader.Tests = *tests
-	pkgs, err := loader.Load(cwd, patterns)
-	if err != nil {
-		fatal(err)
-	}
-	if len(pkgs) == 0 {
-		fmt.Fprintln(os.Stderr, "checkinv: no packages matched")
-		os.Exit(2)
-	}
-	for _, pkg := range pkgs {
-		// Analysis proceeds on partial type info, but a package that does
-		// not type-check can hide findings — say so rather than silently
-		// reporting a clean bill.
-		if len(pkg.TypeErrors) > 0 {
-			fmt.Fprintf(os.Stderr, "checkinv: warning: %s: %d type error(s), findings may be incomplete (first: %v)\n",
-				pkg.Path, len(pkg.TypeErrors), pkg.TypeErrors[0])
+
+	dir := *cacheDir
+	switch dir {
+	case "off":
+		dir = ""
+	case "auto":
+		if base, err := os.UserCacheDir(); err == nil {
+			dir = filepath.Join(base, "parapriori-checkinv")
+		} else {
+			dir = "" // no writable cache home: run uncached
 		}
 	}
 
-	findings := checkinv.Run(pkgs, analyzers, *allPkgs)
+	res, err := checkinv.RunTree(checkinv.RunOptions{
+		Dir:       cwd,
+		Patterns:  patterns,
+		Analyzers: analyzers,
+		AllPkgs:   *allPkgs,
+		Tests:     *tests,
+		CacheDir:  dir,
+	})
+	if err != nil {
+		return fatal(stderr, err)
+	}
+	if res.Stats.Packages == 0 {
+		fmt.Fprintln(stderr, "checkinv: no packages matched")
+		return 2
+	}
+	for _, p := range res.Stats.TypeErrorPkgs {
+		// Analysis proceeds on partial type info, but a package that does
+		// not type-check can hide findings — say so rather than silently
+		// reporting a clean bill.
+		fmt.Fprintf(stderr, "checkinv: warning: %s, findings may be incomplete\n", p)
+	}
+	if *timings {
+		s := res.Stats
+		fmt.Fprintf(stderr, "checkinv: %d dir(s), %d package(s); cache %d hit / %d miss; load %v, analyze %v\n",
+			s.Dirs, s.Packages, s.CacheHits, s.CacheMisses,
+			s.LoadDuration.Round(1e6), s.AnalyzeDuration.Round(1e6))
+	}
+
+	if *debt {
+		root, _, err := checkinv.ModuleRoot(cwd)
+		if err != nil {
+			return fatal(stderr, err)
+		}
+		entries := checkinv.DebtEntries(res.Allows, root)
+		if *jsonOut {
+			return emitJSON(stdout, stderr, entries)
+		}
+		checkinv.WriteDebt(stdout, entries)
+		return 0
+	}
+
+	if *fix && len(res.Findings) > 0 {
+		changed, err := checkinv.ApplyFixes(res.Findings)
+		for _, f := range changed {
+			fmt.Fprintf(stdout, "checkinv: annotated %s\n", relPath(cwd, f))
+		}
+		if err != nil {
+			return fatal(stderr, err)
+		}
+		return 0
+	}
+
 	if *jsonOut {
 		type finding struct {
 			File    string `json:"file"`
@@ -109,41 +178,50 @@ func main() {
 			Rule    string `json:"rule"`
 			Message string `json:"message"`
 		}
-		out := make([]finding, 0, len(findings))
-		for _, f := range findings {
+		out := make([]finding, 0, len(res.Findings))
+		for _, f := range res.Findings {
 			out = append(out, finding{
 				File: relPath(cwd, f.Pos.Filename), Line: f.Pos.Line, Column: f.Pos.Column,
 				Rule: f.Rule, Message: f.Message,
 			})
 		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
-			fmt.Fprintf(os.Stderr, "checkinv: %v\n", err)
-			os.Exit(2)
+		if code := emitJSON(stdout, stderr, out); code != 0 {
+			return code
 		}
 	} else {
-		for _, f := range findings {
-			fmt.Printf("%s:%d: [%s] %s\n", relPath(cwd, f.Pos.Filename), f.Pos.Line, f.Rule, f.Message)
+		for _, f := range res.Findings {
+			fmt.Fprintf(stdout, "%s:%d: [%s] %s\n", relPath(cwd, f.Pos.Filename), f.Pos.Line, f.Rule, f.Message)
 		}
 	}
-	if len(findings) > 0 {
+	if len(res.Findings) > 0 {
 		if !*jsonOut {
-			fmt.Fprintf(os.Stderr, "checkinv: %d finding(s)\n", len(findings))
+			fmt.Fprintf(stderr, "checkinv: %d finding(s)\n", len(res.Findings))
 		}
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// emitJSON writes v as indented JSON; 0 on success.
+func emitJSON(stdout, stderr io.Writer, v any) int {
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintf(stderr, "checkinv: %v\n", err)
+		return 2
+	}
+	return 0
 }
 
 // fatal prints the error once under the checkinv: prefix (library errors
-// already carry it) and exits with the loader status.
-func fatal(err error) {
+// already carry it) and returns the loader status.
+func fatal(stderr io.Writer, err error) int {
 	msg := err.Error()
 	if !strings.HasPrefix(msg, "checkinv:") {
 		msg = "checkinv: " + msg
 	}
-	fmt.Fprintln(os.Stderr, msg)
-	os.Exit(2)
+	fmt.Fprintln(stderr, msg)
+	return 2
 }
 
 // relPath shortens absolute file names to cwd-relative ones for readable,

@@ -1,0 +1,203 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module with one in-scope walltime
+// violation and one clean package, and returns its root.  Imports are
+// stdlib-only so the source importer resolves them from any working
+// directory.
+func writeModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"internal/core/core.go": `package core
+
+import "time"
+
+// Tick reads the wall clock — the seeded violation.
+func Tick() time.Time { return time.Now() }
+`,
+		"internal/util/util.go": `package util
+
+func Add(a, b int) int { return a + b }
+`,
+	}
+	for name, content := range files {
+		p := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(p), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// runIn invokes the driver in dir and returns (exit, stdout, stderr).
+func runIn(t *testing.T, dir string, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(cwd)
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestEndToEndJSON(t *testing.T) {
+	root := writeModule(t)
+	cache := filepath.Join(root, ".cache")
+	code, stdout, stderr := runIn(t, root, "-json", "-cache", cache, "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (findings); stderr: %s", code, stderr)
+	}
+	var findings []struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Rule    string `json:"rule"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &findings); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, stdout)
+	}
+	if len(findings) != 1 || findings[0].Rule != "walltime" {
+		t.Fatalf("findings = %+v, want exactly the seeded walltime violation", findings)
+	}
+	if findings[0].File != filepath.Join("internal", "core", "core.go") {
+		t.Errorf("finding file = %q, want cwd-relative internal/core/core.go", findings[0].File)
+	}
+}
+
+// TestEndToEndCacheWarm asserts the cold and warm runs print identical
+// findings and that the warm run is served entirely from the cache.
+func TestEndToEndCacheWarm(t *testing.T) {
+	root := writeModule(t)
+	cache := filepath.Join(root, ".cache")
+
+	codeCold, outCold, errCold := runIn(t, root, "-timings", "-cache", cache, "./...")
+	codeWarm, outWarm, errWarm := runIn(t, root, "-timings", "-cache", cache, "./...")
+	if codeCold != 1 || codeWarm != 1 {
+		t.Fatalf("exits = %d, %d, want 1, 1", codeCold, codeWarm)
+	}
+	if outCold != outWarm {
+		t.Errorf("cold and warm findings differ:\ncold: %s\nwarm: %s", outCold, outWarm)
+	}
+	if !strings.Contains(errCold, "cache 0 hit") {
+		t.Errorf("cold -timings = %q, want zero hits reported", errCold)
+	}
+	if !strings.Contains(errWarm, "0 miss") {
+		t.Errorf("warm -timings = %q, want zero misses reported", errWarm)
+	}
+}
+
+// TestEndToEndFix runs -fix on a temp copy and asserts the tree is clean
+// afterwards, with the annotation inserted where the finding was.
+func TestEndToEndFix(t *testing.T) {
+	root := writeModule(t)
+	cache := filepath.Join(root, ".cache")
+
+	code, stdout, stderr := runIn(t, root, "-fix", "-cache", cache, "./...")
+	if code != 0 {
+		t.Fatalf("-fix exit = %d, want 0; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "annotated") {
+		t.Errorf("-fix stdout = %q, want the annotated file reported", stdout)
+	}
+	data, err := os.ReadFile(filepath.Join(root, "internal", "core", "core.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "//checkinv:allow walltime") {
+		t.Errorf("fixed file lacks the inserted directive:\n%s", data)
+	}
+
+	// The annotated tree must now be clean — and the annotation edit must
+	// invalidate the cached entry rather than replay the stale finding.
+	code, stdout, stderr = runIn(t, root, "-cache", cache, "./...")
+	if code != 0 {
+		t.Errorf("post-fix run exit = %d, want 0\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+}
+
+// TestEndToEndDebt asserts -debt reports the annotation with its rule and
+// usage state, in both text and JSON forms.
+func TestEndToEndDebt(t *testing.T) {
+	root := writeModule(t)
+	cache := filepath.Join(root, ".cache")
+	if code, _, stderr := runIn(t, root, "-fix", "-cache", cache, "./..."); code != 0 {
+		t.Fatalf("-fix exit = %d; stderr: %s", code, stderr)
+	}
+
+	code, stdout, stderr := runIn(t, root, "-debt", "-cache", cache, "./...")
+	if code != 0 {
+		t.Fatalf("-debt exit = %d, want 0; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "walltime") || !strings.Contains(stdout, "used") {
+		t.Errorf("-debt output = %q, want the walltime site reported as used", stdout)
+	}
+	if !strings.Contains(stdout, "1 allow site(s)") {
+		t.Errorf("-debt output = %q, want the summary line", stdout)
+	}
+
+	code, stdout, _ = runIn(t, root, "-debt", "-json", "-cache", cache, "./...")
+	if code != 0 {
+		t.Fatalf("-debt -json exit = %d", code)
+	}
+	var entries []struct {
+		File  string   `json:"file"`
+		Line  int      `json:"line"`
+		Rules []string `json:"rules"`
+		Used  bool     `json:"used"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &entries); err != nil {
+		t.Fatalf("-debt -json output is not JSON: %v\n%s", err, stdout)
+	}
+	if len(entries) != 1 || !entries[0].Used || entries[0].Rules[0] != "walltime" {
+		t.Errorf("-debt -json entries = %+v, want one used walltime site", entries)
+	}
+}
+
+// TestEndToEndFixturesStayRed mirrors the CI gate: the driver must exit 1
+// on every analyzer's fixture directory.
+func TestEndToEndFixturesStayRed(t *testing.T) {
+	repoRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rule := range []string{"walltime", "mapiter", "rawchan", "floatcmp", "snapshotmut", "goroleak", "hotalloc"} {
+		fixture := filepath.Join("internal", "checkinv", "testdata", "src", rule)
+		code, stdout, stderr := runIn(t, repoRoot, "-allpkgs", "-cache", "off", fixture)
+		if code != 1 {
+			t.Errorf("%s fixture: exit = %d, want 1\nstdout: %s\nstderr: %s", rule, code, stdout, stderr)
+		}
+		if !strings.Contains(stdout, "["+rule+"]") {
+			t.Errorf("%s fixture: no [%s] finding in output:\n%s", rule, rule, stdout)
+		}
+	}
+}
+
+func TestListRules(t *testing.T) {
+	code, stdout, _ := runIn(t, t.TempDir(), "-list")
+	if code != 0 {
+		t.Fatalf("-list exit = %d", code)
+	}
+	for _, rule := range []string{"walltime", "mapiter", "rawchan", "floatcmp", "snapshotmut", "goroleak", "hotalloc"} {
+		if !strings.Contains(stdout, rule) {
+			t.Errorf("-list output lacks %s:\n%s", rule, stdout)
+		}
+	}
+}

@@ -1,0 +1,265 @@
+package checkinv
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// cacheVersion invalidates every entry when the analyzer suite changes
+// behavior.  Bump it whenever a rule's findings or the entry schema move.
+const cacheVersion = "checkinv-v2.0"
+
+// Cache is the driver's per-package findings cache, the payoff of the
+// long-carried ROADMAP item: `go run ./cmd/checkinv ./...` used to
+// re-type-check every shared dependency from source on each invocation.
+// Entries are keyed by a content hash over the package directory's Go
+// files *and* its transitive module-internal imports, so a cached package
+// is skipped entirely — no parse, no type-check, no analysis — and any
+// edit anywhere in its dependency cone invalidates exactly the packages
+// that could see it.  The key is path-independent (module-relative names,
+// file contents only), so a CI cache restored on another checkout still
+// hits.
+type Cache struct {
+	dir string
+
+	mu       sync.Mutex
+	dirInfo  map[string]dirInfo // abs dir (+tests marker) → own hash, imports
+	deepHash map[string]string  // abs dir (+tests marker) → hash incl. transitive deps
+	visiting map[string]bool    // cycle guard for deepHash (test-package loops)
+}
+
+// dirInfo is one directory's own content hash and the import paths its
+// files mention.
+type dirInfo struct {
+	hash    string
+	imports []string
+}
+
+// NewCache opens (creating if needed) a cache rooted at dir.
+func NewCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("checkinv: cache: %w", err)
+	}
+	return &Cache{
+		dir:      dir,
+		dirInfo:  map[string]dirInfo{},
+		deepHash: map[string]string{},
+		visiting: map[string]bool{},
+	}, nil
+}
+
+// cachedFinding is a Finding with a module-relative position, so entries
+// travel between checkouts.
+type cachedFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// cachedPackage is one package's analysis outcome.
+type cachedPackage struct {
+	Rel        string          `json:"rel"`
+	Path       string          `json:"path"`
+	TypeErrors int             `json:"typeErrors,omitempty"`
+	Findings   []cachedFinding `json:"findings"`
+	Allows     []AllowSite     `json:"allows"`
+}
+
+// cacheEntry is the stored value for one directory (1–2 packages when test
+// files split into an external test package; 0 for Go-free directories).
+type cacheEntry struct {
+	Version  string          `json:"version"`
+	Packages []cachedPackage `json:"packages"`
+}
+
+// Key computes the cache key for a package directory under the given
+// configuration string (analyzer set, scope mode, tests mode).
+func (c *Cache) Key(dir, modRoot, modPath, config string, tests bool) (string, error) {
+	deep, err := c.deepDirHash(dir, modRoot, modPath, tests)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\n%s\n%s\n%s\n%s\n", cacheVersion, runtime.Version(), modPath, config, deep)
+	return hex.EncodeToString(h.Sum(nil))[:32], nil
+}
+
+// deepDirHash hashes the directory's own Go files plus, recursively, every
+// module-internal directory it imports.  Memoized per Cache; import cycles
+// through external test packages are cut with a constant marker.
+func (c *Cache) deepDirHash(dir, modRoot, modPath string, tests bool) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	memoKey := abs
+	if tests {
+		memoKey += "\x00tests"
+	}
+	c.mu.Lock()
+	if h, ok := c.deepHash[memoKey]; ok {
+		c.mu.Unlock()
+		return h, nil
+	}
+	if c.visiting[memoKey] {
+		c.mu.Unlock()
+		return "cycle", nil
+	}
+	c.visiting[memoKey] = true
+	c.mu.Unlock()
+
+	own, imports, err := c.ownDirHash(abs, tests)
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(modRoot, abs)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "dir %s %s\n", filepath.ToSlash(rel), own)
+	for _, imp := range filterModuleImports(imports, modPath) {
+		sub := imp
+		if sub == modPath {
+			sub = ""
+		} else {
+			sub = strings.TrimPrefix(sub, modPath+"/")
+		}
+		depDir := filepath.Join(modRoot, filepath.FromSlash(sub))
+		// Dependencies are hashed source-only: test files of a dependency
+		// cannot change this package's types or findings.
+		dh, err := c.deepDirHash(depDir, modRoot, modPath, false)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "dep %s %s\n", imp, dh)
+	}
+	sum := hex.EncodeToString(h.Sum(nil))
+
+	c.mu.Lock()
+	c.deepHash[memoKey] = sum
+	delete(c.visiting, memoKey)
+	c.mu.Unlock()
+	return sum, nil
+}
+
+// ownDirHash hashes the directory's Go files and returns the
+// module-internal import paths they mention, sorted.  Imports are read
+// with a comments-and-bodies-free parse — cheap enough to run on every
+// invocation even for a full tree.
+func (c *Cache) ownDirHash(abs string, tests bool) (string, []string, error) {
+	key := abs
+	if tests {
+		key += "\x00tests"
+	}
+	c.mu.Lock()
+	if info, ok := c.dirInfo[key]; ok {
+		c.mu.Unlock()
+		return info.hash, info.imports, nil
+	}
+	c.mu.Unlock()
+
+	srcNames, testNames, err := goFileNames(abs, tests)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			// An import of a vanished directory: the dependent package has
+			// type errors either way; a constant marker keys that state.
+			return "missing", nil, nil
+		}
+		return "", nil, err
+	}
+	names := append(append([]string{}, srcNames...), testNames...)
+	h := sha256.New()
+	importSet := map[string]bool{}
+	fset := token.NewFileSet()
+	for _, n := range names {
+		p := filepath.Join(abs, n)
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return "", nil, err
+		}
+		fmt.Fprintf(h, "file %s %d\n", n, len(data))
+		h.Write(data)
+		f, err := parser.ParseFile(fset, p, data, parser.ImportsOnly)
+		if err != nil {
+			continue // unparsable files change the hash; imports best-effort
+		}
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			importSet[path] = true
+		}
+	}
+	var imports []string
+	for path := range importSet {
+		imports = append(imports, path)
+	}
+	sort.Strings(imports)
+	sum := hex.EncodeToString(h.Sum(nil))
+
+	c.mu.Lock()
+	c.dirInfo[key] = dirInfo{hash: sum, imports: imports}
+	c.mu.Unlock()
+	return sum, imports, nil
+}
+
+// filterModuleImports keeps only module-internal import paths.
+func filterModuleImports(imports []string, modPath string) []string {
+	var out []string
+	for _, p := range imports {
+		if p == modPath || strings.HasPrefix(p, modPath+"/") {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Get returns the entry stored under key, or nil.
+func (c *Cache) Get(key string) *cacheEntry {
+	data, err := os.ReadFile(filepath.Join(c.dir, key+".json"))
+	if err != nil {
+		return nil
+	}
+	var e cacheEntry
+	if json.Unmarshal(data, &e) != nil || e.Version != cacheVersion {
+		return nil
+	}
+	return &e
+}
+
+// Put stores the entry under key, atomically (tmp + rename), so a raced or
+// killed run never leaves a torn entry behind.
+func (c *Cache) Put(key string, e *cacheEntry) error {
+	e.Version = cacheVersion
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, filepath.Join(c.dir, key+".json"))
+}

@@ -1,0 +1,187 @@
+package checkinv
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeTree lays out a file tree under a temp root and returns it.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, content := range files {
+		p := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(p), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// tmpModule is a minimal module with one walltime violation in scope
+// (internal/core) and one clean package.  Imports are stdlib-only so the
+// source importer resolves them regardless of the process working
+// directory.
+func tmpModule(t *testing.T) string {
+	return writeTree(t, map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"internal/core/core.go": `package core
+
+import "time"
+
+func Tick() time.Time { return time.Now() }
+`,
+		"internal/util/util.go": `package util
+
+func Add(a, b int) int { return a + b }
+`,
+	})
+}
+
+// TestCacheColdVsWarmIdentical is the acceptance property: a warm run is
+// served entirely from the cache and reports byte-identical findings.
+func TestCacheColdVsWarmIdentical(t *testing.T) {
+	root := tmpModule(t)
+	opts := RunOptions{Dir: root, CacheDir: filepath.Join(root, ".cache")}
+
+	cold, err := RunTree(opts)
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	if cold.Stats.CacheHits != 0 || cold.Stats.CacheMisses != cold.Stats.Dirs {
+		t.Errorf("cold run: hits=%d misses=%d over %d dirs, want all misses",
+			cold.Stats.CacheHits, cold.Stats.CacheMisses, cold.Stats.Dirs)
+	}
+	if len(cold.Findings) != 1 || cold.Findings[0].Rule != "walltime" {
+		t.Fatalf("cold findings = %v, want exactly the seeded walltime violation", cold.Findings)
+	}
+
+	warm, err := RunTree(opts)
+	if err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	if warm.Stats.CacheMisses != 0 || warm.Stats.CacheHits == 0 {
+		t.Errorf("warm run: hits=%d misses=%d, want all hits", warm.Stats.CacheHits, warm.Stats.CacheMisses)
+	}
+	if len(warm.Findings) != len(cold.Findings) {
+		t.Fatalf("warm findings = %v, cold = %v", warm.Findings, cold.Findings)
+	}
+	for i := range warm.Findings {
+		if warm.Findings[i] != cold.Findings[i] {
+			t.Errorf("finding %d differs: cold %v, warm %v", i, cold.Findings[i], warm.Findings[i])
+		}
+	}
+}
+
+// TestCacheInvalidation edits one package and asserts exactly it misses
+// while the untouched package still hits, and the new violation is found.
+func TestCacheInvalidation(t *testing.T) {
+	root := tmpModule(t)
+	opts := RunOptions{Dir: root, CacheDir: filepath.Join(root, ".cache")}
+	if _, err := RunTree(opts); err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+
+	core := filepath.Join(root, "internal", "core", "core.go")
+	src := `package core
+
+import "time"
+
+func Tick() time.Time { return time.Now() }
+
+func Tock() time.Time { return time.Now() }
+`
+	if err := os.WriteFile(core, []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := RunTree(opts)
+	if err != nil {
+		t.Fatalf("edited run: %v", err)
+	}
+	if res.Stats.CacheMisses != 1 {
+		t.Errorf("misses = %d after editing one package, want 1 (hits=%d)",
+			res.Stats.CacheMisses, res.Stats.CacheHits)
+	}
+	if len(res.Findings) != 2 {
+		t.Errorf("findings after edit = %v, want both walltime violations", res.Findings)
+	}
+}
+
+// TestCacheKeyTracksDependencies asserts the key of a package changes when
+// a module-internal dependency's source changes — and only then — without
+// needing any type-checking.
+func TestCacheKeyTracksDependencies(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":      "module tmpmod\n\ngo 1.22\n",
+		"a/a.go":      "package a\n\nimport \"tmpmod/b\"\n\nvar _ = b.V\n",
+		"b/b.go":      "package b\n\nvar V = 1\n",
+		"c/c.go":      "package c\n\nvar W = 2\n",
+		"b/b_test.go": "package b\n\nvar T = V\n",
+	})
+	key := func(pkg string) string {
+		c, err := NewCache(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		k, err := c.Key(filepath.Join(root, pkg), root, "tmpmod", "cfg", false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+
+	a0, b0, c0 := key("a"), key("b"), key("c")
+	if err := os.WriteFile(filepath.Join(root, "b", "b.go"), []byte("package b\n\nvar V = 42\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	a1, b1, c1 := key("a"), key("b"), key("c")
+
+	if a1 == a0 {
+		t.Error("a's key unchanged after its dependency b changed")
+	}
+	if b1 == b0 {
+		t.Error("b's key unchanged after its own source changed")
+	}
+	if c1 != c0 {
+		t.Error("c's key changed though nothing it can see did")
+	}
+
+	// A dependency's _test.go files cannot change a dependent's findings:
+	// with tests off they are invisible, so a's key must not move.
+	if err := os.WriteFile(filepath.Join(root, "b", "b_test.go"), []byte("package b\n\nvar T = V + 1\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if a2 := key("a"); a2 != a1 {
+		t.Error("a's key changed when only b's test file did")
+	}
+}
+
+// TestCacheRejectsForeignVersion asserts entries from another analyzer
+// version never hydrate.
+func TestCacheRejectsForeignVersion(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("deadbeef", &cacheEntry{Packages: []cachedPackage{{Rel: "x"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Get("deadbeef"); got == nil {
+		t.Fatal("freshly stored entry did not hydrate")
+	}
+	// Rewrite the entry with a foreign version in place.
+	p := filepath.Join(dir, "deadbeef.json")
+	stale := []byte(`{"version":"checkinv-v0.1","packages":[]}`)
+	if err := os.WriteFile(p, stale, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Get("deadbeef"); got != nil {
+		t.Errorf("stale-version entry hydrated: %+v", got)
+	}
+}

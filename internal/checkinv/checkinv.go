@@ -33,6 +33,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Finding is one rule violation at one source position.
@@ -108,9 +109,14 @@ func (p *Pass) isBuiltin(call *ast.CallExpr, name string) bool {
 	return builtin
 }
 
-// Analyzers returns every invariant checker in deterministic order.
+// Analyzers returns every invariant checker in deterministic order: the
+// four original AST rules, then the dataflow-aware v2 suite (snapshot
+// immutability, goroutine lifecycle, hot-path allocation discipline).
 func Analyzers() []*Analyzer {
-	return []*Analyzer{WalltimeAnalyzer, MapiterAnalyzer, RawchanAnalyzer, FloatcmpAnalyzer}
+	return []*Analyzer{
+		WalltimeAnalyzer, MapiterAnalyzer, RawchanAnalyzer, FloatcmpAnalyzer,
+		SnapshotmutAnalyzer, GoroleakAnalyzer, HotallocAnalyzer,
+	}
 }
 
 // AnalyzerByName returns the named analyzer, or nil.
@@ -134,72 +140,162 @@ func underAny(rel string, roots ...string) bool {
 	return false
 }
 
+// PkgResult is the analysis outcome for one package: the surviving
+// findings plus every //checkinv:allow site seen, with usage marked — the
+// unit the driver caches and the debt report aggregates.
+type PkgResult struct {
+	Findings []Finding
+	Allows   []AllowSite
+}
+
 // Run applies the analyzers to the packages, honoring each analyzer's path
 // scope unless allPaths is set, filters findings through the
 // //checkinv:allow annotations, and returns the survivors sorted by file,
-// line and rule.
+// line and rule.  Packages are analyzed concurrently — every analyzer only
+// reads the package's AST and type info.
 func Run(pkgs []*Package, analyzers []*Analyzer, allPaths bool) []Finding {
 	var out []Finding
-	for _, pkg := range pkgs {
-		allow := collectAllows(pkg.Fset, pkg.Files)
-		for _, az := range analyzers {
-			if !allPaths && az.Applies != nil && !az.Applies(pkg.Rel) {
+	for _, res := range RunPackages(pkgs, analyzers, allPaths) {
+		out = append(out, res.Findings...)
+	}
+	SortFindings(out)
+	return out
+}
+
+// RunPackages analyzes every package concurrently and returns one result
+// per package, in input order.
+func RunPackages(pkgs []*Package, analyzers []*Analyzer, allPaths bool) []PkgResult {
+	results := make([]PkgResult, len(pkgs))
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		i, pkg := i, pkg
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i] = runPackage(pkg, analyzers, allPaths)
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// runPackage applies the analyzers to one package and filters the findings
+// through its allow annotations, marking each annotation used or not.
+func runPackage(pkg *Package, analyzers []*Analyzer, allPaths bool) PkgResult {
+	allow := collectAllows(pkg.Fset, pkg.Files)
+	var res PkgResult
+	for _, az := range analyzers {
+		if !allPaths && az.Applies != nil && !az.Applies(pkg.Rel) {
+			continue
+		}
+		pass := &Pass{Fset: pkg.Fset, Files: pkg.Files, Info: pkg.Info, rule: az.Name}
+		az.Check(pass)
+		for _, f := range pass.findings {
+			if site := allow.allows(f.Pos.Filename, f.Pos.Line, f.Rule); site != nil {
+				site.Used = true
 				continue
 			}
-			pass := &Pass{Fset: pkg.Fset, Files: pkg.Files, Info: pkg.Info, rule: az.Name}
-			az.Check(pass)
-			for _, f := range pass.findings {
-				if allow.allows(f.Pos.Filename, f.Pos.Line, f.Rule) {
-					continue
-				}
-				out = append(out, f)
-			}
+			res.Findings = append(res.Findings, f)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
+	SortFindings(res.Findings)
+	res.Allows = allow.sites()
+	return res
+}
+
+// SortFindings orders findings by file, line, rule and message — the
+// canonical, byte-stable output order.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
 	})
-	return out
 }
 
 // allowDirective is the comment prefix of a suppression annotation.
 const allowDirective = "//checkinv:allow"
 
-// allowSet records which (file, line, rule) triples carry an allow
-// annotation.  A directive covers its own line (end-of-line form) and the
-// line directly below it (standalone form).
-type allowSet map[string]map[int]map[string]bool
+// AllowSite is one //checkinv:allow directive in the source: where it is,
+// which rules it suppresses, the free-text reason, and whether any finding
+// actually needed it in the last analysis — the raw material of the
+// suppression-debt report.
+type AllowSite struct {
+	File   string   `json:"file"`
+	Line   int      `json:"line"`
+	Rules  []string `json:"rules"`
+	Reason string   `json:"reason,omitempty"`
+	Used   bool     `json:"used"`
+}
 
-func (a allowSet) add(file string, line int, rule string) {
-	byLine := a[file]
+// allowSet indexes allow directives by (file, line, rule), sharing one
+// *AllowSite per directive so usage marking reaches the debt report.
+//
+// Adjacency rules (explicit since v2): the end-of-line form covers exactly
+// its own line; the standalone form (a directive alone on its line) covers
+// the next line holding any non-comment source token — skipping blank
+// lines, build-tag comments and other interposed comments, so a directive
+// above a spaced-out composite-literal entry still lands on it.
+type allowSet struct {
+	byKey map[string]map[int]map[string]*AllowSite
+	all   []*AllowSite
+}
+
+func (a *allowSet) add(file string, line int, rule string, site *AllowSite) {
+	if a.byKey == nil {
+		a.byKey = make(map[string]map[int]map[string]*AllowSite)
+	}
+	byLine := a.byKey[file]
 	if byLine == nil {
-		byLine = make(map[int]map[string]bool)
-		a[file] = byLine
+		byLine = make(map[int]map[string]*AllowSite)
+		a.byKey[file] = byLine
 	}
 	rules := byLine[line]
 	if rules == nil {
-		rules = make(map[string]bool)
+		rules = make(map[string]*AllowSite)
 		byLine[line] = rules
 	}
-	rules[rule] = true
+	rules[rule] = site
 }
 
-func (a allowSet) allows(file string, line int, rule string) bool {
-	rules := a[file][line]
-	return rules[rule] || rules["all"]
+// allows returns the directive covering (file, line, rule), or nil.
+func (a *allowSet) allows(file string, line int, rule string) *AllowSite {
+	rules := a.byKey[file][line]
+	if s := rules[rule]; s != nil {
+		return s
+	}
+	return rules["all"]
 }
 
-// collectAllows scans every comment for //checkinv:allow directives.
-func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
-	out := make(allowSet)
+// sites returns every directive in deterministic (file, line) order.
+func (a *allowSet) sites() []AllowSite {
+	out := make([]AllowSite, 0, len(a.all))
+	for _, s := range a.all {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
+}
+
+// collectAllows scans every comment for //checkinv:allow directives and
+// resolves each to the lines it covers under the explicit adjacency rules.
+func collectAllows(fset *token.FileSet, files []*ast.File) *allowSet {
+	out := &allowSet{}
 	for _, f := range files {
+		content := contentLines(fset, f)
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := c.Text
@@ -215,16 +311,66 @@ func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
 					continue
 				}
 				pos := fset.Position(c.Pos())
+				var rules []string
 				for _, rule := range strings.Split(fields[0], ",") {
-					rule = strings.TrimSpace(rule)
-					if rule == "" {
-						continue
+					if rule = strings.TrimSpace(rule); rule != "" {
+						rules = append(rules, rule)
 					}
-					out.add(pos.Filename, pos.Line, rule)
-					out.add(pos.Filename, pos.Line+1, rule)
+				}
+				if len(rules) == 0 {
+					continue
+				}
+				site := &AllowSite{
+					File:   pos.Filename,
+					Line:   pos.Line,
+					Rules:  rules,
+					Reason: strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0])),
+				}
+				out.all = append(out.all, site)
+				covered := []int{pos.Line}
+				if !content[pos.Line] {
+					// Standalone form: cover the next non-comment source
+					// line, however many blank or comment lines intervene.
+					for l := pos.Line + 1; l <= pos.Line+maxAllowSkip; l++ {
+						if content[l] {
+							covered = append(covered, l)
+							break
+						}
+					}
+				}
+				for _, rule := range rules {
+					for _, l := range covered {
+						out.add(pos.Filename, l, rule, site)
+					}
 				}
 			}
 		}
 	}
+	return out
+}
+
+// maxAllowSkip bounds how far below a standalone directive the covered
+// statement may sit.  Unbounded coverage would let a directive at the top
+// of a function silently suppress a distant line; a small window keeps the
+// annotation next to its evidence.
+const maxAllowSkip = 10
+
+// contentLines reports which lines of the file hold non-comment source
+// tokens.  Comments (including build tags) and blank lines are absent, so
+// the standalone allow form can skip over them.
+func contentLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	out := map[int]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return false
+		case *ast.File:
+			out[fset.Position(n.Pos()).Line] = true // the package clause
+			return true
+		}
+		out[fset.Position(n.Pos()).Line] = true
+		out[fset.Position(n.End()).Line] = true
+		return true
+	})
 	return out
 }

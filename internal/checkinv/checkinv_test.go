@@ -121,10 +121,13 @@ func checkFixture(t *testing.T, analyzer string) {
 	}
 }
 
-func TestWalltimeFixture(t *testing.T) { checkFixture(t, "walltime") }
-func TestMapiterFixture(t *testing.T)  { checkFixture(t, "mapiter") }
-func TestRawchanFixture(t *testing.T)  { checkFixture(t, "rawchan") }
-func TestFloatcmpFixture(t *testing.T) { checkFixture(t, "floatcmp") }
+func TestWalltimeFixture(t *testing.T)    { checkFixture(t, "walltime") }
+func TestMapiterFixture(t *testing.T)     { checkFixture(t, "mapiter") }
+func TestRawchanFixture(t *testing.T)     { checkFixture(t, "rawchan") }
+func TestFloatcmpFixture(t *testing.T)    { checkFixture(t, "floatcmp") }
+func TestSnapshotmutFixture(t *testing.T) { checkFixture(t, "snapshotmut") }
+func TestGoroleakFixture(t *testing.T)    { checkFixture(t, "goroleak") }
+func TestHotallocFixture(t *testing.T)    { checkFixture(t, "hotalloc") }
 
 // TestFixturesFailClosed asserts each fixture yields at least one finding
 // under the full suite with -allpkgs semantics — the property the CI gate
@@ -139,8 +142,9 @@ func TestFixturesFailClosed(t *testing.T) {
 }
 
 // TestScoping asserts the runner honors each analyzer's path scope: the
-// walltime fixture package lives under internal/checkinv/testdata, which no
-// rule applies to, so a scoped run must stay silent.
+// walltime fixture package lives under internal/checkinv/testdata, outside
+// every rule that could fire on its contents, so a scoped run must stay
+// silent.
 func TestScoping(t *testing.T) {
 	pkg := loadFixture(t, "walltime")
 	if got := Run([]*Package{pkg}, Analyzers(), false); len(got) != 0 {
@@ -164,6 +168,16 @@ func TestScoping(t *testing.T) {
 		{"floatcmp", "internal/analysis", true},
 		{"floatcmp", "internal/experiments", true},
 		{"floatcmp", "internal/core", false},
+		{"snapshotmut", "internal/serve", true},
+		{"snapshotmut", "cmd/ruleserver", true},
+		{"snapshotmut", "scripts", false},
+		{"goroleak", "internal/serve", true},
+		{"goroleak", "internal/distserve", true},
+		{"goroleak", "internal/obsv", true},
+		{"goroleak", "internal/core", false},
+		{"goroleak", "cmd/ruleserver", false},
+		{"hotalloc", "internal/hashtree", true},
+		{"hotalloc", "cmd/parminer", true},
 	} {
 		az := AnalyzerByName(tc.rule)
 		if got := az.Applies(tc.rel); got != tc.want {
@@ -200,9 +214,68 @@ func f() {
 		{6, "floatcmp", false},
 		{8, "walltime", false},
 	} {
-		if got := allows.allows("allow.go", tc.line, tc.rule); got != tc.want {
+		if got := allows.allows("allow.go", tc.line, tc.rule) != nil; got != tc.want {
 			t.Errorf("allows(line %d, %s) = %v, want %v", tc.line, tc.rule, got, tc.want)
 		}
+	}
+}
+
+// TestAllowAdjacency pins the v2 adjacency rules: the end-of-line form
+// covers exactly its own line, and the standalone form covers the next
+// line holding non-comment source — skipping blank lines and interposed
+// comments (build tags), including inside composite literals.
+func TestAllowAdjacency(t *testing.T) {
+	fset := token.NewFileSet()
+	src := `package p
+
+var table = []int{
+	1,
+	//checkinv:allow walltime — above a spaced-out literal entry
+
+	2,
+	3,
+}
+
+func f() {
+	//checkinv:allow mapiter — build-tag comment interposed
+	//go:build ignore
+	_ = 4
+	_ = 5 //checkinv:allow rawchan — end-of-line form
+	_ = 6
+}
+`
+	file := parseSrc(t, fset, "adj.go", src)
+	allows := collectAllows(fset, file)
+	for _, tc := range []struct {
+		line int
+		rule string
+		want bool
+	}{
+		{7, "walltime", true},  // standalone skips the blank line to the "2," entry
+		{8, "walltime", false}, // …and covers only that first content line
+		{4, "walltime", false}, // …and nothing above itself
+		{14, "mapiter", true},  // standalone skips the build-tag comment
+		{13, "mapiter", false}, // the build-tag line itself holds no content
+		{15, "rawchan", true},  // end-of-line covers its own line
+		{16, "rawchan", false}, // …and does not leak onto the next line
+	} {
+		if got := allows.allows("adj.go", tc.line, tc.rule) != nil; got != tc.want {
+			t.Errorf("allows(line %d, %s) = %v, want %v", tc.line, tc.rule, got, tc.want)
+		}
+	}
+}
+
+// TestAllowSkipBounded asserts the standalone form gives up after
+// maxAllowSkip lines, so a directive cannot silently suppress a distant
+// statement.
+func TestAllowSkipBounded(t *testing.T) {
+	fset := token.NewFileSet()
+	src := "package p\n\nfunc f() {\n\t//checkinv:allow walltime too far\n" +
+		strings.Repeat("\n", maxAllowSkip+1) + "\t_ = 1\n}\n"
+	file := parseSrc(t, fset, "far.go", src)
+	allows := collectAllows(fset, file)
+	if got := allows.allows("far.go", 4+maxAllowSkip+2, "walltime"); got != nil {
+		t.Errorf("directive covered a line %d lines below; want the %d-line bound enforced", maxAllowSkip+2, maxAllowSkip)
 	}
 }
 

@@ -1,0 +1,129 @@
+package checkinv
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+// fixReason is the placeholder justification -fix leaves behind; the debt
+// report surfaces it until a human replaces it with a real reason.
+const fixReason = "TODO: justify (inserted by checkinv -fix)"
+
+// ApplyFixes rewrites the files named in the findings, inserting
+// //checkinv:allow annotations so a re-run over the same tree is clean.
+// Each finding line gets a standalone directive on the line above, indented
+// to match; findings on a line that already carries an end-of-line
+// directive have their rules merged into it instead.  Every rewritten file
+// is re-parsed before being written back — a file the fix would break is
+// left untouched and reported as an error.  Returns the files changed.
+func ApplyFixes(findings []Finding) ([]string, error) {
+	byFile := map[string]map[int][]string{}
+	for _, f := range findings {
+		lines := byFile[f.Pos.Filename]
+		if lines == nil {
+			lines = map[int][]string{}
+			byFile[f.Pos.Filename] = lines
+		}
+		if !contains(lines[f.Pos.Line], f.Rule) {
+			lines[f.Pos.Line] = append(lines[f.Pos.Line], f.Rule)
+		}
+	}
+
+	var changed []string
+	var errs []string
+	for file, lines := range byFile {
+		if err := fixFile(file, lines); err != nil {
+			errs = append(errs, fmt.Sprintf("%s: %v", file, err))
+			continue
+		}
+		changed = append(changed, file)
+	}
+	sort.Strings(changed)
+	if len(errs) > 0 {
+		sort.Strings(errs)
+		return changed, fmt.Errorf("checkinv: -fix: %s", strings.Join(errs, "; "))
+	}
+	return changed, nil
+}
+
+// fixFile inserts or extends directives for the finding lines of one file.
+func fixFile(file string, lineRules map[int][]string) error {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return err
+	}
+	perm := os.FileMode(0o666)
+	if st, err := os.Stat(file); err == nil {
+		perm = st.Mode().Perm()
+	}
+	lines := strings.Split(string(data), "\n")
+
+	// Highest line first, so earlier insertions don't shift later targets.
+	targets := make([]int, 0, len(lineRules))
+	for l := range lineRules {
+		targets = append(targets, l)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(targets)))
+
+	for _, ln := range targets {
+		if ln < 1 || ln > len(lines) {
+			return fmt.Errorf("finding at line %d outside file (%d lines)", ln, len(lines))
+		}
+		rules := append([]string{}, lineRules[ln]...)
+		sort.Strings(rules)
+		target := lines[ln-1]
+		if merged, ok := mergeDirective(target, rules); ok {
+			lines[ln-1] = merged
+			continue
+		}
+		indent := target[:len(target)-len(strings.TrimLeft(target, " \t"))]
+		directive := indent + allowDirective + " " + strings.Join(rules, ",") + " " + fixReason
+		lines = append(lines[:ln-1], append([]string{directive}, lines[ln-1:]...)...)
+	}
+
+	fixed := strings.Join(lines, "\n")
+	if _, err := parser.ParseFile(token.NewFileSet(), file, fixed, parser.ParseComments); err != nil {
+		return fmt.Errorf("fix would not parse, file left untouched: %v", err)
+	}
+	return os.WriteFile(file, []byte(fixed), perm)
+}
+
+// mergeDirective merges rules into an existing end-of-line directive on the
+// line, returning ok=false when the line has none.
+func mergeDirective(line string, rules []string) (string, bool) {
+	i := strings.Index(line, allowDirective)
+	if i < 0 {
+		return "", false
+	}
+	rest := line[i+len(allowDirective):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false // //checkinv:allowed — not our directive
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", false
+	}
+	existing := strings.Split(fields[0], ",")
+	for _, r := range rules {
+		if !contains(existing, r) {
+			existing = append(existing, r)
+		}
+	}
+	sort.Strings(existing)
+	// Splice the widened rule list back in place of the first field.
+	j := strings.Index(rest, fields[0])
+	return line[:i+len(allowDirective)] + rest[:j] + strings.Join(existing, ",") + rest[j+len(fields[0]):], true
+}
+
+func contains(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,101 @@
+package checkinv
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// funcNode is one function under analysis — a declaration or a literal —
+// giving the dataflow-aware analyzers a uniform handle on its body, type
+// and doc comment.
+type funcNode struct {
+	node ast.Node // *ast.FuncDecl or *ast.FuncLit
+}
+
+func (f funcNode) body() *ast.BlockStmt {
+	switch n := f.node.(type) {
+	case *ast.FuncDecl:
+		return n.Body
+	case *ast.FuncLit:
+		return n.Body
+	}
+	return nil
+}
+
+func (f funcNode) typeExpr() *ast.FuncType {
+	switch n := f.node.(type) {
+	case *ast.FuncDecl:
+		return n.Type
+	case *ast.FuncLit:
+		return n.Type
+	}
+	return nil
+}
+
+func (f funcNode) decl() *ast.FuncDecl {
+	d, _ := f.node.(*ast.FuncDecl)
+	return d
+}
+
+// forEachFunc visits every function with a body in the file: all
+// declarations and all function literals, each exactly once.
+func forEachFunc(f *ast.File, visit func(funcNode)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				visit(funcNode{node: n})
+			}
+		case *ast.FuncLit:
+			visit(funcNode{node: n})
+		}
+		return true
+	})
+}
+
+// enclosingFuncs maps every node of interest to its innermost enclosing
+// function.  The analyzers that track dataflow across blocks (mapiter v2,
+// goroleak) use it to bound their use-def searches at function scope.
+// Inspect calls the visitor with nil exactly once per entered node, so a
+// plain push/pop stack tracks the enclosing chain.
+func enclosingFuncs(f *ast.File, want func(ast.Node) bool) map[ast.Node]funcNode {
+	out := map[ast.Node]funcNode{}
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if want(n) {
+			for i := len(stack) - 1; i >= 0; i-- {
+				switch stack[i].(type) {
+				case *ast.FuncDecl, *ast.FuncLit:
+					out[n] = funcNode{node: stack[i]}
+					i = 0
+				}
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return out
+}
+
+// hotpathDirective is the annotation that opts a function into the hotalloc
+// rule.
+const hotpathDirective = "//checkinv:hotpath"
+
+// isHotpath reports whether the function declaration carries a
+// //checkinv:hotpath directive in its doc comment.
+func isHotpath(d *ast.FuncDecl) bool {
+	if d == nil || d.Doc == nil {
+		return false
+	}
+	for _, c := range d.Doc.List {
+		text := c.Text
+		if text == hotpathDirective || strings.HasPrefix(text, hotpathDirective+" ") {
+			return true
+		}
+	}
+	return false
+}

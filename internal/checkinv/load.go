@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one parsed and type-checked package under analysis.
@@ -56,7 +57,9 @@ func ModuleRoot(dir string) (root, modPath string, err error) {
 }
 
 // Loader parses and type-checks packages with a shared FileSet and a shared
-// (caching) source importer, so common dependencies are checked once.
+// (caching) source importer, so common dependencies are checked once per
+// process.  Parsing fans out across goroutines; type-checking runs
+// sequentially because the shared importer keeps one dependency graph.
 type Loader struct {
 	Fset     *token.FileSet
 	importer types.Importer
@@ -75,13 +78,11 @@ func NewLoader() *Loader {
 	return &Loader{Fset: fset, importer: importer.ForCompiler(fset, "source", nil)}
 }
 
-// Load resolves the patterns ("./...", "dir/...", plain directories)
-// relative to dir and returns the matched packages in deterministic order.
-func (l *Loader) Load(dir string, patterns []string) ([]*Package, error) {
-	root, modPath, err := ModuleRoot(dir)
-	if err != nil {
-		return nil, err
-	}
+// Dirs resolves the patterns ("./...", "dir/...", plain directories)
+// relative to dir and returns the matched directories in deterministic
+// order.  testdata, vendor and dot/underscore directories are skipped by
+// the recursive forms.
+func (l *Loader) Dirs(dir string, patterns []string) ([]string, error) {
 	seen := map[string]bool{}
 	var dirs []string
 	addDir := func(d string) {
@@ -126,14 +127,62 @@ func (l *Loader) Load(dir string, patterns []string) ([]*Package, error) {
 		}
 	}
 	sort.Strings(dirs)
+	return dirs, nil
+}
 
-	var pkgs []*Package
-	for _, d := range dirs {
-		got, err := l.LoadDir(d, root, modPath)
+// Load resolves the patterns relative to dir and returns the matched
+// packages in deterministic order.
+func (l *Loader) Load(dir string, patterns []string) ([]*Package, error) {
+	root, modPath, err := ModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := l.Dirs(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	return l.LoadDirs(dirs, root, modPath)
+}
+
+// parsedDir is one directory's parsed-but-unchecked contents.
+type parsedDir struct {
+	rel, path, abs string
+	files          []*ast.File // package sources plus in-package test files
+	extFiles       []*ast.File // external test package (package foo_test)
+}
+
+// LoadDirs parses every directory concurrently, then type-checks them in
+// input order against the shared importer.
+func (l *Loader) LoadDirs(dirs []string, modRoot, modPath string) ([]*Package, error) {
+	parsed := make([]*parsedDir, len(dirs))
+	errs := make([]error, len(dirs))
+	var wg sync.WaitGroup
+	for i, d := range dirs {
+		i, d := i, d
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			parsed[i], errs[i] = l.parseDir(d, modRoot, modPath)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		pkgs = append(pkgs, got...)
+	}
+
+	var pkgs []*Package
+	for _, pd := range parsed {
+		if pd == nil {
+			continue
+		}
+		if len(pd.files) > 0 {
+			pkgs = append(pkgs, l.check(pd.rel, pd.path, pd.abs, pd.files))
+		}
+		if len(pd.extFiles) > 0 {
+			pkgs = append(pkgs, l.check(pd.rel, pd.path+"_test", pd.abs, pd.extFiles))
+		}
 	}
 	return pkgs, nil
 }
@@ -144,29 +193,44 @@ func (l *Loader) Load(dir string, patterns []string) ([]*Package, error) {
 // type-check and a second Package is appended for an external test package
 // (package foo_test), when one exists.
 func (l *Loader) LoadDir(dir, modRoot, modPath string) ([]*Package, error) {
+	return l.LoadDirs([]string{dir}, modRoot, modPath)
+}
+
+// goFileNames returns the directory's Go file names split into sources and
+// (when tests is set) test files, each sorted.
+func goFileNames(dir string, tests bool) (srcNames, testNames []string, err error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, fmt.Errorf("checkinv: %w", err)
+		return nil, nil, fmt.Errorf("checkinv: %w", err)
 	}
-	var srcNames, testNames []string
 	for _, e := range entries {
 		n := e.Name()
 		if e.IsDir() || !strings.HasSuffix(n, ".go") {
 			continue
 		}
 		if strings.HasSuffix(n, "_test.go") {
-			if l.Tests {
+			if tests {
 				testNames = append(testNames, n)
 			}
 			continue
 		}
 		srcNames = append(srcNames, n)
 	}
+	sort.Strings(srcNames)
+	sort.Strings(testNames)
+	return srcNames, testNames, nil
+}
+
+// parseDir parses one directory's files; nil when it holds no Go files in
+// scope.
+func (l *Loader) parseDir(dir, modRoot, modPath string) (*parsedDir, error) {
+	srcNames, testNames, err := goFileNames(dir, l.Tests)
+	if err != nil {
+		return nil, err
+	}
 	if len(srcNames) == 0 && len(testNames) == 0 {
 		return nil, nil
 	}
-	sort.Strings(srcNames)
-	sort.Strings(testNames)
 
 	parse := func(names []string) ([]*ast.File, error) {
 		var files []*ast.File
@@ -215,15 +279,7 @@ func (l *Loader) LoadDir(dir, modRoot, modPath string) ([]*Package, error) {
 	if rel != "" {
 		path = modPath + "/" + rel
 	}
-
-	var pkgs []*Package
-	if len(files) > 0 {
-		pkgs = append(pkgs, l.check(rel, path, abs, files))
-	}
-	if len(extFiles) > 0 {
-		pkgs = append(pkgs, l.check(rel, path+"_test", abs, extFiles))
-	}
-	return pkgs, nil
+	return &parsedDir{rel: rel, path: path, abs: abs, files: files, extFiles: extFiles}, nil
 }
 
 // check type-checks one file set as a package, proceeding on best-effort

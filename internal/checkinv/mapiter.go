@@ -3,6 +3,7 @@ package checkinv
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // MapiterAnalyzer flags range-over-map loops whose iteration order can leak
@@ -11,12 +12,20 @@ import (
 // iteration order per run, so any of these makes mined itemsets, per-pass
 // statistics or persisted results irreproducible.
 //
-// Two escapes keep the common safe idioms quiet:
+// The v2 analysis keeps the safe idioms quiet with a function-scope use-def
+// check instead of the old single-block heuristic:
 //
-//   - a sort.* / slices.* call later in the same enclosing block (the
-//     collect-keys-then-sort idiom) suppresses the finding;
+//   - a collected slice that later reaches a canonicalizer — any sort.* or
+//     slices.* call, or one of the project's known canonicalizing
+//     constructors (itemset.New, itemset.AppendKey, which sort and dedup
+//     their input) — anywhere in the same function, in any block, is
+//     order-safe and never flagged;
 //   - order-insensitive bodies (accumulating into another map, summing a
 //     scalar) are never flagged.
+//
+// Channel sends and direct stream writes inside the loop body stay flagged
+// unconditionally: the order has already escaped by the time any later
+// statement could repair it.
 var MapiterAnalyzer = &Analyzer{
 	Name: "mapiter",
 	Doc:  "flag map iteration whose nondeterministic order reaches output",
@@ -26,9 +35,21 @@ var MapiterAnalyzer = &Analyzer{
 	Check: checkMapiter,
 }
 
+// mapLeak is one way a range-over-map body exports iteration order.
+type mapLeak struct {
+	pos  ast.Node
+	kind string
+	// obj is the append target for append-kind leaks; canonicalizing it
+	// later in the function neutralizes the leak.
+	obj types.Object
+}
+
 func checkMapiter(p *Pass) {
 	for _, f := range p.Files {
-		ctxs := stmtContexts(f)
+		enclosing := enclosingFuncs(f, func(n ast.Node) bool {
+			_, ok := n.(*ast.RangeStmt)
+			return ok
+		})
 		ast.Inspect(f, func(n ast.Node) bool {
 			rs, ok := n.(*ast.RangeStmt)
 			if !ok {
@@ -41,60 +62,153 @@ func checkMapiter(p *Pass) {
 			if _, isMap := t.Underlying().(*types.Map); !isMap {
 				return true
 			}
-			kind := p.orderLeak(rs)
-			if kind == "" {
-				return true
+			for _, leak := range p.orderLeaks(rs) {
+				if leak.obj != nil {
+					if fn, ok := enclosing[ast.Node(rs)]; ok && p.canonicalizedAfter(fn, leak.obj, rs) {
+						continue
+					}
+				}
+				p.Reportf(rs.Pos(), "map iteration order reaches output (%s); sort before emitting or annotate", leak.kind)
+				break // one finding per loop
 			}
-			if ctx, ok := ctxs[rs]; ok && sortFollows(p, ctx) {
-				return true
-			}
-			p.Reportf(rs.Pos(), "map iteration order reaches output (%s); sort before emitting or annotate", kind)
 			return true
 		})
 	}
 }
 
-// orderLeak classifies how the loop body leaks iteration order, returning
-// "" when it does not.
-func (p *Pass) orderLeak(rs *ast.RangeStmt) string {
-	kind := ""
+// orderLeaks classifies every way the loop body leaks iteration order.
+func (p *Pass) orderLeaks(rs *ast.RangeStmt) []mapLeak {
+	var leaks []mapLeak
 	ast.Inspect(rs.Body, func(n ast.Node) bool {
-		if kind != "" {
-			return false
-		}
 		switch n := n.(type) {
 		case *ast.SendStmt:
-			kind = "channel send in body"
+			leaks = append(leaks, mapLeak{pos: n, kind: "channel send in body"})
 		case *ast.CallExpr:
-			if p.isBuiltin(n, "append") && p.appendTargetOutside(n, rs.Body) {
-				kind = "append to slice declared outside the loop"
+			if p.isBuiltin(n, "append") {
+				if obj := p.appendTargetOutside(n, rs.Body); obj != nil {
+					leaks = append(leaks, mapLeak{pos: n, kind: "append to slice declared outside the loop", obj: obj})
+				}
 			} else if name := outputCallee(p, n); name != "" {
-				kind = "write via " + name
+				leaks = append(leaks, mapLeak{pos: n, kind: "write via " + name})
 			}
 		}
-		return kind == ""
+		return true
 	})
-	return kind
+	return leaks
 }
 
-// appendTargetOutside reports whether the append call's first argument is a
-// variable declared outside the loop body, i.e. whether the appended order
-// survives the loop.
-func (p *Pass) appendTargetOutside(call *ast.CallExpr, body *ast.BlockStmt) bool {
+// appendTargetOutside returns the object appended to when it is declared
+// outside the loop body (i.e. the appended order survives the loop), nil
+// when the append cannot export order.  Non-identifier targets (fields,
+// elements) necessarily outlive the loop and come back as an unnamed
+// non-nil sentinel via the enclosing expression's object when resolvable;
+// when not resolvable at all the caller flags unconditionally.
+func (p *Pass) appendTargetOutside(call *ast.CallExpr, body *ast.BlockStmt) types.Object {
 	if len(call.Args) == 0 {
-		return true // malformed; be conservative
+		return nil
 	}
 	switch dst := call.Args[0].(type) {
 	case *ast.Ident:
 		obj := p.Info.Uses[dst]
 		if obj == nil {
+			return nil
+		}
+		if obj.Pos() >= body.Pos() && obj.Pos() <= body.End() {
+			return nil // loop-local slice: order dies with the iteration
+		}
+		return obj
+	case *ast.SelectorExpr:
+		// x.f — storage outlives the loop; track the selection's object so
+		// a later canonicalizer call on the same field can clear it.
+		if sel, ok := p.Info.Selections[dst]; ok {
+			return sel.Obj()
+		}
+		return fieldSentinel
+	default:
+		return fieldSentinel
+	}
+}
+
+// fieldSentinel stands in for append targets the analysis cannot name; it
+// never matches a canonicalizer argument, so such appends stay flagged.
+var fieldSentinel types.Object = types.NewLabel(0, nil, "checkinv-unresolved-append-target")
+
+// canonicalizedAfter reports whether the object reaches a canonicalizing
+// call after pos anywhere in the enclosing function — across blocks, which
+// is what the old single-block heuristic could not see.
+func (p *Pass) canonicalizedAfter(fn funcNode, obj types.Object, pos ast.Node) bool {
+	after := pos.End()
+	found := false
+	ast.Inspect(fn.body(), func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < after {
 			return true
 		}
-		return obj.Pos() < body.Pos() || obj.Pos() > body.End()
-	default:
-		// Selector, index, … — storage necessarily outlives the loop.
-		return true
+		if !p.isCanonicalizer(call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if found {
+					return false
+				}
+				if id, ok := a.(*ast.Ident); ok {
+					if p.Info.Uses[id] == obj || p.Info.Defs[id] == obj {
+						found = true
+					}
+					// A field access x.f matches by the selection's object.
+				}
+				if sel, ok := a.(*ast.SelectorExpr); ok {
+					if s, ok := p.Info.Selections[sel]; ok && s.Obj() == obj {
+						found = true
+					}
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// isCanonicalizer reports whether the call erases input order: any sort.*
+// or slices.* call, or a known canonicalizer from the project's itemset
+// package — the itemset.New constructor (sorts and dedups its input) and
+// the Itemset.AppendKey method (emits the canonical sorted key encoding).
+func (p *Pass) isCanonicalizer(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
 	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		switch path := p.pkgNameOf(id); {
+		case path == "sort" || path == "slices":
+			return true
+		case isItemsetPath(path):
+			switch sel.Sel.Name {
+			case "New", "AppendKey":
+				return true
+			}
+		}
+	}
+	// Method form: v.AppendKey(dst) with an itemset receiver.
+	if sel.Sel.Name == "AppendKey" {
+		if t := p.TypeOf(sel.X); t != nil {
+			if n, ok := t.(*types.Named); ok && n.Obj().Pkg() != nil && isItemsetPath(n.Obj().Pkg().Path()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isItemsetPath matches the project's itemset package under any module
+// prefix (and the bare name, so fixtures type-checked standalone match).
+func isItemsetPath(path string) bool {
+	return path == "itemset" || strings.HasSuffix(path, "/itemset")
 }
 
 // outputCallee returns a printable name when the call writes to a stream:
@@ -122,64 +236,4 @@ func outputCallee(p *Pass, call *ast.CallExpr) string {
 		return "method " + name
 	}
 	return ""
-}
-
-// stmtCtx locates a statement inside its enclosing statement list.
-type stmtCtx struct {
-	list []ast.Stmt
-	idx  int
-}
-
-// stmtContexts maps every range statement in the file to its position in
-// the enclosing statement list, so analyzers can look at what follows it.
-func stmtContexts(f *ast.File) map[*ast.RangeStmt]stmtCtx {
-	out := make(map[*ast.RangeStmt]stmtCtx)
-	ast.Inspect(f, func(n ast.Node) bool {
-		var list []ast.Stmt
-		switch b := n.(type) {
-		case *ast.BlockStmt:
-			list = b.List
-		case *ast.CaseClause:
-			list = b.Body
-		case *ast.CommClause:
-			list = b.Body
-		default:
-			return true
-		}
-		for i, s := range list {
-			if rs, ok := s.(*ast.RangeStmt); ok {
-				out[rs] = stmtCtx{list: list, idx: i}
-			}
-		}
-		return true
-	})
-	return out
-}
-
-// sortFollows reports whether a sort.* or slices.* call appears after the
-// statement in its enclosing block — the canonical fix for map-order
-// nondeterminism.
-func sortFollows(p *Pass, ctx stmtCtx) bool {
-	found := false
-	for _, s := range ctx.list[ctx.idx+1:] {
-		ast.Inspect(s, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok || found {
-				return !found
-			}
-			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
-				if id, ok := sel.X.(*ast.Ident); ok {
-					switch p.pkgNameOf(id) {
-					case "sort", "slices":
-						found = true
-					}
-				}
-			}
-			return !found
-		})
-		if found {
-			return true
-		}
-	}
-	return false
 }

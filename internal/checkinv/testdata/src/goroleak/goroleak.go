@@ -1,0 +1,65 @@
+// Package goroleak is a checkinv fixture for the goroutine-lifecycle
+// analyzer: unjoined spawns are flagged, the WaitGroup and done-channel
+// join idioms stay quiet.
+package goroleak
+
+import "sync"
+
+func work() {}
+
+func namedSpawn() {
+	go work() // want "goroutine calls a named function"
+}
+
+func unjoined() {
+	go func() { // want "goroutine has no visible join"
+		work()
+	}()
+}
+
+func waitGroupLocal() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+type pool struct{ wg sync.WaitGroup }
+
+// spawn joins through a struct-field WaitGroup: the reap happens in a
+// Close/Wait method elsewhere, but the Done is visible at the spawn site.
+func (p *pool) spawn() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		work()
+	}()
+}
+
+func doneChannel() {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	<-done
+}
+
+func rangeJoined() {
+	out := make(chan int)
+	go func() {
+		for i := 0; i < 3; i++ {
+			out <- i
+		}
+		close(out)
+	}()
+	for range out {
+	}
+}
+
+func annotated() {
+	go func() { work() }() //checkinv:allow goroleak — fixture: reaped by the test's cleanup
+}

@@ -1,0 +1,66 @@
+// Package hotalloc is a checkinv fixture for the hot-path allocation
+// analyzer: only functions annotated //checkinv:hotpath are inspected, and
+// inside their loops the per-iteration heap escapes are flagged.
+package hotalloc
+
+import (
+	"errors"
+	"fmt"
+)
+
+type item struct{ key int }
+
+func sink(v any) { _ = v }
+
+//checkinv:hotpath
+func hotViolations(items []item) []string {
+	var out []string
+	for _, it := range items {
+		s := fmt.Sprintf("k=%d", it.key)  // want "fmt.Sprintf in a hot loop"
+		out = append(out, s)              // want "append to out grows an unpreallocated slice"
+		sink(it.key)                      // want "int value boxed into interface parameter"
+		f := func() int { return it.key } // want "closure literal in a hot loop"
+		_ = f
+	}
+	return out
+}
+
+//checkinv:hotpath
+func hotError(items []item) error {
+	for range items {
+		err := errors.New("boom") // want "errors.New in a hot loop"
+		_ = err
+	}
+	return nil
+}
+
+//checkinv:hotpath
+func hotClean(items []item, dst []int) []int {
+	// Preallocated locals, caller-provided buffers and loop-local slices
+	// are the sanctioned idioms.
+	out := make([]int, 0, len(items))
+	for _, it := range items {
+		out = append(out, it.key)
+		dst = append(dst, it.key)
+		local := []int{it.key}
+		_ = local
+	}
+	return append(dst, out...)
+}
+
+// coldTwin has the same body as hotViolations but no annotation: the rule
+// is opt-in, so it is never inspected.
+func coldTwin(items []item) []string {
+	var out []string
+	for _, it := range items {
+		out = append(out, fmt.Sprintf("k=%d", it.key))
+	}
+	return out
+}
+
+//checkinv:hotpath
+func hotAllowed(items []item) {
+	for _, it := range items {
+		sink(it.key) //checkinv:allow hotalloc — fixture: deliberate boxing on a cold branch
+	}
+}

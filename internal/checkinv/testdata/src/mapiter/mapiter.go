@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"parapriori/internal/itemset"
 )
 
 func appendToOuter(m map[string]int) []string {
@@ -65,6 +67,43 @@ func innerSliceOnly(m map[string][]int) int {
 		n += len(local)
 	}
 	return n
+}
+
+func crossBlockSort(m map[string]int, verbose bool) []string {
+	// v1's single-block heuristic flagged this shape: the collect loop and
+	// the sort live in different blocks.  The v2 function-scope use-def
+	// analysis sees the canonicalizer and stays quiet.
+	var keys []string
+	if len(m) > 0 {
+		for k := range m {
+			keys = append(keys, k)
+		}
+	}
+	if verbose {
+		sort.Strings(keys)
+	}
+	return keys
+}
+
+func itemsetCanonicalized(m map[itemset.Item]int) itemset.Itemset {
+	// itemset.New sorts and dedups its input: the collected order dies in
+	// the constructor, so the append is order-safe.
+	flat := make([]itemset.Item, 0, len(m))
+	for it := range m {
+		flat = append(flat, it)
+	}
+	return itemset.New(flat...)
+}
+
+func sortsWrongSlice(m map[string]int) ([]string, []string) {
+	// A later sort on a *different* slice must not clear the leak: the
+	// use-def check is per collected object, not per function.
+	var keys, other []string
+	for k := range m { // want "append to slice declared outside the loop"
+		keys = append(keys, k)
+	}
+	sort.Strings(other)
+	return keys, other
 }
 
 func annotated(m map[string]int) []string {

@@ -1,0 +1,62 @@
+// Package snapshotmut is a checkinv fixture modeled on the serving tier's
+// hot-swap: a snapshot published through atomic.Pointer.Store is frozen,
+// so every write that reaches a loaded (or otherwise shared) snapshot is a
+// seeded race the analyzer must catch, while the build-fresh-then-publish
+// contract stays quiet.
+package snapshotmut
+
+import "sync/atomic"
+
+type snapshot struct {
+	gen   uint64
+	rules []string
+	cache map[string]int
+}
+
+type server struct {
+	snap atomic.Pointer[snapshot]
+}
+
+// publish is the contract: build the next snapshot fresh, then swap it in.
+// Writes to the still-private value must stay quiet.
+func (s *server) publish(rules []string) {
+	next := &snapshot{rules: rules, cache: map[string]int{}}
+	next.gen = 1
+	s.snap.Store(next)
+}
+
+// mutateAfterLoad is the seeded bug: the loaded snapshot is shared with
+// every in-flight reader, so each write is a data race.
+func (s *server) mutateAfterLoad(q string) {
+	snap := s.snap.Load()
+	snap.gen++        // want "write to snapshot after publish"
+	snap.cache[q] = 1 // want "write to snapshot after publish"
+	snap.rules[0] = q // want "write to snapshot after publish"
+}
+
+// newSnapshot returns the published type: the constructor exemption — the
+// value is not reachable by readers while its builder runs.
+func newSnapshot(gen uint64) *snapshot {
+	sn := &snapshot{cache: map[string]int{}}
+	sn.gen = gen
+	return sn
+}
+
+// mutateParam writes through a parameter: the caller may have published
+// the value already, so the write is flagged.
+func mutateParam(sn *snapshot) {
+	sn.gen = 9 // want "write to snapshot after publish"
+}
+
+// zeroLocal mutates a value-typed local: private by construction.
+func zeroLocal() uint64 {
+	var sn snapshot
+	sn.gen = 3
+	return sn.gen
+}
+
+// allowedBump is an intentional, annotated mutation.
+func (s *server) allowedBump() {
+	sn := s.snap.Load()
+	sn.gen++ //checkinv:allow snapshotmut — fixture: counter has its own lock
+}

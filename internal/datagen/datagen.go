@@ -135,7 +135,6 @@ func (g *Generator) buildPatterns() {
 			items[itemset.Item(g.rng.Intn(g.p.NumItems))] = struct{}{}
 		}
 		flat := make([]itemset.Item, 0, len(items))
-		//checkinv:allow mapiter — itemset.New sorts and dedups, so map order cannot leak
 		for it := range items {
 			flat = append(flat, it)
 		}
@@ -217,7 +216,6 @@ func (g *Generator) Next() itemset.Transaction {
 		items[itemset.Item(g.rng.Intn(g.p.NumItems))] = struct{}{}
 	}
 	flat := make([]itemset.Item, 0, len(items))
-	//checkinv:allow mapiter — itemset.New sorts and dedups, so map order cannot leak
 	for it := range items {
 		flat = append(flat, it)
 	}

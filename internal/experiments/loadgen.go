@@ -139,10 +139,10 @@ func loadOne(data *itemset.Dataset, v1, v2 []rules.Rule, nodes, workers, queries
 	perWorker := queries / workers
 	start := time.Now() //checkinv:allow walltime — the load generator measures real serving latency, never the virtual clock
 	errs := make([]error, workers)
-	done := make(chan int, workers) //checkinv:allow rawchan — load-generator coordination, real-OS serving territory
+	done := make(chan int, workers)
 	for w := 0; w < workers; w++ {
 		w := w
-		go func() { //checkinv:allow rawchan — closed-loop load worker
+		go func() {
 			for i := 0; i < perWorker; i++ {
 				basket := txns[(w+i*workers)%len(txns)].Items
 				if _, err := cl.Router.Recommend(basket, topK); err != nil {
@@ -150,11 +150,11 @@ func loadOne(data *itemset.Dataset, v1, v2 []rules.Rule, nodes, workers, queries
 					break
 				}
 			}
-			done <- w //checkinv:allow rawchan — worker completion signal
+			done <- w
 		}()
 	}
 	for w := 0; w < workers; w++ {
-		<-done //checkinv:allow rawchan — join the load workers
+		<-done
 	}
 	elapsed := time.Since(start) //checkinv:allow walltime — pairs with the load phase's time.Now above
 	for _, err := range errs {

@@ -203,6 +203,8 @@ func (t *Tree) insert(c *Candidate) {
 // candidate (the loop at the root): items for which it reports false are
 // skipped.  This is IDD's bitmap pruning; pass nil for the serial algorithm,
 // CD and DD.
+//
+//checkinv:hotpath
 func (t *Tree) Subset(txn itemset.Itemset, rootFilter func(itemset.Item) bool) int {
 	t.stamp++
 	t.stats.Transactions++
@@ -231,6 +233,8 @@ func (t *Tree) Subset(txn itemset.Itemset, rootFilter func(itemset.Item) bool) i
 
 // walk recurses below an internal-node hash step: node n was reached having
 // consumed depth items, with txn[pos:] remaining.
+//
+//checkinv:hotpath
 func (t *Tree) walk(n *node, txn itemset.Itemset, pos, depth int) int {
 	if n.isLeaf() {
 		if n.stamp == t.stamp {
@@ -252,6 +256,10 @@ func (t *Tree) walk(n *node, txn itemset.Itemset, pos, depth int) int {
 	return visited
 }
 
+// checkLeaf bumps the count of every candidate in the leaf the transaction
+// contains — the innermost loop of the whole miner.
+//
+//checkinv:hotpath
 func (t *Tree) checkLeaf(n *node, txn itemset.Itemset) {
 	for _, c := range n.cands {
 		t.stats.LeafChecks++

@@ -62,6 +62,8 @@ func (s Itemset) Contains(it Item) bool {
 
 // ContainsAll reports whether sub is a subset of s.  Both slices must be
 // sorted (the Itemset invariant); the test is a linear merge.
+//
+//checkinv:hotpath
 func (s Itemset) ContainsAll(sub Itemset) bool {
 	if len(sub) > len(s) {
 		return false

@@ -176,6 +176,8 @@ func (ix *Index) All() []rules.Rule {
 // least one item the basket does not already hold.  For each basket item the
 // inverted index yields the groups whose antecedent *starts* there, so a
 // group is tested once and only when its cheapest necessary condition holds.
+//
+//checkinv:hotpath
 func (sh *shard) query(basket itemset.Itemset, dst []rules.Rule) []rules.Rule {
 	for _, it := range basket {
 		for _, gi := range sh.byFirst[it] {
@@ -197,6 +199,8 @@ func (sh *shard) query(basket itemset.Itemset, dst []rules.Rule) []rules.Rule {
 // worker pool — returning at most k rules in serving-rank order.  It is the
 // reference path the Server's cached/pooled path must agree with, and what
 // the oracle tests exercise.
+//
+//checkinv:hotpath
 func (ix *Index) Recommend(basket itemset.Itemset, k int) []rules.Rule {
 	var matches []rules.Rule
 	for si := range ix.shards {
@@ -210,6 +214,8 @@ func (ix *Index) Recommend(basket itemset.Itemset, k int) []rules.Rule {
 // order the per-shard scans delivered the matches in — the property that
 // also lets the distributed router merge per-node top-K lists into a global
 // top-K bit-identical to a single-node scan.
+//
+//checkinv:hotpath
 func RankTruncate(matches []rules.Rule, k int) []rules.Rule {
 	sort.Slice(matches, func(i, j int) bool { return rules.RankLess(matches[i], matches[j]) })
 	if k >= 0 && len(matches) > k {

@@ -204,6 +204,8 @@ func (s *Server) Recommend(basket []itemset.Item, k int) ([]rules.Rule, error) {
 // pool — and merges them into one ranked, truncated result.  The merge
 // sorts with the total-order comparator, so scheduling can reorder the
 // scans without ever reordering the answer.
+//
+//checkinv:hotpath
 func (s *Server) query(ix *Index, basket itemset.Itemset, k int) []rules.Rule {
 	var matches []rules.Rule
 	if s.tasks == nil || len(ix.shards) == 1 {
@@ -217,16 +219,21 @@ func (s *Server) query(ix *Index, basket itemset.Itemset, k int) []rules.Rule {
 	for si := range ix.shards {
 		si := si
 		wg.Add(1)
-		s.tasks <- func() { //checkinv:allow rawchan — fan one query's shard scans out to the pool
+		s.tasks <- func() { //checkinv:allow rawchan,hotalloc — fan one query's shard scans out to the pool; one closure per shard is the fan-out itself
 			defer wg.Done()
 			per[si] = ix.shards[si].query(basket, nil)
 		}
 	}
 	wg.Wait()
+	total := 0
 	for _, p := range per {
-		matches = append(matches, p...)
+		total += len(p)
 	}
-	return RankTruncate(matches, k)
+	merged := make([]rules.Rule, 0, total)
+	for _, p := range per {
+		merged = append(merged, p...)
+	}
+	return RankTruncate(merged, k)
 }
 
 // cacheKey builds the canonical cache key: the basket's canonical itemset

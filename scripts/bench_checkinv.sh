@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# bench_checkinv.sh — measure the checkinv driver cold vs cached and write
+# the result to BENCH_checkinv.json at the repo root.
+#
+# The cold benchmark parses, type-checks (stdlib from source) and analyzes
+# the whole tree; the warm benchmark replays the same run from the findings
+# cache, so the ratio is the payoff of the per-package cache.  The findings
+# count is taken from a scoped run over the live tree, which must be clean.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bench_out=$(go test ./internal/checkinv -run '^$' -bench 'BenchmarkDriver(Cold|Warm)$' -benchtime 2x -count 1)
+echo "$bench_out"
+
+cold_ns=$(echo "$bench_out" | awk '/^BenchmarkDriverCold/ {print $3}')
+warm_ns=$(echo "$bench_out" | awk '/^BenchmarkDriverWarm/ {print $3}')
+if [[ -z "$cold_ns" || -z "$warm_ns" ]]; then
+  echo "bench_checkinv: could not parse benchmark output" >&2
+  exit 1
+fi
+
+# Findings over the live tree (scoped, uncached so the count is from this
+# checkout, not a restored CI cache).  The gate requires zero.
+findings_json=$(go run ./cmd/checkinv -json -cache off ./...) || {
+  echo "bench_checkinv: tree is not clean under checkinv" >&2
+  echo "$findings_json" >&2
+  exit 1
+}
+findings=$(echo "$findings_json" | grep -c '"rule"' || true)
+
+speedup=$(awk -v c="$cold_ns" -v w="$warm_ns" 'BEGIN { printf "%.1f", c / w }')
+
+cat > BENCH_checkinv.json <<EOF
+{
+  "benchmark": "checkinv-driver",
+  "tree": "./... (tests included)",
+  "cold_ns_per_op": $cold_ns,
+  "warm_ns_per_op": $warm_ns,
+  "speedup": $speedup,
+  "findings": $findings
+}
+EOF
+echo "wrote BENCH_checkinv.json (cold ${cold_ns}ns, warm ${warm_ns}ns, ${speedup}x)"
