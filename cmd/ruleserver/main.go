@@ -20,8 +20,15 @@
 //
 //	ruleserver -node -addr :9001 &
 //	ruleserver -node -addr :9002 &
-//	ruleserver -router -nodes localhost:9001,localhost:9002 \
+//	ruleserver -router -nodes localhost:9001,localhost:9002 -replicas 2 \
 //	    -load freq.txt -minconf 0.8 -addr :8080
+//
+// -replicas R places every shard on its top-R nodes, so with R=2 any single
+// node can die without a shard going dark: the router's failure detector
+// marks it down, queries fail over to the surviving copy, and a background
+// prober notices when it comes back.  -timeout bounds every router→node
+// call; a leg that misses the deadline is retried once on the next live
+// replica, and slow (not dead) nodes are raced by hedged requests.
 //
 //	curl 'localhost:8080/recommend?items=3,4&k=5'   # scatter-gather top-K
 //	curl 'localhost:8080/placement'                 # shard → node map
@@ -84,6 +91,8 @@ func main() {
 		nodeList   = flag.String("nodes", "", "comma-separated node base URLs (router mode, required)")
 		cshards    = flag.Int("cluster-shards", 0, "shards to distribute across the nodes (router mode, 0 = default)")
 		seed       = flag.Uint64("seed", 0, "placement hash seed (router mode, 0 = fixed default)")
+		replicas   = flag.Int("replicas", 1, "copies of each shard across the nodes (router mode; 2 survives any single node failure)")
+		timeout    = flag.Duration("timeout", 0, "per-call deadline for router→node requests (router mode, 0 = default)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060; off by default)")
 	)
 	flag.Parse()
@@ -107,7 +116,14 @@ func main() {
 		return
 	}
 	if *routerMode {
-		runRouter(*addr, *load, *minconf, *nodeList, *cshards, *seed, sopt)
+		copt := distserve.Options{
+			Shards:         *cshards,
+			Seed:           *seed,
+			Replicas:       *replicas,
+			RequestTimeout: *timeout,
+			Node:           sopt,
+		}
+		runRouter(*addr, *load, *minconf, *nodeList, copt)
 		return
 	}
 
@@ -173,7 +189,7 @@ func runNode(addr string, sopt serve.Options) {
 // runRouter shards the rule set across the node fleet and serves
 // scatter-gather queries.  SIGHUP (or POST /reload) regenerates the rules
 // and publishes the delta.
-func runRouter(addr, load string, minconf float64, nodeList string, cshards int, seed uint64, sopt serve.Options) {
+func runRouter(addr, load string, minconf float64, nodeList string, opt distserve.Options) {
 	if load == "" {
 		fmt.Fprintln(os.Stderr, "ruleserver: -router requires -load <saved result>")
 		os.Exit(2)
@@ -185,14 +201,22 @@ func runRouter(addr, load string, minconf float64, nodeList string, cshards int,
 	var clients []distserve.Client
 	for _, raw := range strings.Split(nodeList, ",") {
 		if raw = strings.TrimSpace(raw); raw != "" {
-			clients = append(clients, distserve.NewHTTPClient(raw))
+			if opt.RequestTimeout > 0 {
+				clients = append(clients, distserve.NewHTTPClientBudget(raw, opt.RequestTimeout))
+			} else {
+				clients = append(clients, distserve.NewHTTPClient(raw))
+			}
 		}
 	}
-	opt := distserve.Options{Shards: cshards, Seed: seed, Node: sopt}
 	router, err := distserve.NewRouter(clients, opt)
 	if err != nil {
 		log.Fatalf("ruleserver: %v", err)
 	}
+	// The background prober is what notices a dead node recovering without
+	// waiting for a live query to stumble into it.  It earns its keep at any
+	// R (a healed node rejoins the rotation), so start it unconditionally.
+	router.StartProber()
+	defer router.StopProber()
 
 	reload := func() ([]rules.Rule, error) { return loadRules(load, minconf) }
 	rs, err := reload()
@@ -203,8 +227,8 @@ func runRouter(addr, load string, minconf float64, nodeList string, cshards int,
 	if err != nil {
 		log.Fatalf("ruleserver: initial publish: %v", err)
 	}
-	log.Printf("ruleserver: router on %s — %d rules in %d groups over %d nodes (%d shards, generation %d)",
-		addr, len(rs), stats.Groups, stats.Nodes, len(router.Placement()), stats.Gen)
+	log.Printf("ruleserver: router on %s — %d rules in %d groups over %d nodes (%d shards × %d replicas, generation %d)",
+		addr, len(rs), stats.Groups, stats.Nodes, len(router.Placement()), router.Metrics().Replicas, stats.Gen)
 
 	onHUP(func() {
 		rs, err := reload()

@@ -111,7 +111,30 @@ type Params struct {
 	// (transaction or minimum count mismatch) is an error.  Grid
 	// formulations only (CD, IDD, HD).
 	CheckpointDir string
+	// Recovery selects how survivors participate in crash recovery;
+	// empty defaults to RecoveryCoordinated.  See the RecoveryMode
+	// constants.
+	Recovery RecoveryMode
 }
+
+// RecoveryMode selects the rollback strategy after a rank crash.
+type RecoveryMode string
+
+const (
+	// RecoveryCoordinated is the classic global rollback: every survivor
+	// truncates to the last globally completed pass and re-charges a
+	// checkpoint restore (read the frequent levels back, touch every
+	// item).  Simple and always consistent, but the restore cost scales
+	// with P — every processor pays it for one rank's crash.
+	RecoveryCoordinated RecoveryMode = "coordinated"
+	// RecoveryAsymmetric rolls state back the same way — the passes are
+	// collective, so everyone re-enters at the same level — but only the
+	// crashed (or checkpoint-restored) ranks pay the restore charge:
+	// survivors still hold their frequent levels in memory and simply wait
+	// at the pass collectives while the replayers catch up.  Recovery cost
+	// drops from P restores to (number crashed) restores.
+	RecoveryAsymmetric RecoveryMode = "asymmetric"
+)
 
 func (p Params) withDefaults() Params {
 	if p.Machine.Name == "" {
@@ -128,6 +151,9 @@ func (p Params) withDefaults() Params {
 	}
 	if p.MaxRestarts <= 0 {
 		p.MaxRestarts = 8
+	}
+	if p.Recovery == "" {
+		p.Recovery = RecoveryCoordinated
 	}
 	return p
 }
@@ -157,6 +183,11 @@ func (p Params) validate() error {
 		default:
 			return fmt.Errorf("core: checkpoint persistence supports cd, idd and hd, not %q", p.Algo)
 		}
+	}
+	switch p.Recovery {
+	case "", RecoveryCoordinated, RecoveryAsymmetric:
+	default:
+		return fmt.Errorf("core: unknown recovery mode %q", p.Recovery)
 	}
 	return nil
 }

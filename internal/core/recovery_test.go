@@ -160,6 +160,57 @@ func TestFaultsRejectedForDD(t *testing.T) {
 	}
 }
 
+// TestAsymmetricRecoveryCheaper: under an identical crash plan, asymmetric
+// recovery must mine exactly what coordinated rollback mines while charging
+// strictly less recovery work — only the crashed rank replays its
+// checkpoint; the survivors keep their levels in memory and wait at the
+// pass barrier for free.
+func TestAsymmetricRecoveryCheaper(t *testing.T) {
+	d := testData(t)
+	want := serialResult(t, d, 0.02)
+	for _, algo := range []Algorithm{CD, IDD, HD} {
+		t.Run(string(algo), func(t *testing.T) {
+			mine := func(mode RecoveryMode) *Report {
+				t.Helper()
+				rep, err := Mine(d, Params{
+					Algo: algo,
+					P:    4,
+					// SP2's disk model prices the checkpoint restore; the
+					// default T3E buffers checkpoints in memory (free I/O),
+					// which would hide the saving this test measures.
+					Machine:  cluster.SP2(),
+					Apriori:  apriori.Params{MinSupport: 0.02},
+					Faults:   crashPlan(2, 10e-3),
+					Recovery: mode,
+				})
+				if err != nil {
+					t.Fatalf("%s under %s recovery: %v", algo, mode, err)
+				}
+				if rep.Restarts == 0 {
+					t.Fatalf("crash did not trigger a recovery")
+				}
+				return rep
+			}
+			coord := mine(RecoveryCoordinated)
+			asym := mine(RecoveryAsymmetric)
+			assertSameFrequent(t, want, coord)
+			assertSameFrequent(t, want, asym)
+			cr, ar := coord.Total.Phases["recovery"], asym.Total.Phases["recovery"]
+			if !(ar < cr) {
+				t.Errorf("asymmetric recovery time %v not below coordinated %v", ar, cr)
+			}
+			if !(asym.Total.IOTime < coord.Total.IOTime) {
+				t.Errorf("asymmetric IO %v not below coordinated %v", asym.Total.IOTime, coord.Total.IOTime)
+			}
+			// One transient crash, four ranks: the replayer's single restore
+			// should cost about a quarter of the coordinated bill.
+			if cr > 0 && ar > 0.5*cr {
+				t.Errorf("asymmetric recovery %v saved too little vs coordinated %v", ar, cr)
+			}
+		})
+	}
+}
+
 // TestRecoveryGivesUp: an unrecoverable plan (every rank permanently
 // crashing) must return an error rather than loop.
 func TestRecoveryGivesUp(t *testing.T) {

@@ -1,8 +1,10 @@
 package distserve
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"sync/atomic"
 
@@ -16,10 +18,34 @@ import (
 // client returns when a test (or the load generator) takes a node down.
 var ErrNodeDown = errors.New("distserve: node down")
 
+// TimeoutError reports a call that exceeded its deadline: the node may be
+// alive but slow, which is a different signal from a refused connection.
+// It still unwraps to ErrNodeDown so every existing "treat transport errors
+// as a missing answer" path keeps working; callers that care about the
+// distinction use errors.As.
+type TimeoutError struct {
+	Node   string        // node ID the call was addressed to
+	Budget time.Duration // deadline budget the call ran under (0 if unknown)
+	Err    error         // underlying context or transport error
+}
+
+func (e *TimeoutError) Error() string {
+	if e.Budget > 0 {
+		return fmt.Sprintf("distserve: %s timed out after %v: %v", e.Node, e.Budget, e.Err)
+	}
+	return fmt.Sprintf("distserve: %s timed out: %v", e.Node, e.Err)
+}
+
+// Unwrap makes the timeout match both its cause and errors.Is(err,
+// ErrNodeDown), keeping timeouts inside the router's failure handling.
+func (e *TimeoutError) Unwrap() []error { return []error{e.Err, ErrNodeDown} }
+
 // Client is the router's transport to one node.  Two implementations exist:
 // LocalClient drives an in-process Node directly (tests, experiments, and
 // single-binary deployments), and HTTPClient speaks to a ruleserver -node
-// process.  All methods must be safe for concurrent use.
+// process.  All methods must be safe for concurrent use and must honor the
+// context's deadline and cancellation — the router budgets every fan-out
+// leg and abandons legs it no longer needs.
 type Client interface {
 	// ID returns the node's identity — the string placement hashes on.
 	// For HTTP nodes it is the base URL, so a fixed node list always
@@ -27,21 +53,23 @@ type Client interface {
 	ID() string
 	// Recommend runs a basket query on the node, returning the node's
 	// top-K and the cluster generation it served from.
-	Recommend(basket itemset.Itemset, k int) ([]rules.Rule, uint64, error)
+	Recommend(ctx context.Context, basket itemset.Itemset, k int) ([]rules.Rule, uint64, error)
 	// Prepare stages a publish generation on the node.
-	Prepare(req PrepareRequest) error
+	Prepare(ctx context.Context, req PrepareRequest) error
 	// Commit cuts the node over to a staged generation.
-	Commit(gen uint64) error
-	// Metrics fetches the node's serving metrics.
-	Metrics() (serve.Metrics, error)
+	Commit(ctx context.Context, gen uint64) error
+	// Metrics fetches the node's serving metrics.  It doubles as the
+	// failure detector's probe.
+	Metrics(ctx context.Context) (serve.Metrics, error)
 }
 
 // LocalClient is the in-process transport: direct calls into a Node, plus a
-// kill switch so tests and the load generator can exercise the router's
-// degraded paths deterministically.
+// kill switch and a delay injector so tests and the load generator can
+// exercise the router's degraded and straggler paths deterministically.
 type LocalClient struct {
-	node *Node
-	down atomic.Bool
+	node  *Node
+	down  atomic.Bool
+	delay atomic.Int64 // nanoseconds added before every call
 }
 
 // NewLocalClient wraps a node in the Client interface.
@@ -53,40 +81,77 @@ func NewLocalClient(n *Node) *LocalClient { return &LocalClient{node: n} }
 // that was partitioned away and came back.
 func (c *LocalClient) SetDown(down bool) { c.down.Store(down) }
 
+// SetDelay makes every subsequent call stall for d before executing — the
+// in-process stand-in for a straggling node.  If the context's deadline
+// expires during the stall, the call fails with a *TimeoutError, exactly
+// like a slow HTTP node would.  Zero restores normal speed.
+func (c *LocalClient) SetDelay(d time.Duration) { c.delay.Store(int64(d)) }
+
 // Node returns the wrapped node.
 func (c *LocalClient) Node() *Node { return c.node }
 
 // ID implements Client.
 func (c *LocalClient) ID() string { return c.node.ID() }
 
-// Recommend implements Client.
-func (c *LocalClient) Recommend(basket itemset.Itemset, k int) ([]rules.Rule, uint64, error) {
+// gate applies the down switch and the injected delay; it returns the first
+// error the call must fail with, or nil to proceed.
+func (c *LocalClient) gate(ctx context.Context) error {
 	if c.down.Load() {
-		return nil, 0, fmt.Errorf("%w: %s", ErrNodeDown, c.node.ID())
+		return fmt.Errorf("%w: %s", ErrNodeDown, c.node.ID())
+	}
+	if d := time.Duration(c.delay.Load()); d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select { //checkinv:allow rawchan injected straggler delay races the caller's deadline, real-clock by design
+		case <-t.C: //checkinv:allow rawchan the injected delay elapsing
+		case <-ctx.Done(): //checkinv:allow rawchan the caller's deadline winning the race
+			budget := time.Duration(0)
+			if dl, ok := ctx.Deadline(); ok {
+				budget = time.Until(dl) + d // approximate: the stall consumed the budget
+				if budget < 0 {
+					budget = 0
+				}
+			}
+			return &TimeoutError{Node: c.node.ID(), Budget: budget, Err: ctx.Err()}
+		}
+		if c.down.Load() {
+			return fmt.Errorf("%w: %s", ErrNodeDown, c.node.ID())
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return &TimeoutError{Node: c.node.ID(), Err: err}
+	}
+	return nil
+}
+
+// Recommend implements Client.
+func (c *LocalClient) Recommend(ctx context.Context, basket itemset.Itemset, k int) ([]rules.Rule, uint64, error) {
+	if err := c.gate(ctx); err != nil {
+		return nil, 0, err
 	}
 	return c.node.Recommend(basket, k)
 }
 
 // Prepare implements Client.
-func (c *LocalClient) Prepare(req PrepareRequest) error {
-	if c.down.Load() {
-		return fmt.Errorf("%w: %s", ErrNodeDown, c.node.ID())
+func (c *LocalClient) Prepare(ctx context.Context, req PrepareRequest) error {
+	if err := c.gate(ctx); err != nil {
+		return err
 	}
 	return c.node.Prepare(req)
 }
 
 // Commit implements Client.
-func (c *LocalClient) Commit(gen uint64) error {
-	if c.down.Load() {
-		return fmt.Errorf("%w: %s", ErrNodeDown, c.node.ID())
+func (c *LocalClient) Commit(ctx context.Context, gen uint64) error {
+	if err := c.gate(ctx); err != nil {
+		return err
 	}
 	return c.node.Commit(gen)
 }
 
 // Metrics implements Client.
-func (c *LocalClient) Metrics() (serve.Metrics, error) {
-	if c.down.Load() {
-		return serve.Metrics{}, fmt.Errorf("%w: %s", ErrNodeDown, c.node.ID())
+func (c *LocalClient) Metrics(ctx context.Context) (serve.Metrics, error) {
+	if err := c.gate(ctx); err != nil {
+		return serve.Metrics{}, err
 	}
 	return c.node.Metrics(), nil
 }
@@ -128,8 +193,9 @@ func NewCluster(n int, opt Options) (*Cluster, error) {
 	return c, nil
 }
 
-// Close stops every node's worker pool.
+// Close stops every node's worker pool and the router's prober, if running.
 func (c *Cluster) Close() {
+	c.Router.StopProber()
 	for _, n := range c.Nodes {
 		n.Close()
 	}

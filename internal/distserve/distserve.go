@@ -53,10 +53,24 @@ package distserve
 
 import (
 	"sort"
+	"time"
 
 	"parapriori/internal/itemset"
 	"parapriori/internal/obsv"
 	"parapriori/internal/serve"
+)
+
+// Default knobs of the HA serving tier.
+const (
+	// DefaultRequestTimeout is the per-leg query deadline when
+	// Options.RequestTimeout is zero.
+	DefaultRequestTimeout = 2 * time.Second
+	// DefaultProbeInterval is the failure detector's base probe period when
+	// Options.ProbeInterval is zero.
+	DefaultProbeInterval = 500 * time.Millisecond
+	// DefaultFailThreshold is the consecutive-failure count that marks a
+	// node Down when Options.FailThreshold is zero.
+	DefaultFailThreshold = 3
 )
 
 // Options configures the distributed tier.  Router and in-process nodes are
@@ -68,16 +82,47 @@ type Options struct {
 	// (default 32).  More shards give finer placement granularity and
 	// smoother rebalancing at a little routing-table cost.
 	Shards int
-	// Seed seeds the item→shard hash and the rendezvous placement weights.
-	// Zero selects a fixed default, keeping placement reproducible run to
-	// run — the distributed analogue of serve.Options.HashSeed.
+	// Replicas is R, the number of nodes each shard is placed on (default
+	// 1).  With R > 1 every shard lives on the top R nodes of its
+	// rendezvous candidate list, so losing any single node leaves every
+	// shard served — Partial results become the all-replicas-down floor
+	// instead of the single-node-loss norm.  Clamped to the member count.
+	Replicas int
+	// Seed seeds the item→shard hash, the rendezvous placement weights and
+	// the router's replica-selection sequence.  Zero selects a fixed
+	// default, keeping placement reproducible run to run — the distributed
+	// analogue of serve.Options.HashSeed.
 	Seed uint64
+	// RequestTimeout is the per-call deadline the router applies to every
+	// fan-out leg, and the default budget HTTPClient applies to calls whose
+	// context carries no deadline (default DefaultRequestTimeout).  A leg
+	// that misses its deadline fails with a *TimeoutError and the router
+	// retries the next live replica.
+	RequestTimeout time.Duration
+	// HedgeDelay controls straggler hedging: after this long with fan-out
+	// legs still outstanding, the router re-issues the slowest legs'
+	// shards to alternate replicas and takes whichever answer lands first.
+	// Zero derives the delay from the router's observed p99 latency;
+	// negative disables hedging.
+	HedgeDelay time.Duration
+	// ProbeInterval is the failure detector's base period for background
+	// probes of non-Up nodes (default DefaultProbeInterval).  Probes back
+	// off exponentially per node while it stays down; the query path never
+	// waits on a probe.
+	ProbeInterval time.Duration
+	// FailThreshold is the number of consecutive failed calls after which
+	// a Suspect node is marked Down and dropped from replica selection
+	// (default DefaultFailThreshold).  A single failure marks it Suspect;
+	// any success restores Up.
+	FailThreshold int
 	// Node is the per-node serving configuration (query cache, worker
 	// pool, MaxK).  The router clamps K with the same defaults, so
 	// router-side and node-side query semantics match exactly.
 	Node serve.Options
 	// Recorder, when non-nil, receives the router's real-time spans: one
-	// request span plus per-node fan-out spans for each Recommend, and
+	// request span plus per-node fan-out spans for each Recommend (legs
+	// share a "link" attribute with their request so a trace shows which
+	// replica leg — primary, retry or hedge — produced the answer), and
 	// prepare/commit spans for each publish.  Node-side request spans are
 	// configured separately through Node.Recorder.
 	Recorder obsv.Recorder
@@ -88,8 +133,20 @@ func (o Options) WithDefaults() Options {
 	if o.Shards <= 0 {
 		o.Shards = 32
 	}
+	if o.Replicas <= 0 {
+		o.Replicas = 1
+	}
 	if o.Seed == 0 {
 		o.Seed = 0xd157a1b2c3d4e5f6
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = DefaultRequestTimeout
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = DefaultProbeInterval
+	}
+	if o.FailThreshold <= 0 {
+		o.FailThreshold = DefaultFailThreshold
 	}
 	o.Node = o.Node.WithDefaults()
 	return o
@@ -120,21 +177,54 @@ func (o Options) shardOfKey(key string) int {
 // weights) break toward the lexicographically smallest ID.  Panics if
 // nodeIDs is empty; returns one owner per shard.
 func Place(seed uint64, shards int, nodeIDs []string) []string {
+	reps := PlaceReplicas(seed, shards, 1, nodeIDs)
+	owners := make([]string, shards)
+	for s := range owners {
+		owners[s] = reps[s][0]
+	}
+	return owners
+}
+
+// PlaceReplicas assigns every shard its top-R owners: the r nodes with the
+// highest rendezvous weights for that shard, in descending weight order
+// (element 0 is the primary — the node Place would return).  Like Place it
+// is a pure deterministic function of (seed, shards, r, node IDs), so every
+// router computes the same replica sets without coordination, and a
+// membership change moves only the shards whose top-R prefix changed.  r is
+// clamped to the node count; panics if nodeIDs is empty.
+func PlaceReplicas(seed uint64, shards, r int, nodeIDs []string) [][]string {
 	if len(nodeIDs) == 0 {
-		panic("distserve: Place with no nodes")
+		panic("distserve: PlaceReplicas with no nodes")
 	}
 	ids := append([]string(nil), nodeIDs...)
 	sort.Strings(ids)
-	owners := make([]string, shards)
+	if r < 1 {
+		r = 1
+	}
+	if r > len(ids) {
+		r = len(ids)
+	}
+	owners := make([][]string, shards)
+	w := make([]uint64, len(ids))
 	for s := range owners {
-		best := ids[0]
-		bestW := placeWeight(seed, s, ids[0])
-		for _, id := range ids[1:] {
-			if w := placeWeight(seed, s, id); w > bestW {
-				best, bestW = id, w
-			}
+		for i, id := range ids {
+			w[i] = placeWeight(seed, s, id)
 		}
-		owners[s] = best
+		// Partial selection sort of the top r by (weight desc, id asc) —
+		// ids is sorted, so equal weights break toward the smaller ID.
+		top := make([]string, r)
+		used := make([]bool, len(ids))
+		for k := 0; k < r; k++ {
+			best := -1
+			for i := range ids {
+				if !used[i] && (best < 0 || w[i] > w[best]) {
+					best = i
+				}
+			}
+			used[best] = true
+			top[k] = ids[best]
+		}
+		owners[s] = top
 	}
 	return owners
 }

@@ -2,9 +2,12 @@ package distserve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -216,61 +219,98 @@ func NodeHandler(n *Node) http.Handler {
 
 // HTTPClient speaks the node protocol to a ruleserver -node process.  Its ID
 // is the node's base URL, so a fixed node list gives the same rendezvous
-// placement on every router start.
+// placement on every router start.  Every call runs under its context's
+// deadline; calls whose context carries none get the client's default
+// budget.  Deadline misses surface as *TimeoutError (the node may be alive
+// but slow), other transport failures as ErrNodeDown.
 type HTTPClient struct {
-	base string
-	hc   *http.Client
+	base   string
+	budget time.Duration
+	hc     *http.Client
 }
 
 // NewHTTPClient builds a client for a node at baseURL (e.g.
 // "http://host:9001"; a missing scheme defaults to http, a trailing slash is
-// trimmed).
+// trimmed) with the default call budget (DefaultRequestTimeout).
 func NewHTTPClient(baseURL string) *HTTPClient {
+	return NewHTTPClientBudget(baseURL, DefaultRequestTimeout)
+}
+
+// NewHTTPClientBudget is NewHTTPClient with an explicit default budget for
+// calls whose context carries no deadline (<= 0 means no default — such
+// calls then run unbounded).  The router always supplies per-call
+// deadlines from Options.RequestTimeout; the budget is the floor for
+// direct users of the client.
+func NewHTTPClientBudget(baseURL string, budget time.Duration) *HTTPClient {
 	base := strings.TrimRight(baseURL, "/")
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
-	return &HTTPClient{base: base, hc: &http.Client{Timeout: 30 * time.Second}}
+	return &HTTPClient{base: base, budget: budget, hc: &http.Client{}}
 }
 
 // ID implements Client.
 func (c *HTTPClient) ID() string { return c.base }
 
-func (c *HTTPClient) get(path string, out any) error {
-	resp, err := c.hc.Get(c.base + path)
-	if err != nil {
-		return fmt.Errorf("%w: %v", ErrNodeDown, err)
+// withBudget applies the default budget to contexts without a deadline.
+func (c *HTTPClient) withBudget(ctx context.Context) (context.Context, context.CancelFunc, time.Duration) {
+	if dl, ok := ctx.Deadline(); ok {
+		return ctx, func() {}, time.Until(dl)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("distserve: %s%s: HTTP %d: %s", c.base, path, resp.StatusCode, strings.TrimSpace(string(body)))
+	if c.budget <= 0 {
+		return ctx, func() {}, 0
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	ctx, cancel := context.WithTimeout(ctx, c.budget)
+	return ctx, cancel, c.budget
 }
 
-func (c *HTTPClient) post(path string, in, out any) error {
-	payload, err := json.Marshal(in)
+// classify turns a transport error into the router's failure taxonomy.
+func (c *HTTPClient) classify(err error, budget time.Duration) error {
+	var ne net.Error
+	if errors.Is(err, context.DeadlineExceeded) || (errors.As(err, &ne) && ne.Timeout()) {
+		return &TimeoutError{Node: c.base, Budget: budget, Err: err}
+	}
+	return fmt.Errorf("%w: %v", ErrNodeDown, err)
+}
+
+func (c *HTTPClient) do(ctx context.Context, method, path string, in, out any) error {
+	ctx, cancel, budget := c.withBudget(ctx)
+	defer cancel()
+	var body io.Reader
+	if in != nil {
+		payload, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
 		return err
 	}
-	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(payload))
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
 	if err != nil {
-		return fmt.Errorf("%w: %v", ErrNodeDown, err)
+		return c.classify(err, budget)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("distserve: %s%s: HTTP %d: %s", c.base, path, resp.StatusCode, strings.TrimSpace(string(body)))
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("distserve: %s%s: HTTP %d: %s", c.base, path, resp.StatusCode, strings.TrimSpace(string(b)))
 	}
 	if out == nil {
 		return nil
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return c.classify(err, budget) // a deadline can also fire mid-body
+	}
+	return nil
 }
 
 // Recommend implements Client via the node's GET /recommend.
-func (c *HTTPClient) Recommend(basket itemset.Itemset, k int) ([]rules.Rule, uint64, error) {
+func (c *HTTPClient) Recommend(ctx context.Context, basket itemset.Itemset, k int) ([]rules.Rule, uint64, error) {
 	items := make([]string, len(basket))
 	for i, it := range basket {
 		items[i] = strconv.Itoa(int(it))
@@ -280,26 +320,26 @@ func (c *HTTPClient) Recommend(basket itemset.Itemset, k int) ([]rules.Rule, uin
 		Rules      []ruleWire `json:"rules"`
 	}
 	path := "/recommend?items=" + url.QueryEscape(strings.Join(items, ",")) + "&k=" + strconv.Itoa(k)
-	if err := c.get(path, &resp); err != nil {
+	if err := c.do(ctx, http.MethodGet, path, nil, &resp); err != nil {
 		return nil, 0, err
 	}
 	return fromWireRules(resp.Rules), resp.Generation, nil
 }
 
 // Prepare implements Client via POST /shard/prepare.
-func (c *HTTPClient) Prepare(req PrepareRequest) error {
-	return c.post("/shard/prepare", toPrepareWire(req), nil)
+func (c *HTTPClient) Prepare(ctx context.Context, req PrepareRequest) error {
+	return c.do(ctx, http.MethodPost, "/shard/prepare", toPrepareWire(req), nil)
 }
 
 // Commit implements Client via POST /shard/commit.
-func (c *HTTPClient) Commit(gen uint64) error {
-	return c.post("/shard/commit", map[string]uint64{"generation": gen}, nil)
+func (c *HTTPClient) Commit(ctx context.Context, gen uint64) error {
+	return c.do(ctx, http.MethodPost, "/shard/commit", map[string]uint64{"generation": gen}, nil)
 }
 
 // Metrics implements Client via GET /metrics.
-func (c *HTTPClient) Metrics() (serve.Metrics, error) {
+func (c *HTTPClient) Metrics(ctx context.Context) (serve.Metrics, error) {
 	var m serve.Metrics
-	err := c.get("/metrics", &m)
+	err := c.do(ctx, http.MethodGet, "/metrics", nil, &m)
 	return m, err
 }
 
@@ -348,6 +388,8 @@ func (r *Router) Handler(reload func() ([]rules.Rule, error)) http.Handler {
 			Partial      bool           `json:"partial,omitempty"`
 			MissedShards []int          `json:"missed_shards,omitempty"`
 			NodesQueried int            `json:"nodes_queried"`
+			Retries      int            `json:"retries,omitempty"`
+			Hedges       int            `json:"hedges,omitempty"`
 		}{
 			Generation:   res.Generation,
 			Basket:       itemset.New(basket...),
@@ -356,6 +398,8 @@ func (r *Router) Handler(reload func() ([]rules.Rule, error)) http.Handler {
 			Partial:      res.Partial,
 			MissedShards: res.MissedShards,
 			NodesQueried: res.NodesQueried,
+			Retries:      res.Retries,
+			Hedges:       res.Hedges,
 		})
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
@@ -372,11 +416,16 @@ func (r *Router) Handler(reload func() ([]rules.Rule, error)) http.Handler {
 		case m.NodesUp < m.NumNodes:
 			status = "degraded"
 		}
+		health := make(map[string]string)
+		for id, st := range r.Health() {
+			health[id] = st.String()
+		}
 		writeJSON(w, code, map[string]any{
 			"status":     status,
 			"generation": m.Generation,
 			"nodes_up":   m.NodesUp,
 			"num_nodes":  m.NumNodes,
+			"health":     health,
 		})
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
@@ -400,8 +449,15 @@ func (r *Router) Handler(reload func() ([]rules.Rule, error)) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, map[string]any{
 			"shards":    r.opt.Shards,
+			"replicas":  r.opt.Replicas,
 			"nodes":     r.NodeIDs(),
 			"placement": r.Placement(),
+			"replica_sets": func() [][]string {
+				if r.opt.Replicas > 1 {
+					return r.Replicas()
+				}
+				return nil
+			}(),
 		})
 	})
 	mux.HandleFunc("/reload", func(w http.ResponseWriter, req *http.Request) {

@@ -1,6 +1,7 @@
 package distserve
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -9,11 +10,12 @@ import (
 )
 
 // NodeMetrics is one node's view in the fleet report: identity, liveness,
-// the shards placement assigns it, and its full single-node serving metrics
-// (zero-valued when the node is down).
+// the failure detector's state, the shards placement assigns it, and its
+// full single-node serving metrics (zero-valued when the node is down).
 type NodeMetrics struct {
 	ID     string        `json:"id"`
 	Up     bool          `json:"up"`
+	Health string        `json:"health"`
 	Shards []int         `json:"shards"`
 	Serve  serve.Metrics `json:"serve"`
 }
@@ -28,13 +30,27 @@ type FleetMetrics struct {
 	P99LatencyMicros float64 `json:"p99_latency_micros"`
 	// PartialResults counts queries answered with one or more owners down.
 	PartialResults int64 `json:"partial_results"`
-	// FanoutPerQuery is the mean number of nodes consulted per query — the
-	// scatter width the first-item sharding buys down from N.
+	// FanoutPerQuery is the mean number of legs sent per query — the
+	// scatter width the first-item sharding buys down from N, plus any
+	// retry and hedge legs.
 	FanoutPerQuery float64 `json:"fanout_per_query"`
-	Generation     uint64  `json:"generation"`
-	NumNodes       int     `json:"num_nodes"`
-	NodesUp        int     `json:"nodes_up"`
-	Shards         int     `json:"shards"`
+	// Retries, Hedges and Timeouts count the HA machinery's work: legs
+	// re-issued after a failure, legs raced against stragglers, and calls
+	// that exceeded the request deadline.  Probes counts failure-detector
+	// probes (background and ProbeOnce).
+	Retries  int64 `json:"retries"`
+	Hedges   int64 `json:"hedges"`
+	Timeouts int64 `json:"timeouts"`
+	Probes   int64 `json:"probes"`
+	// Refreshes counts coherence re-queries: stale-generation answers
+	// re-fetched while a publish cut over mid-query.
+	Refreshes int64 `json:"refreshes"`
+	Generation uint64 `json:"generation"`
+	NumNodes   int    `json:"num_nodes"`
+	NodesUp    int    `json:"nodes_up"`
+	// Replicas is R — how many nodes each shard is placed on.
+	Replicas int `json:"replicas"`
+	Shards   int `json:"shards"`
 	// NumRules is the fleet-wide rule count summed over reachable nodes.
 	NumRules int           `json:"num_rules"`
 	Nodes    []NodeMetrics `json:"nodes"`
@@ -47,22 +63,27 @@ func (r *Router) Metrics() FleetMetrics {
 	r.mu.RLock()
 	ids := append([]string(nil), r.ids...)
 	clients := make(map[string]Client, len(r.clients))
+	health := make(map[string]*nodeHealth, len(r.health))
 	for id, c := range r.clients {
 		clients[id] = c
+		health[id] = r.health[id]
 	}
-	placement := append([]string(nil), r.placement...)
+	replicas := r.replicas
 	gen := r.gen
 	r.mu.RUnlock()
 
 	shardsByNode := make(map[string][]int, len(ids))
-	for s, id := range placement {
-		shardsByNode[id] = append(shardsByNode[id], s)
+	for s, reps := range replicas {
+		for _, id := range reps {
+			shardsByNode[id] = append(shardsByNode[id], s)
+		}
 	}
 
 	fm := FleetMetrics{
 		Generation: gen,
 		NumNodes:   len(ids),
-		Shards:     len(placement),
+		Replicas:   r.opt.Replicas,
+		Shards:     len(replicas),
 	}
 	fm.UptimeSeconds = time.Since(r.met.start).Seconds()
 	fm.Queries = r.met.queries.Load()
@@ -72,21 +93,38 @@ func (r *Router) Metrics() FleetMetrics {
 	fm.P50LatencyMicros = r.met.latency.Percentile(0.50)
 	fm.P99LatencyMicros = r.met.latency.Percentile(0.99)
 	fm.PartialResults = r.met.partials.Load()
+	fm.Retries = r.met.retries.Load()
+	fm.Hedges = r.met.hedges.Load()
+	fm.Timeouts = r.met.timeouts.Load()
+	fm.Probes = r.met.probes.Load()
+	fm.Refreshes = r.met.refreshes.Load()
 	if fm.Queries > 0 {
 		fm.FanoutPerQuery = float64(r.met.fanout.Load()) / float64(fm.Queries)
 	}
 
+	ctx, cancel := context.WithTimeout(context.Background(), r.opt.RequestTimeout)
+	defer cancel()
 	for _, id := range ids {
 		shards := shardsByNode[id]
 		sort.Ints(shards)
-		nm := NodeMetrics{ID: id, Shards: shards}
-		if m, err := clients[id].Metrics(); err == nil {
+		nm := NodeMetrics{ID: id, Shards: shards, Health: health[id].State().String()}
+		if m, err := clients[id].Metrics(ctx); err == nil {
 			nm.Up = true
 			nm.Serve = m
 			fm.NodesUp++
 			fm.NumRules += m.NumRules
 		}
 		fm.Nodes = append(fm.Nodes, nm)
+	}
+	// NumRules double-counts replicated shards' rules when R > 1; report
+	// the fleet-unique count by scaling down only when every node answered
+	// (a partial poll can't distinguish which copies it saw).
+	effR := fm.Replicas
+	if effR > fm.NumNodes {
+		effR = fm.NumNodes
+	}
+	if effR > 1 && fm.NodesUp == fm.NumNodes {
+		fm.NumRules /= effR
 	}
 	return fm
 }
@@ -101,7 +139,13 @@ func (r *Router) WriteProm(w *obsv.PromWriter) {
 	w.Gauge("parapriori_router_uptime_seconds", "Seconds since the router started.", m.UptimeSeconds)
 	w.Counter("parapriori_router_queries_total", "Distributed basket queries routed.", float64(m.Queries))
 	w.Counter("parapriori_router_partial_results_total", "Queries answered with one or more owners down.", float64(m.PartialResults))
-	w.Counter("parapriori_router_fanout_total", "Node consultations summed over all queries.", float64(r.met.fanout.Load()))
+	w.Counter("parapriori_router_fanout_total", "Fan-out legs summed over all queries.", float64(r.met.fanout.Load()))
+	w.Counter("parapriori_router_retries_total", "Legs re-issued after a failed leg.", float64(m.Retries))
+	w.Counter("parapriori_router_hedges_total", "Hedge legs raced against stragglers.", float64(m.Hedges))
+	w.Counter("parapriori_router_timeouts_total", "Calls that exceeded the request deadline.", float64(m.Timeouts))
+	w.Counter("parapriori_router_probes_total", "Failure-detector probes issued.", float64(m.Probes))
+	w.Counter("parapriori_router_refreshes_total", "Coherence re-queries of stale-generation answers.", float64(m.Refreshes))
+	w.Gauge("parapriori_replicas", "Replicas per shard (R).", float64(m.Replicas))
 	w.Gauge("parapriori_cluster_generation", "Current cluster publish generation.", float64(m.Generation))
 	w.Gauge("parapriori_nodes", "Member nodes.", float64(m.NumNodes))
 	w.Gauge("parapriori_nodes_up", "Member nodes that answered the metrics poll.", float64(m.NodesUp))
@@ -116,6 +160,7 @@ func (r *Router) WriteProm(w *obsv.PromWriter) {
 			up = 1
 		}
 		w.Gauge("parapriori_node_up", "Whether the node answered the metrics poll.", up, node)
+		w.Gauge("parapriori_node_health", "Failure-detector state: 0 up, 1 suspect, 2 down.", healthCode(n.Health), node)
 		w.Gauge("parapriori_node_shards", "Shards placement assigns the node.", float64(len(n.Shards)), node)
 		if !n.Up {
 			continue
@@ -128,4 +173,15 @@ func (r *Router) WriteProm(w *obsv.PromWriter) {
 		w.Gauge("parapriori_node_p50_latency_micros", "Node p50 query latency in microseconds.", n.Serve.P50LatencyMicros, node)
 		w.Gauge("parapriori_node_p99_latency_micros", "Node p99 query latency in microseconds.", n.Serve.P99LatencyMicros, node)
 	}
+}
+
+// healthCode maps a HealthState string back to its numeric gauge value.
+func healthCode(s string) float64 {
+	switch s {
+	case "suspect":
+		return 1
+	case "down":
+		return 2
+	}
+	return 0
 }

@@ -115,8 +115,10 @@ func (n *Node) Close() { n.srv.Close() }
 // reports the cluster generation it served from.  It is exactly the node's
 // serve.Server.Recommend — cache, worker pool, metrics and all.
 func (n *Node) Recommend(basket []itemset.Item, k int) ([]rules.Rule, uint64, error) {
-	out, err := n.srv.Recommend(basket, k)
-	return out, n.gen.Load(), err
+	// The generation comes from the served snapshot itself, not n.gen: a
+	// commit racing this query must never relabel old content with the new
+	// generation (the router's coherence refresh trusts this label).
+	return n.srv.RecommendGen(basket, k)
 }
 
 // Prepare stages the next generation: it applies the delta to a copy of the

@@ -2,6 +2,8 @@ package distserve
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -16,10 +18,12 @@ import (
 
 // Router is the query and control plane of the distributed tier.  It owns
 // shard placement and the authoritative rule-group state, publishes
-// generations to the nodes with a two-phase delta protocol, and
-// scatter-gathers basket queries across exactly the nodes whose shards the
-// basket can touch.  All methods are safe for concurrent use; queries never
-// block behind publishes.
+// generations to all R owners of every shard with a two-phase delta
+// protocol, and scatter-gathers basket queries across a replica of each
+// shard the basket can touch — retrying, hedging and failing over between
+// replicas so node loss stays invisible to queries while any replica of
+// every touched shard survives.  All methods are safe for concurrent use;
+// queries never block behind publishes.
 type Router struct {
 	opt Options
 
@@ -29,15 +33,23 @@ type Router struct {
 
 	// mu guards the routing state: membership, placement, the published
 	// group set and per-node bookkeeping.  Queries hold it only for the
-	// short read of placement + clients.
+	// short read of placement + clients + health.
 	mu        sync.RWMutex
 	clients   map[string]Client
-	ids       []string // sorted node IDs
-	placement []string // shard → node ID
+	ids       []string                // sorted node IDs
+	placement []string                // shard → primary node ID (replicas[s][0])
+	replicas  [][]string              // shard → top-R node IDs in HRW order
+	health    map[string]*nodeHealth  // failure-detector state per member
 	groups    []serve.RuleGroup
 	canon     map[string][]byte
 	held      map[string]map[int]bool // nil entry: node state untrusted, resend fully
 	gen       uint64
+
+	probeStop chan struct{} // non-nil while the background prober runs
+	probeDone chan struct{}
+
+	pickSeq atomic.Uint64 // seeded choice-of-two sequence
+	reqID   atomic.Uint64 // per-request span-link counter
 
 	met routerMetrics
 	rc  *obsv.RealClock // nil unless Options.Recorder is set
@@ -49,12 +61,18 @@ type routerMetrics struct {
 	queries  atomic.Int64
 	partials atomic.Int64
 	fanout   atomic.Int64
-	latency  serve.Hist
+	retries   atomic.Int64
+	hedges    atomic.Int64
+	timeouts  atomic.Int64
+	probes    atomic.Int64
+	refreshes atomic.Int64
+	latency   serve.Hist
 }
 
 // NewRouter builds a router over the given node clients.  Placement is
 // computed immediately; queries fail with serve.ErrNoSnapshot until the
-// first Publish.
+// first Publish.  With Options.Replicas > 1 call StartProber to run the
+// background failure detector (tests drive ProbeOnce instead).
 func NewRouter(clients []Client, opt Options) (*Router, error) {
 	if len(clients) == 0 {
 		return nil, fmt.Errorf("distserve: router needs at least one node")
@@ -63,6 +81,7 @@ func NewRouter(clients []Client, opt Options) (*Router, error) {
 	r := &Router{
 		opt:     opt,
 		clients: make(map[string]Client, len(clients)),
+		health:  make(map[string]*nodeHealth, len(clients)),
 		held:    make(map[string]map[int]bool, len(clients)),
 		rc:      obsv.NewRealClock(opt.Recorder),
 	}
@@ -74,11 +93,22 @@ func NewRouter(clients []Client, opt Options) (*Router, error) {
 			return nil, fmt.Errorf("distserve: duplicate node ID %q", id)
 		}
 		r.clients[id] = c
+		r.health[id] = &nodeHealth{}
 		r.ids = append(r.ids, id)
 	}
 	sort.Strings(r.ids)
-	r.placement = Place(opt.Seed, opt.Shards, r.ids)
+	r.place()
 	return r, nil
+}
+
+// place recomputes the replica sets and the primary view from the current
+// membership.  Caller holds mu (or is the constructor).
+func (r *Router) place() {
+	r.replicas = PlaceReplicas(r.opt.Seed, r.opt.Shards, r.opt.Replicas, r.ids)
+	r.placement = make([]string, len(r.replicas))
+	for s, reps := range r.replicas {
+		r.placement[s] = reps[0]
+	}
 }
 
 // Options returns the router's defaulted options.
@@ -92,11 +122,24 @@ func (r *Router) Generation() uint64 {
 	return r.gen
 }
 
-// Placement returns a copy of the shard → node-ID assignment.
+// Placement returns a copy of the shard → primary-node assignment (each
+// shard's top rendezvous candidate; the full replica sets are Replicas).
 func (r *Router) Placement() []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return append([]string(nil), r.placement...)
+}
+
+// Replicas returns a copy of the shard → replica-set assignment, each
+// shard's top-R nodes in descending rendezvous-weight order.
+func (r *Router) Replicas() [][]string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([][]string, len(r.replicas))
+	for s, reps := range r.replicas {
+		out[s] = append([]string(nil), reps...)
+	}
+	return out
 }
 
 // NodeIDs returns the member node IDs, sorted.
@@ -149,7 +192,7 @@ func (r *Router) publish(next []serve.RuleGroup, full bool) (PublishStats, error
 	for id, c := range r.clients {
 		clients[id] = c
 	}
-	placement := r.placement
+	replicas := r.replicas
 	prevCanon := r.canon
 	prevKeys := make([]string, 0, len(prevCanon))
 	for k := range prevCanon {
@@ -175,10 +218,14 @@ func (r *Router) publish(next []serve.RuleGroup, full bool) (PublishStats, error
 	}
 	next = kept
 
-	// Shards owned by each node under the current placement.
+	// Shards owned by each node under the current placement: every node in
+	// a shard's replica set owns it, so publishes fan the shard's groups to
+	// all R owners.
 	owned := make(map[string][]int, len(ids))
-	for s, id := range placement {
-		owned[id] = append(owned[id], s)
+	for s, reps := range replicas {
+		for _, id := range reps {
+			owned[id] = append(owned[id], s)
+		}
 	}
 
 	// Assemble one PrepareRequest per node.
@@ -228,7 +275,11 @@ func (r *Router) publish(next []serve.RuleGroup, full bool) (PublishStats, error
 
 	// Phase 1: stage everywhere.  Any failure aborts with the previous
 	// generation still serving on every node — staged state is simply
-	// superseded by the next publish's higher generation.
+	// superseded by the next publish's higher generation.  The control
+	// plane runs under a budget far above the query deadline: prepares
+	// ship real payloads and build indexes.
+	pubCtx, pubCancel := context.WithTimeout(context.Background(), 15*r.opt.RequestTimeout)
+	defer pubCancel()
 	prepStart := r.rc.Now()
 	prepErrs := make([]error, len(ids))
 	var wg sync.WaitGroup
@@ -237,7 +288,7 @@ func (r *Router) publish(next []serve.RuleGroup, full bool) (PublishStats, error
 		wg.Add(1)
 		go func() { //checkinv:allow rawchan — real-OS publish fan-out, joined by WaitGroup below
 			defer wg.Done()
-			prepErrs[i] = c.Prepare(reqs[i])
+			prepErrs[i] = c.Prepare(pubCtx, reqs[i])
 		}()
 	}
 	wg.Wait()
@@ -263,7 +314,7 @@ func (r *Router) publish(next []serve.RuleGroup, full bool) (PublishStats, error
 		wg.Add(1)
 		go func() { //checkinv:allow rawchan — real-OS publish fan-out, joined by WaitGroup below
 			defer wg.Done()
-			commitErrs[i] = c.Commit(newGen)
+			commitErrs[i] = c.Commit(pubCtx, newGen)
 		}()
 	}
 	wg.Wait()
@@ -311,10 +362,11 @@ func (r *Router) AddNode(c Client) error {
 		return fmt.Errorf("distserve: node %q already a member", id)
 	}
 	r.clients[id] = c
+	r.health[id] = &nodeHealth{}
 	r.ids = append(r.ids, id)
 	sort.Strings(r.ids)
 	r.held[id] = nil
-	r.placement = Place(r.opt.Seed, r.opt.Shards, r.ids)
+	r.place()
 	live := r.gen > 0
 	groups := r.groups
 	r.mu.Unlock()
@@ -342,6 +394,7 @@ func (r *Router) RemoveNode(id string) error {
 		return fmt.Errorf("distserve: cannot remove the last node %q", id)
 	}
 	delete(r.clients, id)
+	delete(r.health, id)
 	delete(r.held, id)
 	ids := r.ids[:0]
 	for _, v := range r.ids {
@@ -350,7 +403,7 @@ func (r *Router) RemoveNode(id string) error {
 		}
 	}
 	r.ids = ids
-	r.placement = Place(r.opt.Seed, r.opt.Shards, r.ids)
+	r.place()
 	live := r.gen > 0
 	groups := r.groups
 	r.mu.Unlock()
@@ -371,26 +424,58 @@ type Result struct {
 	// cutting over mid-query).
 	Generation uint64 `json:"generation"`
 	Mixed      bool   `json:"mixed,omitempty"`
-	// Partial flags a degraded answer: one or more owners were
-	// unreachable and MissedShards lists the needed shards their rules
-	// would have come from.  The rules that did arrive are ranked exactly
-	// as if the missing ones never existed.
+	// Partial flags a degraded answer: one or more touched shards had no
+	// reachable replica and MissedShards lists them.  With R replicas this
+	// is the all-replicas-down floor.  The rules that did arrive are
+	// ranked exactly as if the missing ones never existed.
 	Partial      bool  `json:"partial,omitempty"`
 	MissedShards []int `json:"missed_shards,omitempty"`
-	// NodesQueried is the fan-out of this query — how many nodes owned a
-	// shard the basket could touch.
+	// NodesQueried is the fan-out of this query — how many distinct nodes
+	// were sent a leg (primaries, retries and hedges included).
 	NodesQueried int `json:"nodes_queried"`
+	// Retries and Hedges count the extra legs this query needed: retries
+	// replace failed legs, hedges race slow ones.
+	Retries int `json:"retries,omitempty"`
+	Hedges  int `json:"hedges,omitempty"`
+}
+
+// hedgeDelay resolves the straggler-hedging delay: the configured value,
+// or (when zero) the router's observed p99 latency clamped to a sane band
+// under the request deadline.  Returns < 0 when hedging is disabled.
+func (r *Router) hedgeDelay() time.Duration {
+	d := r.opt.HedgeDelay
+	if d < 0 {
+		return -1
+	}
+	if d == 0 {
+		d = time.Duration(r.met.latency.Percentile(0.99)) * time.Microsecond
+		if min := 500 * time.Microsecond; d < min {
+			d = min
+		}
+		if max := r.opt.RequestTimeout / 2; d > max {
+			d = max
+		}
+	}
+	return d
 }
 
 // Recommend answers a basket query: clamp K exactly as a single node would
-// (serve.DefaultK, Options.Node.MaxK), fan out to the nodes owning the
-// shards of the basket's items, and merge the per-node top-K lists under
-// the RankLess total order.  Before the first Publish it returns
-// serve.ErrNoSnapshot.
+// (serve.DefaultK, Options.Node.MaxK), fan one leg out per replica group
+// covering the shards of the basket's items, and merge the per-node top-K
+// lists under the RankLess total order.  Each leg runs under
+// Options.RequestTimeout; a failed leg is retried once against the next
+// untried replica of its shards, and after the hedge delay the slowest
+// outstanding legs' shards are re-issued to alternate replicas, first
+// answer wins.  A node's answer covers every touched shard it owns (its
+// local top-K is computed over all of them at once), so the merged result
+// is exact — bit-identical to a single-node server — whenever every
+// touched shard got at least one successful answer.  Before the first
+// Publish it returns serve.ErrNoSnapshot.
 func (r *Router) Recommend(basket []itemset.Item, k int) (*Result, error) {
 	start := time.Now()
 	spanStart := r.rc.Now()
-	fanout, partial := 0, false
+	link := fmt.Sprintf("q%d", r.reqID.Add(1))
+	legs, retries, hedges, partial := 0, 0, 0, false
 	defer func() {
 		r.met.queries.Add(1)
 		r.met.latency.Observe(time.Since(start))
@@ -399,9 +484,12 @@ func (r *Router) Recommend(basket []itemset.Item, k int) (*Result, error) {
 			p = 1
 		}
 		r.rc.Record("recommend", obsv.CatRequest, 0, spanStart,
+			obsv.String("link", link),
 			obsv.Int("basket", int64(len(basket))),
 			obsv.Int("k", int64(k)),
-			obsv.Int("fanout", int64(fanout)),
+			obsv.Int("fanout", int64(legs)),
+			obsv.Int("retries", int64(retries)),
+			obsv.Int("hedges", int64(hedges)),
 			obsv.Int("partial", p))
 	}()
 
@@ -418,10 +506,12 @@ func (r *Router) Recommend(basket []itemset.Item, k int) (*Result, error) {
 		r.mu.RUnlock()
 		return nil, serve.ErrNoSnapshot
 	}
-	placement := r.placement
+	replicas := r.replicas
 	clients := make(map[string]Client, len(r.clients))
+	health := make(map[string]*nodeHealth, len(r.health))
 	for id, c := range r.clients {
 		clients[id] = c
+		health[id] = r.health[id]
 	}
 	r.mu.RUnlock()
 
@@ -436,81 +526,328 @@ func (r *Router) Recommend(basket []itemset.Item, k int) (*Result, error) {
 	sort.Ints(shards)
 	shards = dedupInts(shards)
 
-	// Owners of those shards, in deterministic (sorted-ID) order.
-	shardsByNode := make(map[string][]int, len(shards))
-	for _, s := range shards {
-		id := placement[s]
-		shardsByNode[id] = append(shardsByNode[id], s)
-	}
-	nodeIDs := make([]string, 0, len(shardsByNode))
-	for id := range shardsByNode {
-		nodeIDs = append(nodeIDs, id)
-	}
-	sort.Strings(nodeIDs)
-
-	res := &Result{NodesQueried: len(nodeIDs)}
-	if len(nodeIDs) == 0 { // empty basket: nothing can match
+	res := &Result{}
+	if len(shards) == 0 { // empty basket: nothing can match
 		r.mu.RLock()
 		res.Generation = r.gen
 		r.mu.RUnlock()
 		return res, nil
 	}
-	r.met.fanout.Add(int64(len(nodeIDs)))
 
-	type answer struct {
+	// Per touched shard: the replica candidates still standing.  A shard
+	// whose replicas are all Down keeps its full list — the desperation
+	// floor is trying a Down node, not answering Partial untried.
+	liveOf := func(s int) []string {
+		var live []string
+		for _, id := range replicas[s] {
+			if health[id].State() != HealthDown {
+				live = append(live, id)
+			}
+		}
+		if len(live) == 0 {
+			return replicas[s]
+		}
+		return live
+	}
+
+	// Initial leg per shard group: shards with the same live candidate
+	// list form one group, and each group gets one choice-of-two pick —
+	// shards choosing the same node then share one leg (a node answers
+	// over all its owned shards at once).
+	pickByShard := make(map[int]string, len(shards))
+	pickByGroup := make(map[string]string)
+	for _, s := range shards {
+		live := liveOf(s)
+		key := ""
+		for _, id := range live {
+			key += id + ","
+		}
+		id, ok := pickByGroup[key]
+		if !ok {
+			id = r.pick2(live, health)
+			pickByGroup[key] = id
+		}
+		pickByShard[s] = id
+	}
+
+	// ownsTouched[id] = the touched shards node id holds a replica of —
+	// the coverage a successful answer from id provides.
+	ownsTouched := make(map[string][]int)
+	for _, s := range shards {
+		for _, id := range replicas[s] {
+			ownsTouched[id] = append(ownsTouched[id], s)
+		}
+	}
+
+	type legResult struct {
+		node  string
 		rules []rules.Rule
 		gen   uint64
 		err   error
 	}
-	fanout = len(nodeIDs)
-	answers := make([]answer, len(nodeIDs))
-	var wg sync.WaitGroup
-	for i, id := range nodeIDs {
-		i, id, c := i, id, clients[id]
-		wg.Add(1)
-		go func() { //checkinv:allow rawchan — real-OS scatter-gather fan-out, joined by WaitGroup below
-			defer wg.Done()
-			nodeStart := r.rc.Now()
-			rs, gen, err := c.Recommend(b, k)
-			answers[i] = answer{rules: rs, gen: gen, err: err}
+	// Buffered to the member count: every node receives at most one leg
+	// per query, so abandoned stragglers can always deposit their answer
+	// and exit without a receiver.
+	resCh := make(chan legResult, len(clients)) //checkinv:allow rawchan — scatter-gather legs on the real clock, drained or abandoned-buffered below
+
+	asked := make(map[string]bool)
+	assigned := make(map[string][]int) // node → shards its leg is responsible for
+	launch := func(id, attempt string) {
+		asked[id] = true
+		legs++
+		r.met.fanout.Add(1)
+		c, h, rank := clients[id], health[id], legs
+		h.outstanding.Add(1)
+		go func() { //checkinv:allow rawchan,goroleak — fan-out leg; result lands in the buffered channel above, which outlives abandoned legs
+			legStart := r.rc.Now()
+			ctx, cancel := context.WithTimeout(context.Background(), r.opt.RequestTimeout)
+			rs, gen, err := c.Recommend(ctx, b, k)
+			cancel()
+			h.outstanding.Add(-1)
 			ok := int64(1)
 			if err != nil {
 				ok = 0
+				h.observeFailure(r.opt.FailThreshold)
+				var te *TimeoutError
+				if errors.As(err, &te) {
+					r.met.timeouts.Add(1)
+				}
+			} else {
+				h.observeSuccess()
 			}
-			// One span per consulted node, on its own rank track (the
-			// router's own spans live on rank 0).
-			r.rc.Record("fanout", obsv.CatRequest, 1+i, nodeStart,
+			// One span per leg, on its own rank track (the router's own
+			// spans live on rank 0); the shared link attribute ties every
+			// leg — primary, retry or hedge — back to its request span.
+			r.rc.Record("fanout", obsv.CatRequest, rank, legStart,
+				obsv.String("link", link),
 				obsv.String("node", id),
-				obsv.Int("shards", int64(len(shardsByNode[id]))),
+				obsv.String("attempt", attempt),
 				obsv.Int("ok", ok))
+			resCh <- legResult{node: id, rules: rs, gen: gen, err: err} //checkinv:allow rawchan buffered for all possible legs, never blocks
 		}()
 	}
-	wg.Wait()
-
-	var matches []rules.Rule
-	first := true
-	for i, a := range answers {
-		if a.err != nil {
-			res.Partial = true
-			partial = true
-			res.MissedShards = append(res.MissedShards, shardsByNode[nodeIDs[i]]...)
-			continue
+	for _, s := range shards { // deterministic launch order: sorted shards
+		id := pickByShard[s]
+		fresh := !asked[id]
+		assigned[id] = append(assigned[id], s)
+		if fresh {
+			launch(id, "primary")
 		}
-		matches = append(matches, a.rules...)
+	}
+
+	covered := make(map[int]bool, len(shards))
+	allCovered := func() bool {
+		for _, s := range shards {
+			if !covered[s] {
+				return false
+			}
+		}
+		return true
+	}
+	// reissue sends the still-uncovered shards of shardList to untried
+	// replicas (live ones first, Down ones as a last resort only when
+	// lastResort is set) and returns how many new legs it launched.
+	reissue := func(shardList []int, attempt string, lastResort bool) int {
+		targets := make(map[string][]int)
+		for _, s := range shardList {
+			if covered[s] {
+				continue
+			}
+			var fallback string
+			picked := false
+			for _, id := range replicas[s] {
+				if _, already := targets[id]; already {
+					// Another uncovered shard is already bound for this
+					// replica; its answer will cover this shard too.
+					targets[id] = append(targets[id], s)
+					picked = true
+					break
+				}
+				if asked[id] {
+					continue
+				}
+				if health[id].State() == HealthDown {
+					if fallback == "" {
+						fallback = id
+					}
+					continue
+				}
+				targets[id] = append(targets[id], s)
+				picked = true
+				break
+			}
+			if !picked && lastResort && fallback != "" {
+				targets[fallback] = append(targets[fallback], s)
+			}
+		}
+		ids := make([]string, 0, len(targets))
+		for id := range targets {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			assigned[id] = append(assigned[id], targets[id]...)
+			launch(id, attempt)
+		}
+		return len(ids)
+	}
+
+	type answer struct {
+		node  string
+		rules []rules.Rule
+		gen   uint64
+	}
+	var answers []answer
+	pending := legs
+	var hedgeCh <-chan time.Time
+	if d := r.hedgeDelay(); d >= 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		hedgeCh = t.C
+	}
+	for pending > 0 && !allCovered() {
+		select { //checkinv:allow rawchan — gather loop over the leg channel and the hedge timer
+		case lr := <-resCh: //checkinv:allow rawchan one leg's answer arriving
+			pending--
+			if lr.err != nil {
+				// One retry for the failed leg's shards, against the next
+				// untried replica — Down nodes included once nothing
+				// else is left, so Partial is only ever declared after
+				// every replica was actually tried.
+				n := reissue(assigned[lr.node], "retry", true)
+				retries += n
+				r.met.retries.Add(int64(n))
+				pending += n
+				continue
+			}
+			answers = append(answers, answer{lr.node, lr.rules, lr.gen})
+			for _, s := range ownsTouched[lr.node] {
+				covered[s] = true
+			}
+		case <-hedgeCh: //checkinv:allow rawchan the hedge timer firing on the real clock
+			hedgeCh = nil // one-shot
+			n := reissue(shards, "hedge", false)
+			hedges += n
+			r.met.hedges.Add(int64(n))
+			pending += n
+		}
+	}
+
+	// Coherence refresh: when the answers straddle a publish cut-over
+	// (some nodes already at generation g+1, some still at g), re-query
+	// the stale nodes — the cut-over is a pointer swap, so by the time the
+	// skew is visible the laggard has almost always committed.  Bounded to
+	// a small window; a node that stays stale (a partially failed publish)
+	// leaves the answer Mixed exactly as before.
+	if len(answers) > 1 {
+		coherenceBy := time.Now().Add(minDur(20*time.Millisecond, r.opt.RequestTimeout/4))
+		for {
+			maxGen := uint64(0)
+			for _, a := range answers {
+				if a.gen > maxGen {
+					maxGen = a.gen
+				}
+			}
+			var stale []int
+			for i, a := range answers {
+				if a.gen < maxGen {
+					stale = append(stale, i)
+				}
+			}
+			if len(stale) == 0 || !time.Now().Before(coherenceBy) {
+				break
+			}
+			improved := false
+			for _, i := range stale {
+				id := answers[i].node
+				legs++
+				r.met.fanout.Add(1)
+				r.met.refreshes.Add(1)
+				legStart := r.rc.Now()
+				ctx, cancel := context.WithDeadline(context.Background(), coherenceBy)
+				rs, gen, err := clients[id].Recommend(ctx, b, k)
+				cancel()
+				ok := int64(1)
+				if err != nil {
+					ok = 0
+					health[id].observeFailure(r.opt.FailThreshold)
+				} else {
+					health[id].observeSuccess()
+				}
+				r.rc.Record("fanout", obsv.CatRequest, legs, legStart,
+					obsv.String("link", link),
+					obsv.String("node", id),
+					obsv.String("attempt", "refresh"),
+					obsv.Int("ok", ok))
+				if err == nil && gen > answers[i].gen {
+					answers[i] = answer{id, rs, gen}
+					improved = true
+				}
+			}
+			if !improved {
+				// The laggard's commit is in flight; give the swap one
+				// scheduling quantum rather than spinning on it.
+				time.Sleep(500 * time.Microsecond)
+			}
+		}
+	}
+
+	// Merge: answers in sorted node order (determinism), deduplicating
+	// rules that arrived from two replicas of the same shard.  On a
+	// mixed-generation race the newer generation's copy wins; RankTruncate
+	// then ranks under the RankLess total order, so the result is
+	// independent of which replicas happened to answer.
+	sort.Slice(answers, func(i, j int) bool { return answers[i].node < answers[j].node })
+	var matches []rules.Rule
+	var genOf []uint64
+	seen := make(map[string]int)
+	for _, a := range answers {
+		for _, rule := range a.rules {
+			key := rule.Antecedent.Key() + "|" + rule.Consequent.Key()
+			if j, ok := seen[key]; ok {
+				if a.gen > genOf[j] {
+					matches[j], genOf[j] = rule, a.gen
+				}
+				continue
+			}
+			seen[key] = len(matches)
+			matches = append(matches, rule)
+			genOf = append(genOf, a.gen)
+		}
+	}
+	first := true
+	for _, a := range answers {
 		if first || a.gen < res.Generation {
 			res.Generation = a.gen
 		}
-		if !first && a.gen != answers[i-1].gen {
+		if !first && a.gen != answers[0].gen {
 			res.Mixed = true
 		}
 		first = false
 	}
-	sort.Ints(res.MissedShards)
-	res.Rules = serve.RankTruncate(matches, k)
-	if res.Partial {
+	for _, s := range shards {
+		if !covered[s] {
+			res.MissedShards = append(res.MissedShards, s)
+		}
+	}
+	if len(res.MissedShards) > 0 {
+		res.Partial = true
+		partial = true
 		r.met.partials.Add(1)
 	}
+	res.NodesQueried = len(asked)
+	res.Retries = retries
+	res.Hedges = hedges
+	res.Rules = serve.RankTruncate(matches, k)
 	return res, nil
+}
+
+// minDur returns the smaller of two durations.
+func minDur(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // dedupInts removes adjacent duplicates from a sorted slice.

@@ -107,6 +107,63 @@ func TestPerfettoRoundTrip(t *testing.T) {
 	}
 }
 
+// TestPerfettoFlowEvents: spans sharing a "link" argument emit a flow arrow
+// (start/step/finish events) tying a request's root span to its fan-out
+// legs; spans without links — every mining trace — produce no flow events
+// at all, keeping those serializations byte-identical to before.
+func TestPerfettoFlowEvents(t *testing.T) {
+	c := NewCollector(ClockReal)
+	link := []Attr{String("link", "q7")}
+	c.Record(Span{Name: "recommend", Cat: CatRequest, Rank: -1, Start: 0, End: 3e-3, Args: link})
+	c.Record(Span{Name: "fanout", Cat: CatSend, Rank: 0, Start: 1e-3, End: 2e-3,
+		Args: []Attr{String("link", "q7"), String("attempt", "primary")}})
+	c.Record(Span{Name: "fanout", Cat: CatSend, Rank: 1, Start: 1e-3, End: 2.5e-3,
+		Args: []Attr{String("link", "q7"), String("attempt", "hedge")}})
+	// A second, single-span link must not grow a flow (nothing to connect).
+	c.Record(Span{Name: "recommend", Cat: CatRequest, Rank: -1, Start: 4e-3, End: 5e-3,
+		Args: []Attr{String("link", "q8")}})
+
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, c.Trace()); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("output is not valid JSON:\n%s", s)
+	}
+	for _, want := range []string{`"ph": "s"`, `"ph": "t"`, `"ph": "f"`, `"bp": "e"`, `"cat": "flow"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing flow event part %s:\n%s", want, s)
+		}
+	}
+	if n := strings.Count(s, `"cat": "flow"`); n != 3 {
+		t.Errorf("flow event count = %d, want 3 (one per q7 span, none for q8)", n)
+	}
+
+	// The flow must survive a round trip of the X events (ReadTrace skips
+	// flow phases) and regenerate identically on re-write.
+	rt, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if err := WriteTrace(&again, rt); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatalf("flow events not stable across a round trip:\n%s\nvs\n%s", s, again.String())
+	}
+
+	// Link-free traces stay flow-free.
+	var plain bytes.Buffer
+	if err := WriteTrace(&plain, sampleCollector().Trace()); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), `"cat": "flow"`) {
+		t.Error("mining trace grew flow events without any link args")
+	}
+}
+
 func TestReadTraceRejectsGarbage(t *testing.T) {
 	if _, err := ReadTrace(strings.NewReader("not json")); err == nil {
 		t.Fatal("garbage accepted")

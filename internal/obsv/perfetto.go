@@ -26,10 +26,38 @@ const (
 func perfettoPid(rank int) int { return rank + 2 }
 
 // WriteTrace writes t as Chrome trace-event JSON.
+//
+// Spans sharing a "link" argument (the router stamps one request id across
+// a distributed query's root span and every fan-out leg, hedges and retries
+// included) additionally emit Chrome flow events ("s"/"t"/"f"), so Perfetto
+// draws arrows from the slow /recommend slice to the exact replica legs
+// that served it.  Traces without link arguments — all mining traces —
+// serialize byte-identically to before.
 func WriteTrace(w io.Writer, t *Trace) error {
 	spans := make([]Span, len(t.Spans))
 	copy(spans, t.Spans)
 	sortSpans(spans)
+
+	// Flow groups: link value → indices of the member spans, in span sort
+	// order.  Ids are assigned by sorted link value, so the byte output is a
+	// pure function of the span set.
+	groups := make(map[string][]int)
+	for i, s := range spans {
+		if v, ok := s.Arg("link"); ok {
+			groups[v] = append(groups[v], i)
+		}
+	}
+	links := make([]string, 0, len(groups))
+	for v, idxs := range groups {
+		if len(idxs) >= 2 {
+			links = append(links, v)
+		}
+	}
+	sort.Strings(links)
+	flowID := make(map[string]int, len(links))
+	for i, v := range links {
+		flowID[v] = i + 1
+	}
 
 	var b strings.Builder
 	b.WriteString("{\n\"displayTimeUnit\": \"ms\",\n\"otherData\": {")
@@ -77,7 +105,7 @@ func WriteTrace(w io.Writer, t *Trace) error {
 		emit(fmt.Sprintf(`{"ph": "M", "pid": %d, "tid": %d, "name": "thread_name", "args": {"name": "events"}}`, pid, tidEvents))
 	}
 
-	for _, s := range spans {
+	for si, s := range spans {
 		tid := tidEvents
 		switch s.Cat {
 		case CatRun, CatPass, CatSection, CatRequest, CatPublish:
@@ -113,6 +141,24 @@ func WriteTrace(w io.Writer, t *Trace) error {
 		}
 		e.WriteString("}")
 		emit(e.String())
+
+		// Flow arrow through this span.  The flow event's ts sits at the
+		// span's start, inside the X slice just emitted, so Perfetto binds
+		// the arrow to it ("f" binds to the enclosing slice via bp).
+		if v, ok := s.Arg("link"); ok {
+			if id := flowID[v]; id > 0 {
+				idxs := groups[v]
+				ph, bp := "t", ""
+				switch si {
+				case idxs[0]:
+					ph = "s"
+				case idxs[len(idxs)-1]:
+					ph, bp = "f", `, "bp": "e"`
+				}
+				emit(fmt.Sprintf(`{"ph": %q, "pid": %d, "tid": %d, "ts": %s, "id": %d, "name": %s, "cat": "flow"%s}`,
+					ph, perfettoPid(s.Rank), tid, micros(s.Start), id, jsonString(v), bp))
+			}
+		}
 	}
 	b.WriteString("\n]\n}\n")
 	_, err := io.WriteString(w, b.String())

@@ -106,7 +106,7 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	out, err := s.Recommend(basket, k)
+	out, gen, err := s.RecommendGen(basket, k)
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
@@ -115,7 +115,7 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		Generation uint64         `json:"generation"`
 		Basket     []itemset.Item `json:"basket"`
 		Rules      []ruleJSON     `json:"rules"`
-	}{Generation: s.Generation(), Basket: itemset.New(basket...), Rules: make([]ruleJSON, len(out))}
+	}{Generation: gen, Basket: itemset.New(basket...), Rules: make([]ruleJSON, len(out))}
 	for i, rr := range out {
 		resp.Rules[i] = toRuleJSON(rr)
 	}

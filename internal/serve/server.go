@@ -154,6 +154,15 @@ func (s *Server) Index() *Index {
 // ranking is byte-identical across calls, cache hits or misses, pooled or
 // inline execution.
 func (s *Server) Recommend(basket []itemset.Item, k int) ([]rules.Rule, error) {
+	out, _, err := s.RecommendGen(basket, k)
+	return out, err
+}
+
+// RecommendGen is Recommend plus the generation of the snapshot the answer
+// was computed from — read atomically with the snapshot, so an answer can
+// never carry a newer generation than its content (the guarantee the
+// distributed router's publish-coherence logic depends on).
+func (s *Server) RecommendGen(basket []itemset.Item, k int) ([]rules.Rule, uint64, error) {
 	start := time.Now()
 	spanStart := s.rc.Now()
 	cache, results := "off", 0
@@ -170,7 +179,7 @@ func (s *Server) Recommend(basket []itemset.Item, k int) ([]rules.Rule, error) {
 	snap := s.snap.Load()
 	if snap == nil {
 		cache = "error"
-		return nil, ErrNoSnapshot
+		return nil, 0, ErrNoSnapshot
 	}
 	if k <= 0 {
 		k = DefaultK
@@ -186,7 +195,7 @@ func (s *Server) Recommend(basket []itemset.Item, k int) ([]rules.Rule, error) {
 		if v, ok := snap.cache.get(key); ok {
 			s.met.hits.Add(1)
 			cache, results = "hit", len(v)
-			return append([]rules.Rule(nil), v...), nil
+			return append([]rules.Rule(nil), v...), snap.gen, nil
 		}
 		s.met.misses.Add(1)
 		cache = "miss"
@@ -197,7 +206,7 @@ func (s *Server) Recommend(basket []itemset.Item, k int) ([]rules.Rule, error) {
 		snap.cache.put(key, out)
 	}
 	results = len(out)
-	return append([]rules.Rule(nil), out...), nil
+	return append([]rules.Rule(nil), out...), snap.gen, nil
 }
 
 // query runs the per-shard scans — inline, or fanned out across the worker

@@ -202,6 +202,13 @@ type ParallelOptions struct {
 	// are marked PassReport.Restored and counted in Report.ResumedPasses.
 	// Grid formulations only (CD, IDD, HD).
 	CheckpointDir string
+	// Recovery selects the rollback strategy after a crash: "coordinated"
+	// (the default — every survivor re-charges a checkpoint restore) or
+	// "asymmetric" (only crashed ranks pay the restore; survivors keep
+	// their levels in memory and wait at the pass barrier, so recovery
+	// I/O drops from Procs restores to one per crashed rank).  The mined
+	// itemsets are identical under either mode.
+	Recovery string
 	// Recorder, when non-nil, receives the run's hierarchical spans (run →
 	// pass → section → message/compute slice) on the virtual clock; use
 	// NewSpanCollector and the span exporters (WriteSpanTrace,
@@ -233,6 +240,7 @@ func MineParallel(data *Dataset, o ParallelOptions) (*Report, error) {
 		Faults:        o.Faults,
 		MaxRestarts:   o.MaxRestarts,
 		CheckpointDir: o.CheckpointDir,
+		Recovery:      core.RecoveryMode(o.Recovery),
 		Recorder:      o.Recorder,
 	}
 	return core.Mine(data, prm)

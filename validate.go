@@ -122,6 +122,11 @@ func (o ParallelOptions) Validate() error {
 			return optErr(strct, "CheckpointDir", "checkpoint persistence supports cd, idd and hd, not %q", string(o.Algorithm))
 		}
 	}
+	switch o.Recovery {
+	case "", "coordinated", "asymmetric":
+	default:
+		return optErr(strct, "Recovery", "unknown mode %q (want coordinated or asymmetric)", o.Recovery)
+	}
 	return nil
 }
 
