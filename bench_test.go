@@ -73,15 +73,14 @@ func BenchmarkHPAStudy(b *testing.B) { benchExperiment(b, "hpa") }
 // Micro-benchmarks for the core operations the figures are built from.
 // ----------------------------------------------------------------------
 
+// benchData builds the sparse benchmark workload through the same harness
+// the BENCH_mining.json sweep uses (experiments.BenchWorkloads), so micro-
+// benchmark numbers and the tracked artifact describe the same data.
 func benchData(b *testing.B, n int) *Dataset {
 	b.Helper()
-	gen := DefaultGen()
-	gen.NumTransactions = n
-	gen.NumItems = 300
-	gen.NumPatterns = 200
-	gen.AvgTxnLen = 12
-	gen.AvgPatternLen = 4
-	data, err := Generate(gen)
+	w := experiments.BenchWorkloads(experiments.Config{Seed: 7})[0]
+	w.Gen.NumTransactions = n
+	data, err := experiments.BenchData(w)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -160,6 +159,23 @@ func BenchmarkLeafSizeAblation(b *testing.B) {
 		b.Run(fmt.Sprintf("S=%d", leaf), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := Mine(data, MineOptions{MinSupport: 0.01, MaxLeafSize: leaf}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngines compares the pluggable counting engines on the serial
+// miner, with allocation counts — the real-time counterpart of the virtual
+// numbers in BENCH_mining.json (regenerate with scripts/bench_mining.sh).
+func BenchmarkEngines(b *testing.B) {
+	data := benchData(b, 4000)
+	for _, eng := range CountEngines() {
+		b.Run(eng, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Mine(data, MineOptions{MinSupport: 0.01, Engine: eng}); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"parapriori"
 )
@@ -23,6 +24,7 @@ func main() {
 		summary = flag.Bool("summary", false, "print only per-pass statistics")
 		topk    = flag.Int("top", 0, "print only the strongest K rules (0 = all)")
 		dhp     = flag.Int("dhp", 0, "DHP pair-hash buckets (0 = disabled)")
+		engine  = flag.String("engine", "", "counting engine: "+strings.Join(parapriori.CountEngines(), ", ")+" (default hashtree)")
 		save    = flag.String("save", "", "save the frequent itemsets to this file (reloadable with -load)")
 		load    = flag.String("load", "", "skip mining; load frequent itemsets saved with -save")
 	)
@@ -61,7 +63,7 @@ func main() {
 			os.Exit(1)
 		}
 
-		res, err = parapriori.Mine(data, parapriori.MineOptions{MinSupport: *minsup, DHPBuckets: *dhp})
+		res, err = parapriori.Mine(data, parapriori.MineOptions{MinSupport: *minsup, DHPBuckets: *dhp, Engine: *engine})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "apriori: %v\n", err)
 			os.Exit(1)

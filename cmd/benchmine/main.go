@@ -1,0 +1,70 @@
+// Command benchmine runs the counting-engine benchmark sweep — every
+// registered engine (hashtree, trie, bitset) × dataset × minimum support on
+// a parallel CD run — and writes the result as BENCH_mining.json.
+//
+// The sweep runs on the emulated cluster's virtual clock, so for a fixed
+// seed the output bytes are deterministic (allocation counts aside): the
+// committed BENCH_mining.json is a tracked perf trajectory, and CI compares
+// a fresh -short run against it to catch regressions.
+//
+// Usage:
+//
+//	benchmine                      # full sweep, writes BENCH_mining.json
+//	benchmine -short               # first support point per dataset
+//	benchmine -o /tmp/bench.json -scale 0.5 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parapriori/internal/experiments"
+)
+
+func main() {
+	var (
+		out   = flag.String("o", "BENCH_mining.json", "output file")
+		scale = flag.Float64("scale", 1, "workload scale factor")
+		seed  = flag.Int64("seed", 7, "workload seed")
+		short = flag.Bool("short", false, "sweep only the first support point per dataset")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchmine [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Quick: *short}
+	rep, err := experiments.EngineBench(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+
+	for _, c := range rep.Cells {
+		fmt.Printf("%-12s minsup=%-7.4g %-9s response=%.6fs count=%.6fs build=%.6fs txn/s=%.0f\n",
+			c.Dataset, c.Support, c.Engine, c.ResponseSec, c.CountSec, c.BuildSec, c.TxnPerSec)
+	}
+	for _, s := range rep.Speedup {
+		fmt.Printf("%-12s minsup=%-7.4g %-9s count ×%.2f response ×%.2f\n",
+			s.Dataset, s.Support, s.Engine, s.CountSpeedup, s.ResponseSpeedup)
+	}
+	fmt.Printf("wrote %s (%d cells)\n", *out, len(rep.Cells))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchmine: %v\n", err)
+	os.Exit(1)
+}

@@ -107,6 +107,7 @@ func main() {
 		traceOut = flag.String("trace", "", "write the run's span trace as Perfetto-loadable JSON to this file")
 		asJSON   = flag.Bool("json", false, "emit a JSON summary instead of text")
 		itemsets = flag.Bool("itemsets", false, "print the frequent itemsets")
+		engine   = flag.String("engine", "", "counting engine: "+strings.Join(parapriori.CountEngines(), ", ")+" (default hashtree; cd/idd/hd only)")
 	)
 	flag.Parse()
 
@@ -139,7 +140,7 @@ func main() {
 		rec = parapriori.NewSpanCollector()
 	}
 	popt := parapriori.ParallelOptions{
-		MineOptions: parapriori.MineOptions{MinSupport: *minsup},
+		MineOptions: parapriori.MineOptions{MinSupport: *minsup, Engine: *engine},
 		Algorithm:   parapriori.Algorithm(*algoName),
 		Procs:       *procs,
 		Machine:     mach,

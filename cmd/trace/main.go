@@ -30,6 +30,7 @@ func main() {
 		timeline = flag.Bool("timeline", false, "render the leaf slices as a text Gantt chart")
 		width    = flag.Int("width", 100, "timeline width in columns")
 		perfetto = flag.String("perfetto", "", "re-emit the trace as normalized Perfetto JSON to this file")
+		hist     = flag.Bool("hist", false, "print the virtual-time pass-duration histogram (log-2 buckets)")
 	)
 	flag.Parse()
 
@@ -59,6 +60,12 @@ func main() {
 			fatal(err)
 		}
 		if err := out.Close(); err != nil {
+			fatal(err)
+		}
+		did = true
+	}
+	if *hist {
+		if err := obsv.WriteHistogram(os.Stdout, obsv.PassHistogram(t)); err != nil {
 			fatal(err)
 		}
 		did = true

@@ -28,13 +28,26 @@ func TestMineParallelDeterministic(t *testing.T) {
 		t.Fatalf("generate: %v", err)
 	}
 
-	for _, algo := range []Algorithm{CD, DD, IDD, HD} {
-		algo := algo
-		t.Run(string(algo), func(t *testing.T) {
+	cases := []struct {
+		algo   Algorithm
+		engine string
+	}{
+		{CD, ""}, {DD, ""}, {IDD, ""}, {HD, ""},
+		// One non-default counting engine: the seam must not loosen the
+		// bit-determinism contract.
+		{IDD, "trie"}, {CD, "bitset"},
+	}
+	for _, tc := range cases {
+		algo, engine := tc.algo, tc.engine
+		name := string(algo)
+		if engine != "" {
+			name += "/" + engine
+		}
+		t.Run(name, func(t *testing.T) {
 			run := func() (*Report, []byte, []byte, []byte) {
 				rec := NewSpanCollector()
 				rep, err := MineParallel(data, ParallelOptions{
-					MineOptions: MineOptions{MinSupport: 0.03},
+					MineOptions: MineOptions{MinSupport: 0.03, Engine: engine},
 					Algorithm:   algo,
 					Procs:       6,
 					Recorder:    rec,

@@ -14,6 +14,7 @@ import (
 	"math"
 	"sort"
 
+	"parapriori/internal/countengine"
 	"parapriori/internal/hashtree"
 	"parapriori/internal/itemset"
 )
@@ -55,6 +56,12 @@ type Params struct {
 	// to plain Apriori; later passes scan less data.  Incompatible with
 	// MemoryBytes (trimming assumes a single scan per pass).
 	DHPTrim bool
+	// Engine selects the support-counting backend (see
+	// internal/countengine): "hashtree" (the default), "trie" or "bitset".
+	// Every backend produces identical frequent itemsets; they differ in
+	// which operations counting spends.  The DHP knobs require the hash
+	// tree (the pair filter and trimming read its match sets).
+	Engine string
 }
 
 // MinCount converts the fractional threshold into the absolute count used
@@ -131,6 +138,18 @@ func Mine(data *itemset.Dataset, p Params) (*Result, error) {
 	if p.DHPTrim && p.MemoryBytes > 0 {
 		return nil, fmt.Errorf("apriori: DHPTrim is incompatible with a memory cap (multi-scan counting)")
 	}
+	engB, err := countengine.New(p.Engine, countengine.Config{Tree: p.Tree, NumItems: data.NumItems})
+	if err != nil {
+		return nil, fmt.Errorf("apriori: %w", err)
+	}
+	if engB.Name() != countengine.Default && (p.DHPBuckets > 0 || p.DHPTrim) {
+		return nil, fmt.Errorf("apriori: DHP filtering requires the hashtree engine, not %q", engB.Name())
+	}
+	if prep, ok := engB.(countengine.DatasetPreparer); ok {
+		// Vertical backends index the whole dataset once instead of
+		// re-scanning it every pass.
+		prep.Prepare(data)
+	}
 	minCount := p.MinCount(data.Len())
 	res := &Result{N: data.Len(), MinCount: minCount}
 
@@ -171,7 +190,7 @@ func Mine(data *itemset.Dataset, p Params) (*Result, error) {
 		if p.DHPTrim {
 			level, working, stats, err = countAndTrim(working, data.NumItems, k, cands, p)
 		} else {
-			level, stats, err = CountCandidates(data, k, cands, p)
+			level, stats, err = countWithEngine(data, k, cands, p, engB)
 		}
 		stats.DHPPruned = dhpPruned
 		if err != nil {
@@ -274,13 +293,25 @@ func pruneOK(cand itemset.Itemset, inPrev map[string]struct{}) bool {
 	return true
 }
 
-// CountCandidates builds the hash tree(s) for the size-k candidates and
-// scans the transactions to compute their supports.  It returns every
+// CountCandidates builds the counting structure(s) for the size-k
+// candidates with the engine p.Engine selects (the hash tree by default)
+// and scans the transactions to compute their supports.  It returns every
 // candidate with its count (unpruned), plus the pass statistics.  When
-// p.MemoryBytes caps the tree below what the candidates need, the candidate
-// set is partitioned and the dataset is scanned once per partition, exactly
-// the multi-scan CD regime of Figure 12.
+// p.MemoryBytes caps the structure below what the candidates need, the
+// candidate set is partitioned and the dataset is scanned once per
+// partition, exactly the multi-scan CD regime of Figure 12.
 func CountCandidates(data *itemset.Dataset, k int, cands []itemset.Itemset, p Params) ([]Frequent, PassStats, error) {
+	engB, err := countengine.New(p.Engine, countengine.Config{Tree: p.Tree, NumItems: data.NumItems})
+	if err != nil {
+		return nil, PassStats{K: k, Candidates: len(cands), GenCandidates: len(cands)}, err
+	}
+	return countWithEngine(data, k, cands, p, engB)
+}
+
+// countWithEngine is CountCandidates over an already-built engine builder,
+// so Mine constructs (and, for vertical backends, prepares) the builder
+// once for the whole run.
+func countWithEngine(data *itemset.Dataset, k int, cands []itemset.Itemset, p Params, engB countengine.Builder) ([]Frequent, PassStats, error) {
 	stats := PassStats{K: k, Candidates: len(cands), GenCandidates: len(cands)}
 	parts := TreeParts(len(cands), k, p)
 	stats.TreeParts = parts
@@ -292,24 +323,19 @@ func CountCandidates(data *itemset.Dataset, k int, cands []itemset.Itemset, p Pa
 		if lo == hi {
 			continue
 		}
-		hcands := make([]*hashtree.Candidate, hi-lo)
-		for i, s := range cands[lo:hi] {
-			hcands[i] = &hashtree.Candidate{Items: s}
-		}
-		tree, err := hashtree.New(k, hcands, p.Tree)
+		eng, err := engB.NewPass(k, cands[lo:hi])
 		if err != nil {
 			return nil, stats, err
 		}
-		if m := tree.MemoryBytes(); m > stats.TreeMemory {
+		if m := eng.MemoryBytes(); m > stats.TreeMemory {
 			stats.TreeMemory = m
 		}
-		for _, t := range data.Transactions {
-			tree.Subset(t.Items, nil)
-		}
+		eng.CountBlock(data.Transactions, nil)
+		counts := eng.Counts()
 		stats.BytesScanned += dbBytes
-		stats.Tree.Add(tree.Stats())
-		for i, c := range hcands {
-			out[lo+i] = Frequent{Items: c.Items, Count: c.Count}
+		stats.Tree.Add(eng.Stats().TreeStats())
+		for i := lo; i < hi; i++ {
+			out[i] = Frequent{Items: cands[i], Count: counts[i-lo]}
 		}
 	}
 	return out, stats, nil

@@ -48,6 +48,29 @@ func hotClean(items []item, dst []int) []int {
 	return append(dst, out...)
 }
 
+// naiveEngine is the shape the counting-engine seam must never take: a
+// CountBlock body that builds a per-transaction closure (capturing the
+// engine to bump its counters) and formats per-iteration debug labels.
+// The countengine backends keep their transaction loops closure-free; this
+// twin proves the rule would catch the regression.
+type naiveEngine struct {
+	counts []int64
+	stats  int64
+}
+
+//checkinv:hotpath
+func (e *naiveEngine) CountBlock(txns []item) {
+	for _, txn := range txns {
+		visit := func(slot int) { // want "closure literal in a hot loop"
+			e.stats++
+			e.counts[slot]++
+		}
+		visit(txn.key)
+		label := fmt.Sprintf("txn=%d", txn.key) // want "fmt.Sprintf in a hot loop"
+		_ = label
+	}
+}
+
 // coldTwin has the same body as hotViolations but no annotation: the rule
 // is opt-in, so it is never inspected.
 func coldTwin(items []item) []string {

@@ -58,6 +58,11 @@ type Machine struct {
 	TGen     float64 // per candidate produced by apriori_gen (replicated work)
 	TItem    float64 // per item touched in scanning work (F1, filtering)
 	TReduce  float64 // per element combined in a reduction
+	// TWord is the cost of one 64-bit bitmap word operation (AND +
+	// popcount), the counting unit of the vertical bitset engine.  Far
+	// cheaper than a tree traversal step: it is straight-line register
+	// arithmetic over contiguous words, with no pointer chase.
+	TWord float64
 	// MemoryBytes is the per-processor memory available for the candidate
 	// hash tree.  Zero means unbounded.  CD partitions its tree — and
 	// rescans the database — when the candidates exceed this (Figure 12).
@@ -82,6 +87,7 @@ func T3E() Machine {
 		TGen:     150e-9,
 		TItem:    25e-9,
 		TReduce:  12e-9,
+		TWord:    8e-9,
 	}
 }
 
@@ -103,6 +109,7 @@ func SP2() Machine {
 		TGen:     1100e-9,
 		TItem:    180e-9,
 		TReduce:  90e-9,
+		TWord:    60e-9,
 	}
 }
 
@@ -125,6 +132,7 @@ func COW() Machine {
 		TGen:        130e-9,
 		TItem:       22e-9,
 		TReduce:     10e-9,
+		TWord:       7e-9,
 	}
 }
 

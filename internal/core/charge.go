@@ -2,6 +2,7 @@ package core
 
 import (
 	"parapriori/internal/cluster"
+	"parapriori/internal/countengine"
 	"parapriori/internal/hashtree"
 )
 
@@ -35,6 +36,29 @@ func chargeGen(p *cluster.Proc, generated int) {
 // the per-item bitmap filtering of IDD.
 func chargeScan(p *cluster.Proc, items int64, phase string) {
 	p.Compute(float64(items)*p.Machine().TItem, phase)
+}
+
+// chargeEngineBuild charges a counting engine's construction delta at
+// t_insert — with the hashtree backend this is exactly chargeBuild on the
+// tree's Inserts, so the seam charges bit-identical virtual time.
+func chargeEngineBuild(p *cluster.Proc, delta countengine.Stats) {
+	chargeBuild(p, delta.BuildOps)
+}
+
+// chargeEngineCount charges a counting delta: node navigation at t_travers
+// plus candidate checks at t_check (the hash-tree terms, charged with the
+// identical expression so the default engine's clock is unchanged), then
+// any bitmap word work at t_word and per-item streaming work at t_item —
+// operation kinds only the new backends spend.
+func chargeEngineCount(p *cluster.Proc, delta countengine.Stats) {
+	m := p.Machine()
+	p.Compute(float64(delta.NodeSteps)*m.TTravers+float64(delta.CandChecks)*m.TCheck, "subset")
+	if delta.WordOps > 0 {
+		p.Compute(float64(delta.WordOps)*m.TWord, "subset")
+	}
+	if delta.ItemTouches > 0 {
+		p.Compute(float64(delta.ItemTouches)*m.TItem, "subset")
+	}
 }
 
 // treeDelta returns the difference between two snapshots of tree counters.

@@ -25,6 +25,7 @@ import (
 
 	"parapriori/internal/apriori"
 	"parapriori/internal/cluster"
+	"parapriori/internal/countengine"
 	"parapriori/internal/hashtree"
 	"parapriori/internal/itemset"
 	"parapriori/internal/obsv"
@@ -189,6 +190,19 @@ func (p Params) validate() error {
 	default:
 		return fmt.Errorf("core: unknown recovery mode %q", p.Recovery)
 	}
+	if !countengine.Known(p.Apriori.Engine) {
+		return fmt.Errorf("core: unknown counting engine %q (want one of %v)", p.Apriori.Engine, countengine.Names())
+	}
+	if p.Apriori.Engine != "" && p.Apriori.Engine != countengine.Default {
+		switch p.Algo {
+		case CD, IDD, HD:
+		default:
+			// DD, DD+comm and HPA shuttle transactions through their own
+			// hash-tree bodies; only the grid engine counts through the
+			// seam.
+			return fmt.Errorf("core: counting engine %q supports cd, idd and hd, not %q", p.Apriori.Engine, p.Algo)
+		}
+	}
 	return nil
 }
 
@@ -317,6 +331,13 @@ func Mine(data *itemset.Dataset, prm Params) (*Report, error) {
 		active[i] = i
 		owned[i] = []int{i}
 	}
+	engB, err := countengine.New(prm.Apriori.Engine, countengine.Config{
+		Tree:     prm.Apriori.Tree,
+		NumItems: data.NumItems,
+	})
+	if err != nil {
+		return nil, err
+	}
 	run := &run{
 		prm:         prm,
 		cl:          cl,
@@ -329,6 +350,7 @@ func Mine(data *itemset.Dataset, prm Params) (*Report, error) {
 		ownedShards: owned,
 		restartWant: make([]bool, prm.P),
 		rec:         prm.Recorder,
+		engB:        engB,
 	}
 	run.rebuildVRank()
 	run.setRunMeta()
@@ -406,6 +428,23 @@ type run struct {
 	// rec receives observability spans (nil when not tracing); the bodies
 	// emit pass and section spans through the helpers in obsv.go.
 	rec obsv.Recorder
+	// engB builds the per-pass counting engines of the grid bodies; built
+	// once in Mine (NewPass is goroutine-safe, the builder itself is
+	// read-only during the run).
+	engB countengine.Builder
+}
+
+// engineBuilder returns the run's counting-engine builder, falling back to
+// the default hash tree when the run was constructed directly (unit tests).
+func (r *run) engineBuilder() countengine.Builder {
+	if r.engB == nil {
+		b, err := countengine.New(countengine.Default, countengine.Config{Tree: r.prm.Apriori.Tree})
+		if err != nil {
+			panic(err) // unreachable: the default backend is always registered
+		}
+		r.engB = b
+	}
+	return r.engB
 }
 
 // np returns the number of participating processors — the "P" the grid is

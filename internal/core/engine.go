@@ -6,6 +6,7 @@ import (
 	"parapriori/internal/apriori"
 	"parapriori/internal/bitmap"
 	"parapriori/internal/cluster"
+	"parapriori/internal/countengine"
 	"parapriori/internal/hashtree"
 	"parapriori/internal/itemset"
 	"parapriori/internal/obsv"
@@ -119,15 +120,11 @@ func (r *run) gridBody(p *cluster.Proc) error {
 		for part := 0; part < parts; part++ {
 			lo, hi := part*len(myCands)/parts, (part+1)*len(myCands)/parts
 			buildStart := p.Clock()
-			hcands := make([]*hashtree.Candidate, hi-lo)
-			for i, s := range myCands[lo:hi] {
-				hcands[i] = &hashtree.Candidate{Items: s}
-			}
-			tree, err := hashtree.New(k, hcands, r.prm.Apriori.Tree)
+			eng, err := r.engineBuilder().NewPass(k, myCands[lo:hi])
 			if err != nil {
 				return fmt.Errorf("pass %d: %w", k, err)
 			}
-			chargeBuild(p, tree.Stats().Inserts)
+			chargeEngineBuild(p, eng.Stats())
 			r.sec(p, "build", buildStart, obsv.Int("k", int64(k)), obsv.Int("part", int64(part)))
 
 			process := func(page []itemset.Transaction) {
@@ -138,12 +135,10 @@ func (r *run) gridBody(p *cluster.Proc) error {
 				for _, t := range page {
 					items += int64(len(t.Items))
 				}
-				if tree.Len() > 0 {
-					before := tree.Stats()
-					for _, t := range page {
-						tree.Subset(t.Items, filter)
-					}
-					chargeSubset(p, treeDelta(before, tree.Stats()))
+				if eng.Len() > 0 {
+					before := eng.Stats()
+					eng.CountBlock(page, filter)
+					chargeEngineCount(p, countengine.Delta(before, eng.Stats()))
 				}
 				if filter != nil {
 					// The root-level bitmap check touches every item of
@@ -155,14 +150,19 @@ func (r *run) gridBody(p *cluster.Proc) error {
 			countStart := p.Clock()
 			p.ReadIO(shardBytes, "io")
 			bytesMoved += ringCount(p, colComm, fmt.Sprintf("k%d.p%d/ring", k, part), pages, process)
+			// Deferred backends (bitset) intersect their bitmaps inside
+			// Counts; snapshotting around the call folds that work into the
+			// count section.  The hash tree and trie charge nothing here.
+			countsBefore := eng.Stats()
+			counts := eng.Counts()
+			chargeEngineCount(p, countengine.Delta(countsBefore, eng.Stats()))
 			r.sec(p, "count", countStart, obsv.Int("k", int64(k)), obsv.Int("part", int64(part)))
 
 			redStart := p.Clock()
-			counts := tree.Counts()
 			global := rowComm.AllReduceInt64(p, fmt.Sprintf("k%d.p%d/red", k, part), counts)
 			r.sec(p, "reduce", redStart, obsv.Int("k", int64(k)), obsv.Int("part", int64(part)))
 			frequentLocal = append(frequentLocal, pruneLocal(myCands[lo:hi], global, r.minCount)...)
-			passTree.Add(tree.Stats())
+			passTree.Add(eng.Stats().TreeStats())
 		}
 		countTime := p.Stats().ComputeTime - computeBefore
 

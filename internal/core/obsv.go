@@ -4,6 +4,7 @@ import (
 	"strconv"
 
 	"parapriori/internal/cluster"
+	"parapriori/internal/countengine"
 	"parapriori/internal/obsv"
 )
 
@@ -88,4 +89,9 @@ func (r *run) setRunMeta() {
 	r.rec.SetMeta("p", strconv.Itoa(r.prm.P))
 	r.rec.SetMeta("machine", r.prm.Machine.Name)
 	r.rec.SetMeta("min_support", strconv.FormatFloat(r.prm.Apriori.MinSupport, 'g', -1, 64))
+	engine := r.prm.Apriori.Engine
+	if engine == "" {
+		engine = countengine.Default
+	}
+	r.rec.SetMeta("engine", engine)
 }

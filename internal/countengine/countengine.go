@@ -1,0 +1,210 @@
+// Package countengine defines the pluggable support-counting seam of the
+// miner: build a structure over the size-k candidates, stream transaction
+// blocks through it, emit the support counts.  Three backends register
+// themselves here:
+//
+//   - "hashtree": an adapter over the paper's candidate hash tree
+//     (internal/hashtree), the compatibility baseline.  Bit-identical
+//     operation counts and results to calling the tree directly.
+//   - "trie": items remapped to dense ints and candidates stored in a flat
+//     prefix-compressed trie of contiguous per-level arrays — no per-node
+//     allocation, no pointer chasing, and no failed leaf checks (a matched
+//     leaf *is* a contained candidate).
+//   - "bitset": the vertical representation — per-item transaction-ID
+//     bitmaps built while streaming, support computed by bitmap
+//     intersection and popcount instead of subset enumeration.
+//
+// All backends produce identical counts; they differ only in which abstract
+// operations (Stats) they spend, which is what the virtual-time cost model
+// charges.  The seam is deliberately narrow so the out-of-core backend can
+// later implement it over partition files.
+package countengine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"parapriori/internal/hashtree"
+	"parapriori/internal/itemset"
+)
+
+// Default is the engine used when no name is configured — the paper's hash
+// tree, so existing runs are unchanged.
+const Default = "hashtree"
+
+// Stats counts the abstract operations a backend performed, in the units of
+// the Section IV cost model: NodeSteps is charged at t_travers, CandChecks
+// at t_check, WordOps at t_word, ItemTouches at t_item, and BuildOps at
+// t_insert.  A backend only spends the operation kinds it actually
+// performs, so the virtual time charged for a pass reflects the work the
+// chosen structure really did.
+type Stats struct {
+	// BuildOps is the structure-construction work: hash-tree candidate
+	// inserts, trie nodes materialized, bitmap columns registered.
+	BuildOps int64
+	// NodeSteps is per-node navigation work: hash steps, trie merge-join
+	// comparisons and gallop probes.
+	NodeSteps int64
+	// CandChecks is candidate-vs-transaction containment work: hash-tree
+	// leaf checks, trie leaf matches.
+	CandChecks int64
+	// WordOps is 64-bit bitmap word operations (AND + popcount), the
+	// bitset backend's unit of counting work.
+	WordOps int64
+	// ItemTouches is per-item streaming work: dense remapping, bitmap
+	// column appends.
+	ItemTouches int64
+	// CandVisits is the number of candidate-holding slots visited; for the
+	// hash tree this is distinct leaf visits (Figure 11's V).
+	CandVisits int64
+	// Transactions is the number of transactions streamed through
+	// CountBlock.
+	Transactions int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.BuildOps += other.BuildOps
+	s.NodeSteps += other.NodeSteps
+	s.CandChecks += other.CandChecks
+	s.WordOps += other.WordOps
+	s.ItemTouches += other.ItemTouches
+	s.CandVisits += other.CandVisits
+	s.Transactions += other.Transactions
+}
+
+// Delta returns after - before, the operations spent between two snapshots.
+func Delta(before, after Stats) Stats {
+	return Stats{
+		BuildOps:     after.BuildOps - before.BuildOps,
+		NodeSteps:    after.NodeSteps - before.NodeSteps,
+		CandChecks:   after.CandChecks - before.CandChecks,
+		WordOps:      after.WordOps - before.WordOps,
+		ItemTouches:  after.ItemTouches - before.ItemTouches,
+		CandVisits:   after.CandVisits - before.CandVisits,
+		Transactions: after.Transactions - before.Transactions,
+	}
+}
+
+// Engine counts the supports of one pass's candidate set.  Engines are not
+// goroutine-safe; each SPMD processor builds its own via Builder.NewPass.
+type Engine interface {
+	// Len returns the number of candidates the engine was built over.
+	Len() int
+	// CountBlock streams a block of transactions through the engine.
+	// rootFilter, if non-nil, restricts counting to candidates whose
+	// *first* item passes (IDD's bitmap pruning); backends whose candidate
+	// set is already restricted to passing candidates may ignore it.
+	CountBlock(txns []itemset.Transaction, rootFilter func(itemset.Item) bool)
+	// Counts returns the support counts in the candidate order NewPass
+	// received — the order CD's count-vector reduction depends on.
+	// Deferred backends (bitset) do their counting work here, so callers
+	// must snapshot Stats around the call to charge it.
+	Counts() []int64
+	// Stats returns the accumulated operation counters.
+	Stats() Stats
+	// MemoryBytes estimates the resident size of the structure.
+	MemoryBytes() int
+}
+
+// Builder creates per-pass engines.  NewPass must be safe to call from
+// concurrent SPMD goroutines.
+type Builder interface {
+	// Name returns the registered backend name.
+	Name() string
+	// NewPass builds an engine over the size-k candidates.  The candidate
+	// slice is not modified and may arrive in any order (IDD rows receive
+	// group-concatenated, not globally sorted, candidates).
+	NewPass(k int, cands []itemset.Itemset) (Engine, error)
+}
+
+// DatasetPreparer is implemented by builders that can index the whole
+// dataset once up front (the bitset backend's vertical TID bitmaps).  After
+// Prepare, every NewPass engine counts against the prepared index and
+// CountBlock calls must stream exactly the prepared transactions, in order —
+// the contract of the serial miner, which scans the full dataset every
+// pass.  The parallel grid never calls Prepare: its blocks arrive via ring
+// shifts, so engines index on the fly.
+type DatasetPreparer interface {
+	Prepare(data *itemset.Dataset)
+}
+
+// Config carries the knobs a backend may need.
+type Config struct {
+	// Tree shapes hash trees (the "hashtree" backend; ignored by others).
+	Tree hashtree.Config
+	// NumItems bounds the item ID space (Dataset.NumItems); backends use
+	// it to size dense remap tables.  Zero means "derive from candidates".
+	NumItems int
+}
+
+// TreeStats maps the abstract counters onto the hash-tree counter names the
+// pass reports and figures are stated in: navigation work (including bitmap
+// word operations) appears as Traversals, containment work as LeafChecks.
+// For the "hashtree" backend the mapping is exact — the adapter's counters
+// round-trip to the tree's own.
+func (s Stats) TreeStats() hashtree.Stats {
+	return hashtree.Stats{
+		Traversals:   s.NodeSteps + s.WordOps,
+		LeafVisits:   s.CandVisits,
+		LeafChecks:   s.CandChecks,
+		Transactions: s.Transactions,
+		Inserts:      s.BuildOps,
+	}
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]func(Config) Builder{}
+)
+
+// Register installs a backend factory under a name; called from backend
+// init functions.  Re-registering a name panics.
+func Register(name string, factory func(Config) Builder) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("countengine: duplicate backend %q", name))
+	}
+	registry[name] = factory
+}
+
+// New builds the named backend ("" selects Default).  Unknown names return
+// an error listing the registered backends.
+func New(name string, cfg Config) (Builder, error) {
+	if name == "" {
+		name = Default
+	}
+	registryMu.RLock()
+	factory, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("countengine: unknown engine %q (want one of %v)", name, Names())
+	}
+	return factory(cfg), nil
+}
+
+// Known reports whether name is a registered backend ("" counts: it means
+// the default).
+func Known(name string) bool {
+	if name == "" {
+		return true
+	}
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	_, ok := registry[name]
+	return ok
+}
+
+// Names returns the registered backend names, sorted.
+func Names() []string {
+	registryMu.RLock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	registryMu.RUnlock()
+	sort.Strings(names)
+	return names
+}

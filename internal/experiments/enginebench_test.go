@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestEngineBenchQuick(t *testing.T) {
+	cfg := Config{Scale: 0.15, Quick: true, Seed: 7}
+	rep, err := EngineBench(cfg)
+	if err != nil {
+		t.Fatalf("EngineBench: %v", err)
+	}
+	if rep.Schema != EngineBenchSchema {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	// Quick: 2 datasets × 1 support × 3 engines.
+	if want := 2 * 1 * len(rep.Engines); len(rep.Cells) != want {
+		t.Fatalf("%d cells, want %d", len(rep.Cells), want)
+	}
+	shaBySweep := map[string]string{}
+	for _, c := range rep.Cells {
+		key := c.Dataset
+		if prev, ok := shaBySweep[key]; ok && prev != c.ResultSHA {
+			t.Errorf("%s: engines disagree on result sha", key)
+		}
+		shaBySweep[key] = c.ResultSHA
+		if c.ResponseSec <= 0 || c.CountSec <= 0 || c.TxnPerSec <= 0 {
+			t.Errorf("%s/%s: non-positive timings %+v", c.Dataset, c.Engine, c)
+		}
+		if c.PassHist.Count == 0 {
+			t.Errorf("%s/%s: empty pass histogram", c.Dataset, c.Engine)
+		}
+		if c.Frequent == 0 || c.Passes < 2 {
+			t.Errorf("%s/%s: degenerate workload (frequent=%d passes=%d)", c.Dataset, c.Engine, c.Frequent, c.Passes)
+		}
+	}
+	if want := 2 * 1 * (len(rep.Engines) - 1); len(rep.Speedup) != want {
+		t.Fatalf("%d speedups, want %d", len(rep.Speedup), want)
+	}
+	for _, s := range rep.Speedup {
+		if s.CountSpeedup <= 0 || s.ResponseSpeedup <= 0 {
+			t.Errorf("%s/%s: non-positive speedup %+v", s.Dataset, s.Engine, s)
+		}
+	}
+
+	// The JSON bytes are deterministic run to run.
+	var a, b bytes.Buffer
+	if err := rep.WriteJSON(&a); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	rep2, err := EngineBench(cfg)
+	if err != nil {
+		t.Fatalf("EngineBench (2nd): %v", err)
+	}
+	// Allocation counts can jitter across process states; blank them for
+	// the byte comparison — the virtual-clock fields are the contract.
+	for i := range rep.Cells {
+		rep.Cells[i].SerialAllocs = 0
+	}
+	for i := range rep2.Cells {
+		rep2.Cells[i].SerialAllocs = 0
+	}
+	a.Reset()
+	if err := rep.WriteJSON(&a); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if err := rep2.WriteJSON(&b); err != nil {
+		t.Fatalf("WriteJSON (2nd): %v", err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("same config, different JSON bytes")
+	}
+}
+
+func TestEngineBenchTable(t *testing.T) {
+	res := runNamed(t, "enginebench")
+	if len(res.TableRows) == 0 {
+		t.Fatal("no rows")
+	}
+	if len(res.TableHeader) != len(res.TableRows[0]) {
+		t.Errorf("header/row width mismatch: %d vs %d", len(res.TableHeader), len(res.TableRows[0]))
+	}
+}

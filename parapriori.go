@@ -32,6 +32,7 @@ import (
 	"parapriori/internal/apriori"
 	"parapriori/internal/cluster"
 	"parapriori/internal/core"
+	"parapriori/internal/countengine"
 	"parapriori/internal/datagen"
 	"parapriori/internal/hashtree"
 	"parapriori/internal/itemset"
@@ -140,6 +141,15 @@ type MineOptions struct {
 	// dropped entirely.  Identical results, less data scanned in later
 	// passes.  Serial mining only; incompatible with MemoryBytes.
 	DHPTrim bool
+	// Engine selects the support-counting backend: "hashtree" (the paper's
+	// candidate hash tree, the default), "trie" (flat prefix-compressed
+	// trie over dense items) or "bitset" (vertical per-item TID bitmaps,
+	// support by intersection).  Every backend mines identical itemsets;
+	// they differ in the operations counting spends, and therefore in
+	// virtual time.  CountEngines lists the registered names.  Parallel
+	// runs support non-default engines on CD, IDD and HD; the DHP knobs
+	// require the hash tree.
+	Engine string
 }
 
 func (o MineOptions) params() apriori.Params {
@@ -150,8 +160,13 @@ func (o MineOptions) params() apriori.Params {
 		MemoryBytes: o.MemoryBytes,
 		DHPBuckets:  o.DHPBuckets,
 		DHPTrim:     o.DHPTrim,
+		Engine:      o.Engine,
 	}
 }
+
+// CountEngines returns the registered support-counting backend names, in
+// sorted order — the values MineOptions.Engine accepts.
+func CountEngines() []string { return countengine.Names() }
 
 // Mine runs the serial Apriori algorithm.  Options are validated first;
 // misconfigurations return a *OptionError naming the field.

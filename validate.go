@@ -1,6 +1,10 @@
 package parapriori
 
-import "fmt"
+import (
+	"fmt"
+
+	"parapriori/internal/countengine"
+)
 
 // OptionError reports an invalid or contradictory field in an options
 // struct.  Mine, MineParallel and GenerateRulesOn validate before running,
@@ -68,6 +72,12 @@ func (o MineOptions) validate(strct string, serial bool) error {
 	if o.DHPTrim && o.MemoryBytes > 0 {
 		return optErr(strct, "DHPTrim", "incompatible with MemoryBytes: trimming rewrites the transactions the multi-scan passes must rescan")
 	}
+	if !countengine.Known(o.Engine) {
+		return optErr(strct, "Engine", "unknown engine %q (want one of %v)", o.Engine, countengine.Names())
+	}
+	if o.Engine != "" && o.Engine != countengine.Default && (o.DHPBuckets > 0 || o.DHPTrim) {
+		return optErr(strct, "Engine", "DHP filtering requires the hashtree engine, not %q", o.Engine)
+	}
 	return nil
 }
 
@@ -126,6 +136,13 @@ func (o ParallelOptions) Validate() error {
 	case "", "coordinated", "asymmetric":
 	default:
 		return optErr(strct, "Recovery", "unknown mode %q (want coordinated or asymmetric)", o.Recovery)
+	}
+	if o.Engine != "" && o.Engine != countengine.Default {
+		switch o.Algorithm {
+		case CD, IDD, HD:
+		default:
+			return optErr(strct, "Engine", "counting engine %q supports cd, idd and hd, not %q", o.Engine, string(o.Algorithm))
+		}
 	}
 	return nil
 }
