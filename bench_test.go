@@ -232,7 +232,7 @@ func BenchmarkParallelRuleGeneration(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := GenerateRulesParallel(res, 8, Machine{}, 0.5); err != nil {
+		if _, err := GenerateRulesOn(res, RuleGenOptions{Procs: 8, MinConfidence: 0.5}); err != nil {
 			b.Fatal(err)
 		}
 	}

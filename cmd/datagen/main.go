@@ -5,6 +5,12 @@
 // Usage:
 //
 //	datagen -n 100000 -items 1000 -tlen 15 -plen 6 -o t15i6.dat
+//	datagen -n 50000000 -store big/ -partitions 64
+//
+// With -store the transactions are streamed straight from the generator
+// into a partitioned on-disk dataset (one block resident at a time), so the
+// database can be far larger than memory; mine it with
+// `parminer -backend ooc -store <dir>`.
 package main
 
 import (
@@ -26,6 +32,9 @@ func main() {
 		seed   = flag.Int64("seed", 1, "random seed")
 		out    = flag.String("o", "", "output file (default stdout)")
 		format = flag.String("format", "text", "output format: text (basket lines) or binary (compact)")
+		store  = flag.String("store", "", "write a partitioned on-disk dataset into this directory instead of a flat file, streaming from the generator")
+		nparts = flag.Int("partitions", 0, "partition count for -store (0 = size-rolled)")
+		blockB = flag.Int("blockbytes", 0, "block size in bytes for -store (0 = default)")
 	)
 	flag.Parse()
 
@@ -37,6 +46,24 @@ func main() {
 	opts.NumPatterns = *pats
 	opts.Correlation = *corr
 	opts.Seed = *seed
+
+	if *store != "" {
+		src, err := parapriori.GenerateSource(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+			os.Exit(1)
+		}
+		ds, err := parapriori.WritePartitionedDataset(*store, src,
+			parapriori.PartitionOptions{Partitions: *nparts, BlockBytes: *blockB})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+			os.Exit(1)
+		}
+		info := ds.Info()
+		fmt.Fprintf(os.Stderr, "datagen: wrote %d transactions, %d items, %d partitions to %s\n",
+			info.NumTxns, info.NumItems, ds.Partitions(), *store)
+		return
+	}
 
 	data, err := parapriori.Generate(opts)
 	if err != nil {

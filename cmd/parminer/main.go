@@ -9,6 +9,12 @@
 //	parminer -algo hpa -p 8 -minsup 0.01 t15i6.dat
 //	parminer -algo idd -p 16 -machine sp2 -minsup 0.005 -passes t15i6.dat
 //	parminer -algo idd -p 8 -minsup 0.01 -trace trace.json t15i6.dat
+//	parminer -algo cd -p 16 -minsup 0.01 -backend ooc -store big/
+//
+// With -store the transactions come from a partitioned on-disk dataset
+// (written by datagen -store or parapriori.WritePartitionedDataset) instead
+// of a flat file; -backend ooc mines it out of core, each emulated
+// processor streaming its own partition files one block at a time.
 //
 // -trace writes the run's span trace as Perfetto-loadable JSON (inspect it
 // with cmd/trace or load it at ui.perfetto.dev); -timeline renders the text
@@ -108,24 +114,51 @@ func main() {
 		asJSON   = flag.Bool("json", false, "emit a JSON summary instead of text")
 		itemsets = flag.Bool("itemsets", false, "print the frequent itemsets")
 		engine   = flag.String("engine", "", "counting engine: "+strings.Join(parapriori.CountEngines(), ", ")+" (default hashtree; cd/idd/hd only)")
+		storeDir = flag.String("store", "", "mine a partitioned dataset directory (datagen -store) instead of a transaction file")
+		backend  = flag.String("backend", "", "execution backend: inmem (default) or ooc (out of core; requires -store, cd/idd/hd only)")
 	)
 	flag.Parse()
 
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: parminer [flags] <transactions.dat>")
+	var (
+		data  *parapriori.Dataset
+		src   parapriori.TxSource
+		nTxns int
+	)
+	switch {
+	case *storeDir != "":
+		if flag.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "parminer: -store and a transaction file are mutually exclusive")
+			os.Exit(2)
+		}
+		store, err := parapriori.OpenPartitionedDataset(*storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parminer: %v\n", err)
+			os.Exit(1)
+		}
+		src = store
+		nTxns = store.Info().NumTxns
+	case flag.NArg() == 1:
+		if *backend == "ooc" {
+			fmt.Fprintln(os.Stderr, "parminer: -backend ooc requires -store")
+			os.Exit(2)
+		}
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parminer: %v\n", err)
+			os.Exit(1)
+		}
+		d, err := parapriori.ReadDataset(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parminer: %v\n", err)
+			os.Exit(1)
+		}
+		data = d
+		nTxns = d.Len()
+	default:
+		fmt.Fprintln(os.Stderr, "usage: parminer [flags] <transactions.dat>\n       parminer [flags] -store <dir>")
 		flag.PrintDefaults()
 		os.Exit(2)
-	}
-	f, err := os.Open(flag.Arg(0))
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "parminer: %v\n", err)
-		os.Exit(1)
-	}
-	defer f.Close()
-	data, err := parapriori.ReadDataset(f)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "parminer: %v\n", err)
-		os.Exit(1)
 	}
 
 	preset, ok := parapriori.MachineByName(*machine)
@@ -140,13 +173,14 @@ func main() {
 		rec = parapriori.NewSpanCollector()
 	}
 	popt := parapriori.ParallelOptions{
-		MineOptions: parapriori.MineOptions{MinSupport: *minsup, Engine: *engine},
+		MineOptions: parapriori.MineOptions{MinSupport: *minsup, Engine: *engine, Source: src},
 		Algorithm:   parapriori.Algorithm(*algoName),
 		Procs:       *procs,
 		Machine:     mach,
 		HDThreshold: *hdm,
 		FixedG:      *fixedG,
 		Trace:       *timeline,
+		Backend:     *backend,
 	}
 	if rec != nil {
 		popt.Recorder = rec
@@ -170,7 +204,7 @@ func main() {
 	}
 
 	fmt.Printf("algorithm %s on %d procs (%s): %d transactions, minsup %.4g\n",
-		rep.Algo, rep.P, mach.Name, data.Len(), *minsup)
+		rep.Algo, rep.P, mach.Name, nTxns, *minsup)
 	fmt.Printf("frequent itemsets: %d\n", rep.Result.NumFrequent())
 	fmt.Printf("virtual response time: %.6f s (emulated %v wall)\n", rep.ResponseTime, rep.Wall.Round(1e6))
 	fmt.Printf("compute %.6f s, idle %.6f s, i/o %.6f s, sent %d MB in %d messages\n",

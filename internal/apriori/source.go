@@ -1,0 +1,137 @@
+package apriori
+
+import (
+	"fmt"
+
+	"parapriori/internal/countengine"
+	"parapriori/internal/itemset"
+)
+
+// MineSource runs the serial Apriori algorithm over a streaming transaction
+// source.  An in-memory *Dataset takes the Mine fast path unchanged; any
+// other source (a partitioned store, a file) is scanned block by block —
+// once per pass, or once per hash-tree partition under a memory cap — so
+// the resident set is the counting structure plus one block, never the
+// database.  Counts are accumulated in candidate order exactly as Mine
+// accumulates them, so the results are identical for identical transaction
+// multisets.
+//
+// The DHP knobs are rejected: the pair filter and trimming both assume a
+// resident working copy of the transactions, which is the very thing a
+// streaming source exists to avoid.
+func MineSource(src itemset.Source, p Params) (*Result, error) {
+	if d, ok := src.(*itemset.Dataset); ok {
+		return Mine(d, p)
+	}
+	if p.DHPBuckets > 0 || p.DHPTrim {
+		return nil, fmt.Errorf("apriori: DHP filtering requires an in-memory dataset, not a streaming source")
+	}
+	info := src.Info()
+	engB, err := countengine.New(p.Engine, countengine.Config{Tree: p.Tree, NumItems: info.NumItems})
+	if err != nil {
+		return nil, fmt.Errorf("apriori: %w", err)
+	}
+	minCount := p.MinCount(info.NumTxns)
+	res := &Result{N: info.NumTxns, MinCount: minCount}
+
+	f1, stats1, err := FirstPassSource(src, minCount)
+	if err != nil {
+		return nil, fmt.Errorf("apriori: pass 1: %w", err)
+	}
+	res.Levels = append(res.Levels, f1)
+	res.Passes = append(res.Passes, stats1)
+
+	prev := frequentItemsets(f1)
+	for k := 2; len(prev) > 0; k++ {
+		if p.MaxPasses > 0 && k > p.MaxPasses {
+			break
+		}
+		cands := Gen(prev)
+		if len(cands) == 0 {
+			break
+		}
+		level, stats, err := countSource(src, info, k, cands, p, engB)
+		if err != nil {
+			return nil, fmt.Errorf("apriori: pass %d: %w", k, err)
+		}
+		frequent := Prune(level, minCount)
+		stats.K = k
+		stats.Frequent = len(frequent)
+		res.Levels = append(res.Levels, frequent)
+		res.Passes = append(res.Passes, stats)
+		if len(frequent) == 0 {
+			break
+		}
+		prev = frequentItemsets(frequent)
+	}
+	return res, nil
+}
+
+// FirstPassSource computes F1 with one streaming array-counting scan.
+func FirstPassSource(src itemset.Source, minCount int64) ([]Frequent, PassStats, error) {
+	info := src.Info()
+	counts := make([]int64, info.NumItems)
+	var bytes int64
+	err := src.Blocks(func(blk []itemset.Transaction) error {
+		for _, t := range blk {
+			bytes += int64(t.Bytes())
+			for _, it := range t.Items {
+				counts[it]++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, PassStats{}, err
+	}
+	var f1 []Frequent
+	for it, c := range counts {
+		if c >= minCount {
+			f1 = append(f1, Frequent{Items: itemset.Itemset{itemset.Item(it)}, Count: c})
+		}
+	}
+	return f1, PassStats{
+		K:            1,
+		Candidates:   info.NumItems,
+		Frequent:     len(f1),
+		TreeParts:    1,
+		BytesScanned: bytes,
+	}, nil
+}
+
+// countSource is countWithEngine over a streaming source: the same
+// candidate partitioning, with each partition's counting structure fed by a
+// fresh scan of the source.
+func countSource(src itemset.Source, info itemset.SourceInfo, k int, cands []itemset.Itemset, p Params, engB countengine.Builder) ([]Frequent, PassStats, error) {
+	stats := PassStats{K: k, Candidates: len(cands), GenCandidates: len(cands)}
+	parts := TreeParts(len(cands), k, p)
+	stats.TreeParts = parts
+
+	out := make([]Frequent, len(cands))
+	for part := 0; part < parts; part++ {
+		lo, hi := part*len(cands)/parts, (part+1)*len(cands)/parts
+		if lo == hi {
+			continue
+		}
+		eng, err := engB.NewPass(k, cands[lo:hi])
+		if err != nil {
+			return nil, stats, err
+		}
+		if m := eng.MemoryBytes(); m > stats.TreeMemory {
+			stats.TreeMemory = m
+		}
+		if err := src.Blocks(func(blk []itemset.Transaction) error {
+			eng.CountBlock(blk, nil)
+			return nil
+		}); err != nil {
+			return nil, stats, err
+		}
+		counts := eng.Counts()
+		stats.BytesScanned += info.Bytes
+		stats.Tree.Add(eng.Stats().TreeStats())
+		for i := lo; i < hi; i++ {
+			out[i] = Frequent{Items: cands[i], Count: counts[i-lo]}
+		}
+	}
+	return out, stats, nil
+}

@@ -52,8 +52,17 @@ type Machine struct {
 	// Compute cost constants, seconds per operation.  They correspond to
 	// the t_travers / t_check terms of the Section IV analysis plus the
 	// hash-tree construction and reduction work.
-	TTravers float64 // per hash-tree traversal step
-	TCheck   float64 // per candidate containment test at a leaf
+	TTravers float64 // per hash-tree traversal step (pointer chase)
+	// TArray is the cost of one contiguous-array navigation step (the trie
+	// engine's merge-join comparison or gallop probe).  The same abstract
+	// role as TTravers but far cheaper: a compare-and-branch over packed
+	// int32 arrays that the hardware prefetcher keeps in cache, versus a
+	// hash step whose child lookup is a dependent load that typically
+	// misses.  Calibrated at roughly TTravers/8 — the DESIGN.md derivation
+	// counts ~3-4 cycles for the compare against the ~25-30 cycle average
+	// of a hash step once misses are amortized in.
+	TArray float64
+	TCheck float64 // per candidate containment test at a leaf
 	TInsert  float64 // per candidate insertion during tree construction
 	TGen     float64 // per candidate produced by apriori_gen (replicated work)
 	TItem    float64 // per item touched in scanning work (F1, filtering)
@@ -82,6 +91,7 @@ func T3E() Machine {
 		// 600 MHz EV5: a hash step is a few tens of cycles once cache
 		// misses are counted; a leaf check walks two short sorted lists.
 		TTravers: 120e-9,
+		TArray:   15e-9,
 		TCheck:   80e-9,
 		TInsert:  500e-9,
 		TGen:     150e-9,
@@ -104,6 +114,7 @@ func SP2() Machine {
 		IOBandwidth: 20e6,
 		// The Power2 runs at a ninth of the EV5's clock.
 		TTravers: 900e-9,
+		TArray:   110e-9,
 		TCheck:   600e-9,
 		TInsert:  3500e-9,
 		TGen:     1100e-9,
@@ -127,6 +138,7 @@ func COW() Machine {
 		Overlap:     false,
 		IOBandwidth: 30e6,
 		TTravers:    100e-9,
+		TArray:      12e-9,
 		TCheck:      70e-9,
 		TInsert:     450e-9,
 		TGen:        130e-9,

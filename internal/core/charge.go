@@ -48,11 +48,15 @@ func chargeEngineBuild(p *cluster.Proc, delta countengine.Stats) {
 // chargeEngineCount charges a counting delta: node navigation at t_travers
 // plus candidate checks at t_check (the hash-tree terms, charged with the
 // identical expression so the default engine's clock is unchanged), then
-// any bitmap word work at t_word and per-item streaming work at t_item —
-// operation kinds only the new backends spend.
+// contiguous-array navigation at t_array, bitmap word work at t_word, and
+// per-item streaming work at t_item — operation kinds only the new
+// backends spend.
 func chargeEngineCount(p *cluster.Proc, delta countengine.Stats) {
 	m := p.Machine()
 	p.Compute(float64(delta.NodeSteps)*m.TTravers+float64(delta.CandChecks)*m.TCheck, "subset")
+	if delta.ArraySteps > 0 {
+		p.Compute(float64(delta.ArraySteps)*m.TArray, "subset")
+	}
 	if delta.WordOps > 0 {
 		p.Compute(float64(delta.WordOps)*m.TWord, "subset")
 	}

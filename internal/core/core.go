@@ -29,6 +29,7 @@ import (
 	"parapriori/internal/hashtree"
 	"parapriori/internal/itemset"
 	"parapriori/internal/obsv"
+	"parapriori/internal/txstore"
 )
 
 // Algorithm selects a parallel formulation.
@@ -116,6 +117,14 @@ type Params struct {
 	// empty defaults to RecoveryCoordinated.  See the RecoveryMode
 	// constants.
 	Recovery RecoveryMode
+	// Backend selects the execution backend: BackendInMem (the default)
+	// mines a resident *Dataset; BackendOOC streams Store's partition
+	// files.  See the ExecBackend constants.
+	Backend ExecBackend
+	// Store is the opened partitioned transaction store the ooc backend
+	// mines.  Required (and only meaningful) with Backend == BackendOOC,
+	// in which case Mine's data argument must be nil.
+	Store *txstore.Store
 }
 
 // RecoveryMode selects the rollback strategy after a rank crash.
@@ -156,6 +165,9 @@ func (p Params) withDefaults() Params {
 	if p.Recovery == "" {
 		p.Recovery = RecoveryCoordinated
 	}
+	if p.Backend == "" {
+		p.Backend = BackendInMem
+	}
 	return p
 }
 
@@ -192,6 +204,26 @@ func (p Params) validate() error {
 	}
 	if !countengine.Known(p.Apriori.Engine) {
 		return fmt.Errorf("core: unknown counting engine %q (want one of %v)", p.Apriori.Engine, countengine.Names())
+	}
+	switch p.Backend {
+	case "", BackendInMem:
+		if p.Store != nil {
+			return fmt.Errorf("core: Params.Store requires Backend %q", BackendOOC)
+		}
+	case BackendOOC:
+		if p.Store == nil {
+			return fmt.Errorf("core: backend %q requires Params.Store", BackendOOC)
+		}
+		switch p.Algo {
+		case CD, IDD, HD:
+		default:
+			return fmt.Errorf("core: backend %q supports cd, idd and hd, not %q", BackendOOC, p.Algo)
+		}
+		if p.Faults != nil {
+			return fmt.Errorf("core: backend %q does not support fault injection", BackendOOC)
+		}
+	default:
+		return fmt.Errorf("core: unknown backend %q (want %q or %q)", p.Backend, BackendInMem, BackendOOC)
 	}
 	if p.Apriori.Engine != "" && p.Apriori.Engine != countengine.Default {
 		switch p.Algo {
@@ -313,6 +345,22 @@ func Mine(data *itemset.Dataset, prm Params) (*Report, error) {
 	}
 	start := time.Now() //checkinv:allow walltime — the Wall stat reports real elapsed time and never enters the virtual clock
 
+	var numItems, nTxns int
+	var shards []*itemset.Dataset
+	if prm.Backend == BackendOOC {
+		if data != nil {
+			return nil, fmt.Errorf("core: backend %q mines from Params.Store; the dataset argument must be nil", BackendOOC)
+		}
+		info := prm.Store.Info()
+		numItems, nTxns = info.NumItems, info.NumTxns
+	} else {
+		if data == nil {
+			return nil, fmt.Errorf("core: nil dataset")
+		}
+		numItems, nTxns = data.NumItems, data.Len()
+		shards = data.Split(prm.P)
+	}
+
 	cl, err := cluster.New(prm.P, prm.Machine)
 	if err != nil {
 		return nil, err
@@ -323,7 +371,6 @@ func Mine(data *itemset.Dataset, prm Params) (*Report, error) {
 	if err := cl.InstallFaults(prm.Faults); err != nil {
 		return nil, err
 	}
-	shards := data.Split(prm.P)
 
 	active := make([]int, prm.P)
 	owned := make([][]int, prm.P)
@@ -333,7 +380,7 @@ func Mine(data *itemset.Dataset, prm Params) (*Report, error) {
 	}
 	engB, err := countengine.New(prm.Apriori.Engine, countengine.Config{
 		Tree:     prm.Apriori.Tree,
-		NumItems: data.NumItems,
+		NumItems: numItems,
 	})
 	if err != nil {
 		return nil, err
@@ -343,8 +390,11 @@ func Mine(data *itemset.Dataset, prm Params) (*Report, error) {
 		cl:          cl,
 		world:       cl.World(),
 		data:        data,
+		store:       prm.Store,
+		numItems:    numItems,
+		nTxns:       nTxns,
 		shards:      shards,
-		minCount:    prm.Apriori.MinCount(data.Len()),
+		minCount:    prm.Apriori.MinCount(nTxns),
 		perProc:     make([]procTrace, prm.P),
 		active:      active,
 		ownedShards: owned,
@@ -409,6 +459,13 @@ type run struct {
 	shards   []*itemset.Dataset
 	minCount int64
 	perProc  []procTrace
+
+	// store, numItems and nTxns carry the out-of-core backend's state: the
+	// opened partition store and the database dimensions its manifest
+	// declares (data is nil on an ooc run).
+	store    *txstore.Store
+	numItems int
+	nTxns    int
 
 	// active lists the global ranks still participating, in ascending
 	// order; vrank inverts it (-1 for removed ranks).  The grid engine
@@ -514,7 +571,7 @@ func (r *run) firstActive() int {
 // assembleResult builds the apriori.Result from the first active
 // processor's levels.
 func (r *run) assembleResult() *apriori.Result {
-	res := &apriori.Result{N: r.data.Len(), MinCount: r.minCount}
+	res := &apriori.Result{N: r.txnCount(), MinCount: r.minCount}
 	res.Levels = r.perProc[r.firstActive()].levels
 	for _, pl := range r.perProc[r.firstActive()].passes {
 		res.Passes = append(res.Passes, apriori.PassStats{

@@ -43,7 +43,14 @@ func (r *run) gridBody(p *cluster.Proc) error {
 	r.chargeRestore(p, tr)
 	var prev []apriori.Frequent
 	if len(tr.levels) == 0 {
-		prev = r.firstPass(p, tr)
+		if r.ooc() {
+			var err error
+			if prev, err = r.firstPassOOC(p, tr); err != nil {
+				return err
+			}
+		} else {
+			prev = r.firstPass(p, tr)
+		}
 		tr.levels = append(tr.levels, prev)
 		ckStart := p.Clock()
 		if err := r.checkpoint(p, prev); err != nil {
@@ -88,7 +95,7 @@ func (r *run) gridBody(p *cluster.Proc) error {
 			myCands = asg.PerProc[row]
 			candImbalance = asg.Imbalance()
 			chargeScan(p, int64(len(cands)), "partition")
-			bm := bitmap.New(r.data.NumItems)
+			bm := bitmap.New(r.itemCount())
 			for _, c := range myCands {
 				bm.Set(int(c[0]))
 			}
@@ -109,9 +116,13 @@ func (r *run) gridBody(p *cluster.Proc) error {
 
 		computeBefore := p.Stats().ComputeTime
 		var passTree hashtree.Stats
-		var bytesMoved int64
+		var bytesMoved, bytesRead int64
 		var frequentLocal []apriori.Frequent
-		pages, shardBytes := r.ownedPages(p.ID())
+		var pages [][]itemset.Transaction
+		var shardBytes int64
+		if !r.ooc() {
+			pages, shardBytes = r.ownedPages(p.ID())
+		}
 
 		// Every processor joins every part's ring shift and reduction even
 		// if its own candidate share is empty (a row can receive zero
@@ -148,15 +159,31 @@ func (r *run) gridBody(p *cluster.Proc) error {
 			}
 
 			countStart := p.Clock()
-			p.ReadIO(shardBytes, "io")
-			bytesMoved += ringCount(p, colComm, fmt.Sprintf("k%d.p%d/ring", k, part), pages, process)
+			if r.ooc() {
+				// Out of core, every block's real on-disk size is charged as
+				// it is read (inside the stream) instead of one modeled
+				// charge for the whole shard.
+				moved, read, err := r.ringCountStream(p, colComm, fmt.Sprintf("k%d.p%d/ring", k, part), process)
+				if err != nil {
+					return fmt.Errorf("pass %d: %w", k, err)
+				}
+				bytesMoved += moved
+				bytesRead += read
+			} else {
+				p.ReadIO(shardBytes, "io")
+				bytesMoved += ringCount(p, colComm, fmt.Sprintf("k%d.p%d/ring", k, part), pages, process)
+			}
 			// Deferred backends (bitset) intersect their bitmaps inside
 			// Counts; snapshotting around the call folds that work into the
 			// count section.  The hash tree and trie charge nothing here.
 			countsBefore := eng.Stats()
 			counts := eng.Counts()
 			chargeEngineCount(p, countengine.Delta(countsBefore, eng.Stats()))
-			r.sec(p, "count", countStart, obsv.Int("k", int64(k)), obsv.Int("part", int64(part)))
+			countArgs := []obsv.Attr{obsv.Int("k", int64(k)), obsv.Int("part", int64(part))}
+			if r.ooc() {
+				countArgs = append(countArgs, obsv.Int("read_bytes", bytesRead))
+			}
+			r.sec(p, "count", countStart, countArgs...)
 
 			redStart := p.Clock()
 			global := rowComm.AllReduceInt64(p, fmt.Sprintf("k%d.p%d/red", k, part), counts)

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"parapriori/internal/apriori"
+	"parapriori/internal/cluster"
+	"parapriori/internal/countengine"
+	"parapriori/internal/datagen"
+	"parapriori/internal/itemset"
+	"parapriori/internal/txstore"
+)
+
+// oocFixture spills a generated dataset into a partitioned store with
+// deliberately small blocks, so every pass crosses many block boundaries.
+func oocFixture(t *testing.T) (*itemset.Dataset, *txstore.Store) {
+	t.Helper()
+	gp := datagen.Defaults()
+	gp.NumTransactions = 1200
+	gp.NumItems = 100
+	gp.NumPatterns = 60
+	gp.AvgTxnLen = 10
+	gp.AvgPatternLen = 4
+	gp.Seed = 21
+	data, err := datagen.Generate(gp)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	dir := t.TempDir()
+	if _, err := txstore.Spill(dir, data, txstore.Options{Partitions: 5, BlockBytes: 2048}); err != nil {
+		t.Fatalf("spill: %v", err)
+	}
+	store, err := txstore.Open(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	return data, store
+}
+
+// TestOOCBitIdentical is the out-of-core backend's central property: the
+// backend is a *where the transactions live*, never a *what is mined*.
+// Streaming the partition files must produce the byte-identical WriteResult
+// output of the in-memory backend, for every engine, serially and under
+// every grid formulation.
+func TestOOCBitIdentical(t *testing.T) {
+	data, store := oocFixture(t)
+	const minsup = 0.02
+
+	serialize := func(res *apriori.Result) []byte {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := apriori.WriteResult(&buf, res); err != nil {
+			t.Fatalf("serialize: %v", err)
+		}
+		return buf.Bytes()
+	}
+
+	baseRes, err := apriori.Mine(data, apriori.Params{MinSupport: minsup})
+	if err != nil {
+		t.Fatalf("baseline mine: %v", err)
+	}
+	baseline := serialize(baseRes)
+	if baseRes.NumFrequent() == 0 {
+		t.Fatal("trivial workload, no frequent itemsets")
+	}
+
+	for _, eng := range countengine.Names() {
+		t.Run("serial/"+eng, func(t *testing.T) {
+			res, err := apriori.MineSource(store, apriori.Params{MinSupport: minsup, Engine: eng})
+			if err != nil {
+				t.Fatalf("mine source: %v", err)
+			}
+			if !bytes.Equal(serialize(res), baseline) {
+				t.Error("streaming serial result differs from in-memory baseline")
+			}
+		})
+		for _, algo := range []Algorithm{CD, IDD, HD} {
+			t.Run(string(algo)+"/"+eng, func(t *testing.T) {
+				inmem, err := Mine(data, Params{
+					Algo: algo, P: 6,
+					Apriori: apriori.Params{MinSupport: minsup, Engine: eng},
+				})
+				if err != nil {
+					t.Fatalf("inmem mine: %v", err)
+				}
+				ooc, err := Mine(nil, Params{
+					Algo: algo, P: 6,
+					Apriori: apriori.Params{MinSupport: minsup, Engine: eng},
+					Backend: BackendOOC, Store: store,
+				})
+				if err != nil {
+					t.Fatalf("ooc mine: %v", err)
+				}
+				if !bytes.Equal(serialize(ooc.Result), baseline) {
+					t.Error("ooc result differs from serial baseline")
+				}
+				if !bytes.Equal(serialize(ooc.Result), serialize(inmem.Result)) {
+					t.Error("ooc result differs from inmem result")
+				}
+				if algo == IDD {
+					// IDD's columns span all ranks, so blocks must have
+					// actually ring-shifted.  (HD at this scale picks G=P,
+					// leaving singleton columns and no ring traffic — same
+					// as the in-memory backend.)
+					var moved int64
+					for _, pass := range ooc.Passes {
+						moved += pass.BytesMoved
+					}
+					if moved == 0 {
+						t.Error("ooc ring moved no bytes")
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestOOCMorePartitionsThanRanks exercises uneven and empty partition
+// ownership: more ranks than partitions and more partitions than ranks.
+func TestOOCMorePartitionsThanRanks(t *testing.T) {
+	data, _ := oocFixture(t)
+	const minsup = 0.02
+	base, err := apriori.Mine(data, apriori.Params{MinSupport: minsup})
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	var want bytes.Buffer
+	if err := apriori.WriteResult(&want, base); err != nil {
+		t.Fatalf("serialize: %v", err)
+	}
+	for _, parts := range []int{1, 3, 13} {
+		dir := t.TempDir()
+		if _, err := txstore.Spill(dir, data, txstore.Options{Partitions: parts, BlockBytes: 1024}); err != nil {
+			t.Fatalf("spill: %v", err)
+		}
+		store, err := txstore.Open(dir)
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		for _, procs := range []int{1, 4, 8} {
+			rep, err := Mine(nil, Params{
+				Algo: CD, P: procs,
+				Apriori: apriori.Params{MinSupport: minsup},
+				Backend: BackendOOC, Store: store,
+			})
+			if err != nil {
+				t.Fatalf("parts=%d p=%d: %v", parts, procs, err)
+			}
+			var got bytes.Buffer
+			if err := apriori.WriteResult(&got, rep.Result); err != nil {
+				t.Fatalf("serialize: %v", err)
+			}
+			if !bytes.Equal(got.Bytes(), want.Bytes()) {
+				t.Errorf("parts=%d p=%d: result differs from baseline", parts, procs)
+			}
+		}
+	}
+}
+
+// TestOOCValidation pins the backend seam's error surface.
+func TestOOCValidation(t *testing.T) {
+	data, store := oocFixture(t)
+	ap := apriori.Params{MinSupport: 0.02}
+
+	if _, err := Mine(nil, Params{Algo: CD, P: 2, Apriori: ap, Backend: BackendOOC}); err == nil {
+		t.Error("ooc without a store accepted")
+	}
+	if _, err := Mine(data, Params{Algo: CD, P: 2, Apriori: ap, Backend: BackendOOC, Store: store}); err == nil {
+		t.Error("ooc with a resident dataset accepted")
+	}
+	if _, err := Mine(data, Params{Algo: CD, P: 2, Apriori: ap, Store: store}); err == nil {
+		t.Error("inmem with a store accepted")
+	}
+	if _, err := Mine(nil, Params{Algo: DD, P: 2, Apriori: ap, Backend: BackendOOC, Store: store}); err == nil {
+		t.Error("ooc DD accepted")
+	}
+	if _, err := Mine(nil, Params{Algo: CD, P: 2, Apriori: ap, Backend: "mmap", Store: store}); err == nil {
+		t.Error("unknown backend accepted")
+	}
+	if _, err := Mine(nil, Params{Algo: CD, P: 2, Apriori: ap, Backend: BackendOOC, Store: store,
+		Faults: &cluster.FaultPlan{}}); err == nil {
+		t.Error("ooc with fault injection accepted")
+	}
+	if b, err := ParseBackend("ooc"); err != nil || b != BackendOOC {
+		t.Errorf("ParseBackend(ooc) = %v, %v", b, err)
+	}
+	if b, err := ParseBackend(""); err != nil || b != BackendInMem {
+		t.Errorf("ParseBackend(\"\") = %v, %v", b, err)
+	}
+	if _, err := ParseBackend("mmap"); err == nil {
+		t.Error("ParseBackend accepted an unknown backend")
+	}
+}

@@ -34,18 +34,23 @@ import (
 const Default = "hashtree"
 
 // Stats counts the abstract operations a backend performed, in the units of
-// the Section IV cost model: NodeSteps is charged at t_travers, CandChecks
-// at t_check, WordOps at t_word, ItemTouches at t_item, and BuildOps at
-// t_insert.  A backend only spends the operation kinds it actually
-// performs, so the virtual time charged for a pass reflects the work the
-// chosen structure really did.
+// the Section IV cost model: NodeSteps is charged at t_travers, ArraySteps
+// at t_array, CandChecks at t_check, WordOps at t_word, ItemTouches at
+// t_item, and BuildOps at t_insert.  A backend only spends the operation
+// kinds it actually performs, so the virtual time charged for a pass
+// reflects the work the chosen structure really did.
 type Stats struct {
 	// BuildOps is the structure-construction work: hash-tree candidate
 	// inserts, trie nodes materialized, bitmap columns registered.
 	BuildOps int64
-	// NodeSteps is per-node navigation work: hash steps, trie merge-join
-	// comparisons and gallop probes.
+	// NodeSteps is pointer-chasing navigation work: hash steps down an
+	// allocated-node tree, where each step risks a cache miss.
 	NodeSteps int64
+	// ArraySteps is contiguous-array navigation work: trie merge-join
+	// comparisons and gallop probes over flat per-level arrays.  The same
+	// abstract role as NodeSteps, but charged at the cheaper t_array
+	// because the access pattern is sequential over packed int32 arrays.
+	ArraySteps int64
 	// CandChecks is candidate-vs-transaction containment work: hash-tree
 	// leaf checks, trie leaf matches.
 	CandChecks int64
@@ -67,6 +72,7 @@ type Stats struct {
 func (s *Stats) Add(other Stats) {
 	s.BuildOps += other.BuildOps
 	s.NodeSteps += other.NodeSteps
+	s.ArraySteps += other.ArraySteps
 	s.CandChecks += other.CandChecks
 	s.WordOps += other.WordOps
 	s.ItemTouches += other.ItemTouches
@@ -79,6 +85,7 @@ func Delta(before, after Stats) Stats {
 	return Stats{
 		BuildOps:     after.BuildOps - before.BuildOps,
 		NodeSteps:    after.NodeSteps - before.NodeSteps,
+		ArraySteps:   after.ArraySteps - before.ArraySteps,
 		CandChecks:   after.CandChecks - before.CandChecks,
 		WordOps:      after.WordOps - before.WordOps,
 		ItemTouches:  after.ItemTouches - before.ItemTouches,
@@ -140,13 +147,13 @@ type Config struct {
 }
 
 // TreeStats maps the abstract counters onto the hash-tree counter names the
-// pass reports and figures are stated in: navigation work (including bitmap
-// word operations) appears as Traversals, containment work as LeafChecks.
-// For the "hashtree" backend the mapping is exact — the adapter's counters
-// round-trip to the tree's own.
+// pass reports and figures are stated in: navigation work (array steps and
+// bitmap word operations included) appears as Traversals, containment work
+// as LeafChecks.  For the "hashtree" backend the mapping is exact — the
+// adapter's counters round-trip to the tree's own.
 func (s Stats) TreeStats() hashtree.Stats {
 	return hashtree.Stats{
-		Traversals:   s.NodeSteps + s.WordOps,
+		Traversals:   s.NodeSteps + s.ArraySteps + s.WordOps,
 		LeafVisits:   s.CandVisits,
 		LeafChecks:   s.CandChecks,
 		Transactions: s.Transactions,

@@ -196,7 +196,7 @@ func (e *trieEngine) countTxn(txn itemset.Itemset, rootFilter func(itemset.Item)
 		if node < 0 {
 			continue
 		}
-		e.stats.NodeSteps++
+		e.stats.ArraySteps++
 		if rootFilter != nil && !rootFilter(e.orig[di]) {
 			continue
 		}
@@ -223,7 +223,7 @@ func (e *trieEngine) walk(level int, nlo, nhi int32, tpos int) {
 	need := e.k - level
 	a, b := nlo, tpos
 	for a < nhi && b+need <= len(buf) {
-		e.stats.NodeSteps++
+		e.stats.ArraySteps++
 		ni := lv.items[a]
 		tv := buf[b]
 		switch {
@@ -251,12 +251,12 @@ func (e *trieEngine) walk(level int, nlo, nhi int32, tpos int) {
 }
 
 // lowerBound returns the first index in items[lo:hi] holding a value >= v,
-// charging one NodeStep per probe.
+// charging one ArrayStep per probe.
 //
 //checkinv:hotpath
 func (e *trieEngine) lowerBound(items []int32, lo, hi, v int32) int32 {
 	for lo < hi {
-		e.stats.NodeSteps++
+		e.stats.ArraySteps++
 		mid := (lo + hi) / 2
 		if items[mid] < v {
 			lo = mid + 1

@@ -1,0 +1,66 @@
+package datagen
+
+import (
+	"parapriori/internal/itemset"
+)
+
+// source adapts the generator to itemset.Source: every Blocks call runs a
+// fresh, identically seeded Generator, so the stream is re-scannable and
+// deterministic without ever materializing the dataset.  The modeled byte
+// size in Info is computed lazily with one extra generation pass the first
+// time it is asked for.
+type source struct {
+	p     Params
+	bytes int64
+	sized bool
+}
+
+// Source returns a streaming transaction source for the workload described
+// by p.  Spilling it through txstore (or parapriori.WritePartitionedDataset)
+// produces a larger-than-memory database while only one block is ever
+// resident.
+func Source(p Params) (itemset.Source, error) {
+	// New validates p and exercises the pattern build; the generator itself
+	// is rebuilt per scan.
+	if _, err := New(p); err != nil {
+		return nil, err
+	}
+	return &source{p: p}, nil
+}
+
+func (s *source) Info() itemset.SourceInfo {
+	if !s.sized {
+		g, _ := New(s.p)
+		for i := 0; i < s.p.NumTransactions; i++ {
+			s.bytes += int64(g.Next().Bytes())
+		}
+		s.sized = true
+	}
+	return itemset.SourceInfo{
+		NumItems: s.p.NumItems,
+		NumTxns:  s.p.NumTransactions,
+		Bytes:    s.bytes,
+	}
+}
+
+func (s *source) Blocks(fn func(block []itemset.Transaction) error) error {
+	g, err := New(s.p)
+	if err != nil {
+		return err
+	}
+	const blockTxns = 4096
+	block := make([]itemset.Transaction, 0, blockTxns)
+	for i := 0; i < s.p.NumTransactions; i++ {
+		block = append(block, g.Next())
+		if len(block) == blockTxns {
+			if err := fn(block); err != nil {
+				return err
+			}
+			block = block[:0]
+		}
+	}
+	if len(block) > 0 {
+		return fn(block)
+	}
+	return nil
+}

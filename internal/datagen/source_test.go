@@ -1,0 +1,57 @@
+package datagen
+
+import (
+	"testing"
+
+	"parapriori/internal/itemset"
+)
+
+// TestSourceMatchesGenerate checks the streaming source yields exactly the
+// transactions Generate materializes, on every scan.
+func TestSourceMatchesGenerate(t *testing.T) {
+	p := Defaults()
+	p.NumTransactions = 3000
+	p.NumItems = 150
+	p.Seed = 11
+	want, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := Source(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := src.Info()
+	if info.NumTxns != p.NumTransactions || info.NumItems != p.NumItems {
+		t.Fatalf("Info = %+v, want %d txns over %d items", info, p.NumTransactions, p.NumItems)
+	}
+	var modeled int64
+	for i := 0; i < want.Len(); i++ {
+		modeled += int64(want.Transactions[i].Bytes())
+	}
+	if info.Bytes != modeled {
+		t.Errorf("Info.Bytes = %d, want %d", info.Bytes, modeled)
+	}
+	for scan := 0; scan < 2; scan++ {
+		i := 0
+		err := src.Blocks(func(blk []itemset.Transaction) error {
+			for _, tx := range blk {
+				w := want.Transactions[i]
+				if tx.ID != w.ID || !tx.Items.Equal(w.Items) {
+					t.Fatalf("scan %d txn %d: got %v, want %v", scan, i, tx, w)
+				}
+				i++
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i != want.Len() {
+			t.Fatalf("scan %d streamed %d txns, want %d", scan, i, want.Len())
+		}
+	}
+	if _, err := Source(Params{NumTransactions: -1}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestOutOfCoreQuick(t *testing.T) {
+	res := runNamed(t, "outofcore")
+	if len(res.Series) != 2 || res.Series[0].Name != "inmem" || res.Series[1].Name != "ooc" {
+		t.Fatalf("series = %+v, want inmem and ooc", res.Series)
+	}
+	// Quick mode runs the base size and the 10x size.
+	if len(res.TableRows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(res.TableRows))
+	}
+	for _, s := range res.Series {
+		if len(s.Points) != len(res.TableRows) {
+			t.Errorf("series %s has %d points, want %d", s.Name, len(s.Points), len(res.TableRows))
+		}
+	}
+	// OutOfCore itself errors on divergence, but pin the reported column too.
+	for _, row := range res.TableRows {
+		if row[len(row)-1] != "true" {
+			t.Errorf("row %v not marked identical", row)
+		}
+		for _, col := range []int{4, 5} { // response-time columns
+			v, err := strconv.ParseFloat(row[col], 64)
+			if err != nil || v <= 0 {
+				t.Errorf("row %v column %d: not a positive response time", row, col)
+			}
+		}
+	}
+	// The database grows 10x between the rows; the in-memory mine holds all
+	// of it, so its peak must grow.  The memory *flatness* of the ooc column
+	// only shows at full scale (see cmd/experiments -run outofcore): at the
+	// quick workload the counting structures dominate both backends.
+	first, last := res.Series[0].Points[0].Y, res.Series[0].Points[len(res.Series[0].Points)-1].Y
+	if last <= first {
+		t.Errorf("inmem peak did not grow with the database: %.1f -> %.1f MB", first, last)
+	}
+}

@@ -25,6 +25,76 @@ const (
 	binaryVersion = 1
 )
 
+// AppendTransaction appends the varint/delta encoding of one transaction to
+// dst and returns the extended slice: ID delta from prevID, item count, then
+// item gaps (first item absolute).  This is the per-transaction unit of the
+// binary dataset format, shared by WriteBinary and the partitioned
+// transaction store (internal/txstore), whose partition files chain prevID
+// across blocks exactly as WriteBinary chains it across the stream.
+func AppendTransaction(dst []byte, t Transaction, prevID int64) ([]byte, error) {
+	if t.ID < prevID {
+		return dst, fmt.Errorf("itemset: transaction IDs must be non-decreasing (%d after %d)", t.ID, prevID)
+	}
+	if !t.Items.Valid() {
+		return dst, fmt.Errorf("itemset: transaction %d: items not strictly increasing", t.ID)
+	}
+	dst = binary.AppendUvarint(dst, uint64(t.ID-prevID))
+	dst = binary.AppendUvarint(dst, uint64(len(t.Items)))
+	prev := Item(0)
+	for j, it := range t.Items {
+		delta := uint64(it)
+		if j > 0 {
+			delta = uint64(it - prev)
+		}
+		dst = binary.AppendUvarint(dst, delta)
+		prev = it
+	}
+	return dst, nil
+}
+
+// DecodeTransaction decodes one transaction encoded by AppendTransaction
+// from buf, appending its items to the items slice (an arena the caller may
+// reuse across calls).  It returns the transaction ID, the extended items
+// slice, the number of bytes consumed, or an error if the encoding is
+// malformed or an item falls outside [0, numItems).
+func DecodeTransaction(buf []byte, prevID int64, numItems int, items []Item) (id int64, out []Item, n int, err error) {
+	idDelta, w := binary.Uvarint(buf)
+	if w <= 0 {
+		return 0, items, 0, fmt.Errorf("itemset: truncated transaction ID")
+	}
+	n = w
+	id = prevID + int64(idDelta)
+	count, w := binary.Uvarint(buf[n:])
+	if w <= 0 {
+		return 0, items, 0, fmt.Errorf("itemset: transaction %d: truncated item count", id)
+	}
+	n += w
+	if count > uint64(numItems) {
+		return 0, items, 0, fmt.Errorf("itemset: transaction %d: %d items exceeds vocabulary %d", id, count, numItems)
+	}
+	prev := Item(0)
+	for j := uint64(0); j < count; j++ {
+		delta, w := binary.Uvarint(buf[n:])
+		if w <= 0 {
+			return 0, items, 0, fmt.Errorf("itemset: transaction %d item %d: truncated", id, j)
+		}
+		n += w
+		if j == 0 {
+			prev = Item(delta)
+		} else {
+			if delta == 0 {
+				return 0, items, 0, fmt.Errorf("itemset: transaction %d item %d: zero gap (duplicate item)", id, j)
+			}
+			prev += Item(delta)
+		}
+		if int(prev) >= numItems || prev < 0 {
+			return 0, items, 0, fmt.Errorf("itemset: transaction %d item %d: item %d outside vocabulary %d", id, j, prev, numItems)
+		}
+		items = append(items, prev)
+	}
+	return id, items, n, nil
+}
+
 // WriteBinary encodes the dataset in the compact binary format.
 func WriteBinary(w io.Writer, d *Dataset) error {
 	bw := bufio.NewWriter(w)
@@ -34,43 +104,22 @@ func WriteBinary(w io.Writer, d *Dataset) error {
 	if err := bw.WriteByte(binaryVersion); err != nil {
 		return fmt.Errorf("itemset: writing binary dataset: %w", err)
 	}
-	var buf [binary.MaxVarintLen64]byte
-	put := func(v uint64) error {
-		n := binary.PutUvarint(buf[:], v)
-		_, err := bw.Write(buf[:n])
-		return err
-	}
-	if err := put(uint64(d.NumItems)); err != nil {
-		return fmt.Errorf("itemset: writing binary dataset: %w", err)
-	}
-	if err := put(uint64(len(d.Transactions))); err != nil {
+	var scratch []byte
+	scratch = binary.AppendUvarint(scratch, uint64(d.NumItems))
+	scratch = binary.AppendUvarint(scratch, uint64(len(d.Transactions)))
+	if _, err := bw.Write(scratch); err != nil {
 		return fmt.Errorf("itemset: writing binary dataset: %w", err)
 	}
 	prevID := int64(0)
 	for i, t := range d.Transactions {
-		if t.ID < prevID {
-			return fmt.Errorf("itemset: transaction %d: IDs must be non-decreasing (%d after %d)", i, t.ID, prevID)
-		}
-		if !t.Items.Valid() {
-			return fmt.Errorf("itemset: transaction %d: items not strictly increasing", i)
-		}
-		if err := put(uint64(t.ID - prevID)); err != nil {
-			return fmt.Errorf("itemset: writing binary dataset: %w", err)
+		var err error
+		scratch, err = AppendTransaction(scratch[:0], t, prevID)
+		if err != nil {
+			return fmt.Errorf("transaction %d: %w", i, err)
 		}
 		prevID = t.ID
-		if err := put(uint64(len(t.Items))); err != nil {
+		if _, err := bw.Write(scratch); err != nil {
 			return fmt.Errorf("itemset: writing binary dataset: %w", err)
-		}
-		prev := Item(0)
-		for j, it := range t.Items {
-			delta := uint64(it)
-			if j > 0 {
-				delta = uint64(it - prev)
-			}
-			if err := put(delta); err != nil {
-				return fmt.Errorf("itemset: writing binary dataset: %w", err)
-			}
-			prev = it
 		}
 	}
 	if err := bw.Flush(); err != nil {

@@ -1,0 +1,280 @@
+package itemset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// SourceInfo summarizes a transaction source.  Bytes is the modeled database
+// size (the sum of Transaction.Bytes over the stream), the same N the
+// communication analysis and the I/O cost model are measured in, so a
+// Dataset and a spilled copy of it report identical sizes.
+type SourceInfo struct {
+	NumItems int
+	NumTxns  int
+	Bytes    int64
+}
+
+// Source is an iterator-style transaction source: anything that can stream
+// its transactions in blocks without requiring the caller to hold the whole
+// database in memory.  Implementations: *Dataset (in-memory), *FileSource
+// (basket text or binary file), and txstore.Store (spill-to-disk partitioned
+// store).
+//
+// Blocks calls fn for consecutive blocks of transactions in stream order.
+// The block slice and its transactions are only valid during the callback —
+// implementations may reuse buffers between blocks.  Blocks may be called
+// any number of times; each call re-streams from the start.
+type Source interface {
+	Info() SourceInfo
+	Blocks(fn func(block []Transaction) error) error
+}
+
+// sourceBlockTxns is the block granularity Dataset and FileSource stream at.
+// It only bounds callback size (and FileSource's resident set); the counting
+// cost model charges per transaction, so the value does not affect results.
+const sourceBlockTxns = 4096
+
+// Info implements Source.
+func (d *Dataset) Info() SourceInfo {
+	return SourceInfo{NumItems: d.NumItems, NumTxns: d.Len(), Bytes: int64(d.Bytes())}
+}
+
+// Blocks implements Source.  Blocks alias the dataset's backing array and
+// remain valid after the callback returns.
+func (d *Dataset) Blocks(fn func(block []Transaction) error) error {
+	for lo := 0; lo < len(d.Transactions); lo += sourceBlockTxns {
+		hi := lo + sourceBlockTxns
+		if hi > len(d.Transactions) {
+			hi = len(d.Transactions)
+		}
+		if err := fn(d.Transactions[lo:hi]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Materialize drains a Source into an in-memory Dataset.  A *Dataset source
+// is returned as-is.
+func Materialize(src Source) (*Dataset, error) {
+	if d, ok := src.(*Dataset); ok {
+		return d, nil
+	}
+	info := src.Info()
+	d := &Dataset{NumItems: info.NumItems, Transactions: make([]Transaction, 0, info.NumTxns)}
+	err := src.Blocks(func(block []Transaction) error {
+		for _, t := range block {
+			d.Transactions = append(d.Transactions, Transaction{ID: t.ID, Items: t.Items.Clone()})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// FileSource streams a transaction file (basket text or binary, detected
+// from the first bytes) without materializing it.  The file is scanned once
+// at OpenFile to compute SourceInfo; each Blocks call re-reads it.
+type FileSource struct {
+	path string
+	info SourceInfo
+}
+
+// OpenFile opens path as a streaming transaction source.
+func OpenFile(path string) (*FileSource, error) {
+	fs := &FileSource{path: path}
+	info, err := fs.stream(nil)
+	if err != nil {
+		return nil, err
+	}
+	fs.info = info
+	return fs, nil
+}
+
+// Path returns the underlying file path.
+func (f *FileSource) Path() string { return f.path }
+
+// Info implements Source.
+func (f *FileSource) Info() SourceInfo { return f.info }
+
+// Blocks implements Source.  The block and its item slices are reused
+// between callbacks.
+func (f *FileSource) Blocks(fn func(block []Transaction) error) error {
+	_, err := f.stream(fn)
+	return err
+}
+
+// stream reads the file once, calling fn (when non-nil) per block and
+// accumulating SourceInfo over the whole stream.
+func (f *FileSource) stream(fn func(block []Transaction) error) (SourceInfo, error) {
+	fh, err := os.Open(f.path)
+	if err != nil {
+		return SourceInfo{}, fmt.Errorf("itemset: opening source: %w", err)
+	}
+	defer fh.Close()
+	br := bufio.NewReaderSize(fh, 1<<20)
+	head, err := br.Peek(4)
+	if err == nil && string(head) == binaryMagic {
+		return streamBinary(br, fn)
+	}
+	return streamText(br, fn)
+}
+
+// streamBinary streams a WriteBinary-encoded dataset block by block.
+func streamBinary(br *bufio.Reader, fn func(block []Transaction) error) (SourceInfo, error) {
+	var magic [5]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return SourceInfo{}, fmt.Errorf("itemset: reading binary header: %w", err)
+	}
+	if magic[4] != binaryVersion {
+		return SourceInfo{}, fmt.Errorf("itemset: unsupported binary version %d", magic[4])
+	}
+	numItems, err := binary.ReadUvarint(br)
+	if err != nil {
+		return SourceInfo{}, fmt.Errorf("itemset: reading numItems: %w", err)
+	}
+	numTxns, err := binary.ReadUvarint(br)
+	if err != nil {
+		return SourceInfo{}, fmt.Errorf("itemset: reading transaction count: %w", err)
+	}
+	const maxReasonable = 1 << 34
+	if numItems > maxReasonable || numTxns > maxReasonable {
+		return SourceInfo{}, fmt.Errorf("itemset: implausible header (items %d, transactions %d)", numItems, numTxns)
+	}
+	info := SourceInfo{NumItems: int(numItems)}
+	block := make([]Transaction, 0, sourceBlockTxns)
+	items := make(Itemset, 0, 16*sourceBlockTxns)
+	offs := make([]int32, 0, sourceBlockTxns+1)
+	flush := func() error {
+		if len(block) == 0 {
+			return nil
+		}
+		if fn != nil {
+			for k := range block {
+				block[k].Items = items[offs[k]:offs[k+1]:offs[k+1]]
+			}
+			if err := fn(block); err != nil {
+				return err
+			}
+		}
+		block = block[:0]
+		items = items[:0]
+		offs = offs[:0]
+		return nil
+	}
+	prevID := int64(0)
+	for i := uint64(0); i < numTxns; i++ {
+		idDelta, err := binary.ReadUvarint(br)
+		if err != nil {
+			return SourceInfo{}, fmt.Errorf("itemset: transaction %d: reading ID: %w", i, err)
+		}
+		id := prevID + int64(idDelta)
+		prevID = id
+		count, err := binary.ReadUvarint(br)
+		if err != nil {
+			return SourceInfo{}, fmt.Errorf("itemset: transaction %d: reading length: %w", i, err)
+		}
+		if count > numItems {
+			return SourceInfo{}, fmt.Errorf("itemset: transaction %d: %d items exceeds vocabulary %d", i, count, numItems)
+		}
+		offs = append(offs, int32(len(items)))
+		prev := Item(0)
+		for j := uint64(0); j < count; j++ {
+			delta, err := binary.ReadUvarint(br)
+			if err != nil {
+				return SourceInfo{}, fmt.Errorf("itemset: transaction %d item %d: %w", i, j, err)
+			}
+			if j == 0 {
+				prev = Item(delta)
+			} else {
+				if delta == 0 {
+					return SourceInfo{}, fmt.Errorf("itemset: transaction %d item %d: zero gap (duplicate item)", i, j)
+				}
+				prev += Item(delta)
+			}
+			if uint64(prev) >= numItems {
+				return SourceInfo{}, fmt.Errorf("itemset: transaction %d item %d: item %d outside vocabulary %d", i, j, prev, numItems)
+			}
+			items = append(items, prev)
+		}
+		t := Transaction{ID: id}
+		info.NumTxns++
+		info.Bytes += int64(8 + 4*count)
+		block = append(block, t)
+		if len(block) == sourceBlockTxns {
+			offs = append(offs, int32(len(items)))
+			if err := flush(); err != nil {
+				return SourceInfo{}, err
+			}
+		}
+	}
+	offs = append(offs, int32(len(items)))
+	if err := flush(); err != nil {
+		return SourceInfo{}, err
+	}
+	return info, nil
+}
+
+// streamText streams a basket-text dataset block by block.  NumItems is the
+// maximum item seen plus one, accumulated over the whole file — callers that
+// need it before the stream ends (everyone) go through OpenFile, which scans
+// once up front.
+func streamText(br *bufio.Reader, fn func(block []Transaction) error) (SourceInfo, error) {
+	sc := bufio.NewScanner(br)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var info SourceInfo
+	block := make([]Transaction, 0, sourceBlockTxns)
+	var id int64
+	line := 0
+	flush := func() error {
+		if len(block) == 0 {
+			return nil
+		}
+		if fn != nil {
+			if err := fn(block); err != nil {
+				return err
+			}
+		}
+		block = block[:0]
+		return nil
+	}
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if len(text) == 0 || text[0] == '#' {
+			continue
+		}
+		items, err := parseItems(text)
+		if err != nil {
+			return SourceInfo{}, fmt.Errorf("itemset: line %d: %w", line, err)
+		}
+		t := Transaction{ID: id, Items: New(items...)}
+		id++
+		if n := len(t.Items); n > 0 {
+			if last := int(t.Items[n-1]) + 1; last > info.NumItems {
+				info.NumItems = last
+			}
+		}
+		info.NumTxns++
+		info.Bytes += int64(t.Bytes())
+		block = append(block, t)
+		if len(block) == sourceBlockTxns {
+			if err := flush(); err != nil {
+				return SourceInfo{}, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return SourceInfo{}, fmt.Errorf("itemset: reading dataset: %w", err)
+	}
+	if err := flush(); err != nil {
+		return SourceInfo{}, err
+	}
+	return info, nil
+}

@@ -1,0 +1,133 @@
+package itemset
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func sourceFixture() *Dataset {
+	txns := make([]Transaction, 0, 9001)
+	for i := 0; i < 9001; i++ { // > 2 blocks at sourceBlockTxns granularity
+		items := New(Item(i%97), Item(i%89+100), Item(i%7+200))
+		txns = append(txns, Transaction{ID: int64(i), Items: items})
+	}
+	return NewDataset(txns)
+}
+
+func TestDatasetSource(t *testing.T) {
+	d := sourceFixture()
+	info := d.Info()
+	if info.NumTxns != d.Len() || info.NumItems != d.NumItems || info.Bytes != int64(d.Bytes()) {
+		t.Fatalf("info %+v inconsistent with dataset", info)
+	}
+	var n int
+	err := d.Blocks(func(blk []Transaction) error { n += len(blk); return nil })
+	if err != nil {
+		t.Fatalf("blocks: %v", err)
+	}
+	if n != d.Len() {
+		t.Fatalf("blocks yielded %d transactions, want %d", n, d.Len())
+	}
+	m, err := Materialize(d)
+	if err != nil {
+		t.Fatalf("materialize: %v", err)
+	}
+	if m != d {
+		t.Fatal("materializing a Dataset should return it unchanged")
+	}
+}
+
+func TestFileSourceRoundTrip(t *testing.T) {
+	d := sourceFixture()
+	dir := t.TempDir()
+
+	var bin bytes.Buffer
+	if err := WriteBinary(&bin, d); err != nil {
+		t.Fatalf("write binary: %v", err)
+	}
+	binPath := filepath.Join(dir, "data.bin")
+	if err := os.WriteFile(binPath, bin.Bytes(), 0o644); err != nil {
+		t.Fatalf("write file: %v", err)
+	}
+
+	var txt bytes.Buffer
+	if err := Write(&txt, d); err != nil {
+		t.Fatalf("write text: %v", err)
+	}
+	txtPath := filepath.Join(dir, "data.txt")
+	if err := os.WriteFile(txtPath, txt.Bytes(), 0o644); err != nil {
+		t.Fatalf("write file: %v", err)
+	}
+
+	for _, path := range []string{binPath, txtPath} {
+		src, err := OpenFile(path)
+		if err != nil {
+			t.Fatalf("%s: open: %v", path, err)
+		}
+		if info := src.Info(); info != d.Info() {
+			t.Fatalf("%s: info %+v, want %+v", path, info, d.Info())
+		}
+		got, err := Materialize(src)
+		if err != nil {
+			t.Fatalf("%s: materialize: %v", path, err)
+		}
+		if got.Len() != d.Len() {
+			t.Fatalf("%s: %d transactions, want %d", path, got.Len(), d.Len())
+		}
+		for i := range d.Transactions {
+			w, g := d.Transactions[i], got.Transactions[i]
+			if g.ID != w.ID || !g.Items.Equal(w.Items) {
+				t.Fatalf("%s: transaction %d: got %d %v, want %d %v", path, i, g.ID, g.Items, w.ID, w.Items)
+			}
+		}
+	}
+}
+
+func TestAppendDecodeTransaction(t *testing.T) {
+	txns := []Transaction{
+		{ID: 0, Items: New(0)},
+		{ID: 0, Items: New(1, 5, 9)},
+		{ID: 7, Items: Itemset{}},
+		{ID: 100, Items: New(0, 1, 2, 3)},
+	}
+	var buf []byte
+	prev := int64(0)
+	for _, tx := range txns {
+		var err error
+		buf, err = AppendTransaction(buf, tx, prev)
+		if err != nil {
+			t.Fatalf("append %v: %v", tx, err)
+		}
+		prev = tx.ID
+	}
+	prev = 0
+	off := 0
+	var items []Item
+	for i, want := range txns {
+		id, out, n, err := DecodeTransaction(buf[off:], prev, 10, items[:0])
+		if err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		if id != want.ID || !Itemset(out).Equal(want.Items) {
+			t.Fatalf("decode %d: got %d %v, want %d %v", i, id, out, want.ID, want.Items)
+		}
+		off += n
+		prev = id
+	}
+	if off != len(buf) {
+		t.Fatalf("decoded %d of %d bytes", off, len(buf))
+	}
+	// Truncations of a valid stream must error, never panic.
+	for cut := 0; cut < len(buf); cut++ {
+		prev, off = 0, 0
+		for off < cut {
+			id, _, n, err := DecodeTransaction(buf[off:cut], prev, 10, nil)
+			if err != nil {
+				break
+			}
+			prev, off = id, off+n
+		}
+	}
+}

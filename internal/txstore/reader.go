@@ -1,0 +1,216 @@
+package txstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"parapriori/internal/itemset"
+)
+
+// BlockReader streams one partition file block by block.  With reuse
+// enabled the returned transactions, their item slices and the decode
+// scratch are recycled between Next calls — the steady-state read path does
+// not allocate — so a block is only valid until the next call.  With reuse
+// disabled every block is freshly allocated and may outlive the reader
+// (the ring-shift path hands blocks to other processors).
+type BlockReader struct {
+	path  string
+	file  *os.File
+	br    *bufio.Reader
+	num   int // numItems from the partition header
+	part  int
+	block int // index of the block Next will read
+	prev  int64
+	reuse bool
+
+	payload []byte
+	txns    []itemset.Transaction
+	items   []itemset.Item
+	offs    []int32
+}
+
+// openPartition opens path and validates its header against the expected
+// partition index and vocabulary size.
+func openPartition(path string, index, numItems int, reuse bool) (*BlockReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("txstore: opening partition: %w", err)
+	}
+	r := &BlockReader{
+		path:  path,
+		file:  f,
+		br:    bufio.NewReaderSize(f, 1<<16),
+		part:  index,
+		reuse: reuse,
+	}
+	if err := r.readHeader(numItems); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if reuse {
+		r.payload = make([]byte, 0, DefaultBlockBytes)
+		r.txns = make([]itemset.Transaction, 0, 1024)
+		r.items = make([]itemset.Item, 0, 16*1024)
+		r.offs = make([]int32, 0, 1025)
+	}
+	return r, nil
+}
+
+func (r *BlockReader) readHeader(numItems int) error {
+	var magic [5]byte
+	if _, err := io.ReadFull(r.br, magic[:]); err != nil {
+		return &TruncatedError{File: r.path, Block: -1}
+	}
+	if string(magic[:4]) != partMagic {
+		return &CorruptError{File: r.path, Block: -1, Reason: fmt.Sprintf("bad magic %q", magic[:4])}
+	}
+	if magic[4] != partVersion {
+		return &CorruptError{File: r.path, Block: -1, Reason: fmt.Sprintf("unsupported version %d", magic[4])}
+	}
+	idx, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return &TruncatedError{File: r.path, Block: -1}
+	}
+	if int(idx) != r.part {
+		return &CorruptError{File: r.path, Block: -1, Reason: fmt.Sprintf("partition index %d, expected %d", idx, r.part)}
+	}
+	num, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return &TruncatedError{File: r.path, Block: -1}
+	}
+	if num == 0 || num > 1<<34 {
+		return &CorruptError{File: r.path, Block: -1, Reason: fmt.Sprintf("implausible numItems %d", num)}
+	}
+	if numItems > 0 && int(num) != numItems {
+		return &CorruptError{File: r.path, Block: -1, Reason: fmt.Sprintf("numItems %d, manifest says %d", num, numItems)}
+	}
+	r.num = int(num)
+	return nil
+}
+
+// Next reads, verifies and decodes the next block.  It returns the block's
+// transactions and its on-disk size in bytes (framing included), or io.EOF
+// after the last block.  Framing that outruns the file yields a
+// *TruncatedError; a failed checksum or malformed payload yields a
+// *CorruptError.
+func (r *BlockReader) Next() ([]itemset.Transaction, int, error) {
+	ntxns, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		if err == io.EOF {
+			return nil, 0, io.EOF
+		}
+		return nil, 0, &TruncatedError{File: r.path, Block: r.block}
+	}
+	payloadLen, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return nil, 0, &TruncatedError{File: r.path, Block: r.block}
+	}
+	if ntxns == 0 || ntxns > 1<<31 || payloadLen > 1<<31 || payloadLen < ntxns {
+		return nil, 0, &CorruptError{File: r.path, Block: r.block, Reason: fmt.Sprintf("implausible frame (%d transactions, %d payload bytes)", ntxns, payloadLen)}
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(r.br, crcBuf[:]); err != nil {
+		return nil, 0, &TruncatedError{File: r.path, Block: r.block}
+	}
+	want := binary.LittleEndian.Uint32(crcBuf[:])
+	payload := r.payload
+	if cap(payload) < int(payloadLen) {
+		payload = make([]byte, payloadLen)
+	} else {
+		payload = payload[:payloadLen]
+	}
+	if r.reuse {
+		r.payload = payload
+	}
+	if _, err := io.ReadFull(r.br, payload); err != nil {
+		return nil, 0, &TruncatedError{File: r.path, Block: r.block}
+	}
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, 0, &CorruptError{File: r.path, Block: r.block, Reason: fmt.Sprintf("checksum mismatch (got %08x, want %08x)", got, want)}
+	}
+	diskBytes := uvarintLen(ntxns) + uvarintLen(payloadLen) + 4 + int(payloadLen)
+	txns, err := r.decodeBlock(payload, int(ntxns))
+	if err != nil {
+		return nil, 0, err
+	}
+	r.block++
+	return txns, diskBytes, nil
+}
+
+// decodeBlock decodes a verified payload into transactions.  This is the
+// out-of-core read path's inner loop: with reuse enabled it fills the
+// reader's recycled transaction, item-arena and offset buffers and
+// allocates nothing per block in steady state.
+//
+//checkinv:hotpath
+func (r *BlockReader) decodeBlock(payload []byte, ntxns int) ([]itemset.Transaction, error) {
+	txns := r.txns[:0]
+	items := r.items[:0]
+	offs := r.offs[:0]
+	if !r.reuse {
+		txns = make([]itemset.Transaction, 0, ntxns)
+		items = make([]itemset.Item, 0, len(payload))
+		offs = make([]int32, 0, ntxns+1)
+	}
+	off := 0
+	prev := r.prev
+	for i := 0; i < ntxns; i++ {
+		id, out, n, err := itemset.DecodeTransaction(payload[off:], prev, r.num, items)
+		if err != nil {
+			return nil, r.corrupt(err)
+		}
+		offs = append(offs, int32(len(items)))
+		items = out
+		off += n
+		prev = id
+		txns = append(txns, itemset.Transaction{ID: id})
+	}
+	if off != len(payload) {
+		return nil, r.trailing(len(payload) - off)
+	}
+	offs = append(offs, int32(len(items)))
+	for i := range txns {
+		txns[i].Items = itemset.Itemset(items[offs[i]:offs[i+1]:offs[i+1]])
+	}
+	r.prev = prev
+	if r.reuse {
+		r.txns = txns
+		r.items = items
+		r.offs = offs
+	}
+	return txns, nil
+}
+
+// corrupt wraps a payload decode failure (cold path, hoisted out of the
+// decode loop for the hot-path allocation discipline).
+func (r *BlockReader) corrupt(err error) error {
+	return &CorruptError{File: r.path, Block: r.block, Reason: err.Error()}
+}
+
+func (r *BlockReader) trailing(n int) error {
+	return &CorruptError{File: r.path, Block: r.block, Reason: fmt.Sprintf("%d trailing payload bytes", n)}
+}
+
+// Close releases the underlying file.
+func (r *BlockReader) Close() error {
+	if r.file == nil {
+		return nil
+	}
+	err := r.file.Close()
+	r.file = nil
+	return err
+}
+
+// uvarintLen returns the encoded size of v.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}

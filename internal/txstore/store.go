@@ -1,0 +1,99 @@
+package txstore
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"parapriori/internal/itemset"
+)
+
+// Store is an opened partitioned transaction store.  It implements
+// itemset.Source: Info comes straight from the manifest and Blocks streams
+// every partition in order, so a full-database scan never materializes more
+// than one block.
+type Store struct {
+	dir string
+	man *Manifest
+}
+
+// Open loads dir's manifest, verifies that every partition file exists with
+// the size the manifest recorded, and returns the store.
+func Open(dir string) (*Store, error) {
+	man, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range man.Partitions {
+		path := filepath.Join(dir, p.File)
+		fi, err := os.Stat(path)
+		if err != nil {
+			return nil, &ManifestError{Path: path, Reason: "missing partition file: " + err.Error()}
+		}
+		if fi.Size() != p.Bytes {
+			return nil, &ManifestError{Path: path, Reason: fmt.Sprintf("partition size mismatch (file %d bytes, manifest %d)", fi.Size(), p.Bytes)}
+		}
+	}
+	return &Store{dir: dir, man: man}, nil
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Manifest returns the store's manifest.  Callers must not mutate it.
+func (s *Store) Manifest() *Manifest { return s.man }
+
+// Partitions returns the partition count.
+func (s *Store) Partitions() int { return len(s.man.Partitions) }
+
+// Info implements itemset.Source.  Bytes is the modeled database size (the
+// same accounting as Dataset.Bytes), not the on-disk size.
+func (s *Store) Info() itemset.SourceInfo {
+	return itemset.SourceInfo{
+		NumItems: s.man.NumItems,
+		NumTxns:  s.man.Transactions,
+		Bytes:    s.man.ModeledBytes,
+	}
+}
+
+// OpenPartition opens partition i for block-at-a-time reading.  With reuse
+// enabled the reader recycles its buffers between blocks; disable reuse
+// when blocks must outlive the next read (e.g. when they are handed to
+// another goroutine).
+func (s *Store) OpenPartition(i int, reuse bool) (*BlockReader, error) {
+	if i < 0 || i >= len(s.man.Partitions) {
+		return nil, &ManifestError{Path: s.dir, Reason: fmt.Sprintf("no partition %d", i)}
+	}
+	p := s.man.Partitions[i]
+	return openPartition(filepath.Join(s.dir, p.File), i, s.man.NumItems, reuse)
+}
+
+// Blocks implements itemset.Source, streaming every partition in manifest
+// order.  Blocks and their transactions are reused between callbacks.
+func (s *Store) Blocks(fn func(block []itemset.Transaction) error) error {
+	for i := range s.man.Partitions {
+		r, err := s.OpenPartition(i, true)
+		if err != nil {
+			return err
+		}
+		for {
+			blk, _, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				r.Close()
+				return err
+			}
+			if err := fn(blk); err != nil {
+				r.Close()
+				return err
+			}
+		}
+		if err := r.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,345 @@
+package txstore
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"parapriori/internal/datagen"
+	"parapriori/internal/itemset"
+)
+
+func testDataset(t *testing.T, n int) *itemset.Dataset {
+	t.Helper()
+	p := datagen.Defaults()
+	p.NumTransactions = n
+	p.NumItems = 200
+	p.AvgTxnLen = 8
+	p.Seed = 7
+	d, err := datagen.Generate(p)
+	if err != nil {
+		t.Fatalf("datagen: %v", err)
+	}
+	return d
+}
+
+// byID flattens a source into ID-sorted transactions (round-robin spilling
+// interleaves stream order across partitions).
+func byID(t *testing.T, src itemset.Source) []itemset.Transaction {
+	t.Helper()
+	d, err := itemset.Materialize(src)
+	if err != nil {
+		t.Fatalf("materialize: %v", err)
+	}
+	out := append([]itemset.Transaction(nil), d.Transactions...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func sameTxns(t *testing.T, want, got []itemset.Transaction) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("transaction count: got %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i].ID != got[i].ID || !want[i].Items.Equal(got[i].Items) {
+			t.Fatalf("transaction %d: got %d %v, want %d %v", i, got[i].ID, got[i].Items, want[i].ID, want[i].Items)
+		}
+	}
+}
+
+func TestRoundTripRoundRobin(t *testing.T) {
+	d := testDataset(t, 500)
+	dir := t.TempDir()
+	// A tiny block size forces many per-partition blocks, so transactions
+	// land on every block boundary the format has.
+	man, err := Spill(dir, d, Options{Partitions: 4, BlockBytes: 256})
+	if err != nil {
+		t.Fatalf("spill: %v", err)
+	}
+	if man.Transactions != d.Len() {
+		t.Fatalf("manifest transactions %d, want %d", man.Transactions, d.Len())
+	}
+	if len(man.Partitions) != 4 {
+		t.Fatalf("partitions %d, want 4", len(man.Partitions))
+	}
+	if man.ModeledBytes != int64(d.Bytes()) {
+		t.Fatalf("modeled bytes %d, want %d", man.ModeledBytes, d.Bytes())
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if info := s.Info(); info != d.Info() {
+		t.Fatalf("info mismatch: store %+v, dataset %+v", info, d.Info())
+	}
+	sameTxns(t, d.Transactions, byID(t, s))
+}
+
+func TestRoundTripSizeRolled(t *testing.T) {
+	d := testDataset(t, 300)
+	dir := t.TempDir()
+	man, err := Spill(dir, d, Options{BlockBytes: 512, MaxPartBytes: 2048})
+	if err != nil {
+		t.Fatalf("spill: %v", err)
+	}
+	if len(man.Partitions) < 2 {
+		t.Fatalf("expected size-rolled spill to produce multiple partitions, got %d", len(man.Partitions))
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	// Size-rolled partitions are contiguous: streaming them in order
+	// reproduces the original stream order exactly.
+	var got []itemset.Transaction
+	err = s.Blocks(func(blk []itemset.Transaction) error {
+		for _, tx := range blk {
+			got = append(got, itemset.Transaction{ID: tx.ID, Items: tx.Items.Clone()})
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("blocks: %v", err)
+	}
+	sameTxns(t, d.Transactions, got)
+}
+
+func TestManifestRanges(t *testing.T) {
+	d := testDataset(t, 200)
+	dir := t.TempDir()
+	man, err := Spill(dir, d, Options{Partitions: 3, BlockBytes: 1024})
+	if err != nil {
+		t.Fatalf("spill: %v", err)
+	}
+	for i, p := range man.Partitions {
+		if p.Transactions == 0 {
+			continue
+		}
+		if p.MinItem < 0 || p.MaxItem >= man.NumItems || p.MinItem > p.MaxItem {
+			t.Errorf("partition %d: bad item range [%d,%d]", i, p.MinItem, p.MaxItem)
+		}
+		if p.MinID < 0 || p.MaxID < p.MinID {
+			t.Errorf("partition %d: bad ID range [%d,%d]", i, p.MinID, p.MaxID)
+		}
+	}
+}
+
+func TestEmptyPartitions(t *testing.T) {
+	d := testDataset(t, 3)
+	dir := t.TempDir()
+	man, err := Spill(dir, d, Options{Partitions: 5})
+	if err != nil {
+		t.Fatalf("spill: %v", err)
+	}
+	if len(man.Partitions) != 5 {
+		t.Fatalf("partitions %d, want 5", len(man.Partitions))
+	}
+	for i := 3; i < 5; i++ {
+		p := man.Partitions[i]
+		if p.Transactions != 0 || p.Blocks != 0 || p.MinItem != -1 || p.MaxID != -1 {
+			t.Fatalf("partition %d should be empty: %+v", i, p)
+		}
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	sameTxns(t, d.Transactions, byID(t, s))
+}
+
+func TestAppendOrderEnforced(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, 10, Options{Partitions: 1})
+	if err != nil {
+		t.Fatalf("new writer: %v", err)
+	}
+	if err := w.Append(itemset.Transaction{ID: 5, Items: itemset.New(1, 2)}); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := w.Append(itemset.Transaction{ID: 4, Items: itemset.New(1)}); err == nil {
+		t.Fatal("expected decreasing-ID append to fail")
+	}
+	if err := w.Append(itemset.Transaction{ID: 6, Items: itemset.Itemset{2, 1}}); err == nil {
+		t.Fatal("expected unsorted-items append to fail")
+	}
+	if err := w.Append(itemset.Transaction{ID: 6, Items: itemset.New(2, 15)}); err == nil {
+		t.Fatal("expected out-of-vocabulary append to fail")
+	}
+}
+
+// drain reads partition i to the end, returning the first non-EOF error.
+func drain(s *Store, i int) error {
+	r, err := s.OpenPartition(i, true)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	for {
+		_, _, err := r.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+func spillOne(t *testing.T) (string, *Store) {
+	t.Helper()
+	d := testDataset(t, 200)
+	dir := t.TempDir()
+	if _, err := Spill(dir, d, Options{Partitions: 1, BlockBytes: 512}); err != nil {
+		t.Fatalf("spill: %v", err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	return dir, s
+}
+
+func TestTruncatedPartitionTyped(t *testing.T) {
+	dir, s := spillOne(t)
+	path := filepath.Join(dir, s.Manifest().Partitions[0].File)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	// Cut mid-header, mid-frame and mid-payload; every cut must surface as
+	// a *TruncatedError (never a silent short read or a panic).
+	for _, cut := range []int{3, 6, len(full) / 2, len(full) - 1} {
+		if cut >= len(full) {
+			continue
+		}
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatalf("truncate: %v", err)
+		}
+		err := drain(s, 0)
+		var te *TruncatedError
+		if !errors.As(err, &te) {
+			t.Fatalf("cut at %d: got %v, want *TruncatedError", cut, err)
+		}
+	}
+}
+
+func TestCorruptChecksumTyped(t *testing.T) {
+	dir, s := spillOne(t)
+	path := filepath.Join(dir, s.Manifest().Partitions[0].File)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	// Flipping the last payload byte breaks that block's checksum.
+	mut := append([]byte(nil), full...)
+	mut[len(mut)-1] ^= 0xff
+	if err := os.WriteFile(path, mut, 0o644); err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	var ce *CorruptError
+	if err := drain(s, 0); !errors.As(err, &ce) {
+		t.Fatalf("got %v, want *CorruptError", err)
+	}
+}
+
+func TestOpenChecksManifest(t *testing.T) {
+	dir, s := spillOne(t)
+	path := filepath.Join(dir, s.Manifest().Partitions[0].File)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	var me *ManifestError
+	// Size mismatch is caught at Open.
+	if err := os.WriteFile(path, full[:len(full)-1], 0o644); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	if _, err := Open(dir); !errors.As(err, &me) {
+		t.Fatalf("size mismatch: got %v, want *ManifestError", err)
+	}
+	// So is a missing partition file.
+	if err := os.Remove(path); err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+	if _, err := Open(dir); !errors.As(err, &me) {
+		t.Fatalf("missing file: got %v, want *ManifestError", err)
+	}
+	// And an unparseable manifest.
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), []byte("{"), 0o644); err != nil {
+		t.Fatalf("rewrite manifest: %v", err)
+	}
+	if _, err := Open(dir); !errors.As(err, &me) {
+		t.Fatalf("bad manifest: got %v, want *ManifestError", err)
+	}
+}
+
+func TestReaderSteadyStateAllocs(t *testing.T) {
+	dir, s := spillOne(t)
+	_ = dir
+	r, err := s.OpenPartition(0, true)
+	if err != nil {
+		t.Fatalf("open partition: %v", err)
+	}
+	defer r.Close()
+	// Warm the reuse buffers on the first block, then the rest of the
+	// partition must decode without allocating.
+	if _, _, err := r.Next(); err != nil {
+		t.Fatalf("first block: %v", err)
+	}
+	allocs := testing.AllocsPerRun(1, func() {
+		for {
+			_, _, err := r.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				t.Fatalf("next: %v", err)
+			}
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state decode allocated %.0f times per drain, want 0", allocs)
+	}
+}
+
+func FuzzManifest(f *testing.F) {
+	d := &itemset.Dataset{NumItems: 5, Transactions: []itemset.Transaction{
+		{ID: 0, Items: itemset.New(0, 2)},
+		{ID: 1, Items: itemset.New(1, 3, 4)},
+	}}
+	dir := f.TempDir()
+	man, err := Spill(dir, d, Options{Partitions: 2})
+	if err != nil {
+		f.Fatalf("spill: %v", err)
+	}
+	valid, err := json.Marshal(man)
+	if err != nil {
+		f.Fatalf("marshal: %v", err)
+	}
+	f.Add(valid)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1,"num_items":3,"transactions":0,"block_bytes":1,"modeled_bytes":0,"partitions":[]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ParseManifest(data)
+		if err != nil {
+			var me *ManifestError
+			if !errors.As(err, &me) {
+				t.Fatalf("non-typed parse error: %v", err)
+			}
+			return
+		}
+		// An accepted manifest must survive a marshal/reparse round trip.
+		out, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("remarshal: %v", err)
+		}
+		if _, err := ParseManifest(out); err != nil {
+			t.Fatalf("reparse of accepted manifest failed: %v", err)
+		}
+	})
+}

@@ -24,6 +24,12 @@
 //		MineOptions: parapriori.MineOptions{MinSupport: 0.001},
 //	})
 //	fmt.Println(rep.ResponseTime, rep.Result.NumFrequent())
+//
+// Transactions can also come from a streaming TxSource — a file
+// (OpenDatasetFile) or a spill-to-disk PartitionedDataset
+// (WritePartitionedDataset) — via MineOptions.Source; with
+// ParallelOptions.Backend "ooc" the partitioned store is mined out of
+// core, block by block, for databases larger than memory.
 package parapriori
 
 import (
@@ -150,6 +156,13 @@ type MineOptions struct {
 	// runs support non-default engines on CD, IDD and HD; the DHP knobs
 	// require the hash tree.
 	Engine string
+	// Source, when non-nil, supplies the transactions instead of the
+	// positional dataset argument — a *Dataset, a FileSource, or a
+	// PartitionedDataset.  Setting both Source and the dataset argument is
+	// an error; so is setting neither.  Streaming (non-Dataset) sources
+	// mine identical itemsets with one extra scan per hash-tree partition;
+	// the DHP knobs require a resident dataset.
+	Source TxSource
 }
 
 func (o MineOptions) params() apriori.Params {
@@ -168,13 +181,20 @@ func (o MineOptions) params() apriori.Params {
 // sorted order — the values MineOptions.Engine accepts.
 func CountEngines() []string { return countengine.Names() }
 
-// Mine runs the serial Apriori algorithm.  Options are validated first;
-// misconfigurations return a *OptionError naming the field.
+// Mine runs the serial Apriori algorithm over a dataset or, when
+// MineOptions.Source is set, over any streaming transaction source.
+// Options are validated first; misconfigurations — including supplying the
+// transactions both ways, or neither way — return a *OptionError naming
+// the field.
 func Mine(data *Dataset, o MineOptions) (*Result, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	return apriori.Mine(data, o.params())
+	src, err := resolveSource("MineOptions", data, o.Source)
+	if err != nil {
+		return nil, err
+	}
+	return apriori.MineSource(src, o.params())
 }
 
 // ParallelOptions configures a parallel mining run.
@@ -230,6 +250,15 @@ type ParallelOptions struct {
 	// TraceAttribution) to consume them.  Setting a Recorder implies event
 	// tracing.  Traces of seeded runs are bit-identical run to run.
 	Recorder Recorder
+	// Backend selects where the transactions live during the run:
+	// "inmem" (the default — the dataset is resident and split into
+	// per-rank shards) or "ooc" (out of core — each rank streams its own
+	// partition files of a PartitionedDataset one block at a time, so the
+	// resident set is the counting structure plus one block).  The "ooc"
+	// backend requires Source to be a PartitionedDataset and supports the
+	// grid formulations (CD, IDD, HD); mined itemsets are identical to the
+	// in-memory backend's.
+	Backend string
 }
 
 // MineParallel runs a parallel formulation on an emulated cluster.  The
@@ -241,6 +270,10 @@ type ParallelOptions struct {
 // versions ignored silently — return a *OptionError naming the field.
 func MineParallel(data *Dataset, o ParallelOptions) (*Report, error) {
 	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	backend, err := core.ParseBackend(o.Backend)
+	if err != nil {
 		return nil, err
 	}
 	prm := core.Params{
@@ -257,8 +290,22 @@ func MineParallel(data *Dataset, o ParallelOptions) (*Report, error) {
 		CheckpointDir: o.CheckpointDir,
 		Recovery:      core.RecoveryMode(o.Recovery),
 		Recorder:      o.Recorder,
+		Backend:       backend,
 	}
-	return core.Mine(data, prm)
+	src, err := resolveSource("ParallelOptions", data, o.Source)
+	if err != nil {
+		return nil, err
+	}
+	if backend == core.BackendOOC {
+		// Validate() has already pinned Source to a partitioned store.
+		prm.Store = src.(*PartitionedDataset)
+		return core.Mine(nil, prm)
+	}
+	resident, err := MaterializeSource(src)
+	if err != nil {
+		return nil, err
+	}
+	return core.Mine(resident, prm)
 }
 
 // GenerateRules derives association rules meeting the confidence threshold
@@ -294,17 +341,15 @@ func GenerateRulesOn(res *Result, o RuleGenOptions) (*RulesReport, error) {
 	return core.GenerateRules(res, o.Procs, o.Machine, o.MinConfidence)
 }
 
-// GenerateRulesParallel is the positional-argument form of GenerateRulesOn.
-//
-// Deprecated: use GenerateRulesOn, which validates its options and leaves
-// room to grow without another signature change.
-func GenerateRulesParallel(res *Result, procs int, machine Machine, minConfidence float64) (*RulesReport, error) {
-	return GenerateRulesOn(res, RuleGenOptions{Procs: procs, Machine: machine, MinConfidence: minConfidence})
-}
-
 // Generate produces a synthetic transaction database with the Quest-style
 // generator the paper's workloads come from.
 func Generate(o GenOptions) (*Dataset, error) { return datagen.Generate(o) }
+
+// GenerateSource returns the same workload as a streaming TxSource: every
+// scan re-runs the identically seeded generator, so a larger-than-memory
+// database can be spilled straight into a PartitionedDataset
+// (WritePartitionedDataset) without ever materializing it.
+func GenerateSource(o GenOptions) (TxSource, error) { return datagen.Source(o) }
 
 // DefaultGen returns the paper's T15.I6 workload parameters (average
 // transaction length 15, average pattern length 6, 1000 items).

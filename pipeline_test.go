@@ -86,7 +86,7 @@ func TestEndToEndPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := GenerateRulesParallel(restored, 6, MachineT3E(), 0.7)
+	par, err := GenerateRulesOn(restored, RuleGenOptions{Procs: 6, Machine: MachineT3E(), MinConfidence: 0.7})
 	if err != nil {
 		t.Fatal(err)
 	}

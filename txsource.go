@@ -1,0 +1,92 @@
+package parapriori
+
+import (
+	"parapriori/internal/itemset"
+	"parapriori/internal/txstore"
+)
+
+// Transaction sources: every miner entry point can read its transactions
+// from a TxSource instead of a resident *Dataset.  A source is an
+// iterator — Info() for the dimensions, Blocks() to stream the
+// transactions in bounded windows — so implementations range from the
+// in-memory Dataset (which is itself a TxSource) through flat files to the
+// spill-to-disk partitioned store that backs out-of-core mining:
+//
+//	src, _ := parapriori.OpenDatasetFile("baskets.bin")
+//	res, _ := parapriori.Mine(nil, parapriori.MineOptions{
+//		MinSupport: 0.01,
+//		Source:     src,
+//	})
+//
+// For datasets larger than memory, spill once and mine out of core:
+//
+//	store, _ := parapriori.WritePartitionedDataset("store/", src, parapriori.PartitionOptions{Partitions: 16})
+//	rep, _ := parapriori.MineParallel(nil, parapriori.ParallelOptions{
+//		Algorithm: parapriori.CD, Procs: 16,
+//		Backend:   "ooc",
+//		MineOptions: parapriori.MineOptions{MinSupport: 0.01, Source: store},
+//	})
+type (
+	// TxSource is a streaming transaction source: dimensions via Info,
+	// transactions via Blocks.  Blocks may be called any number of times;
+	// each call re-streams the whole source in order.  The block slice
+	// passed to the callback is only valid for the duration of the call.
+	TxSource = itemset.Source
+	// TxSourceInfo describes a source: vocabulary size, transaction count
+	// and the modeled byte size the cost model charges for scanning it.
+	TxSourceInfo = itemset.SourceInfo
+	// FileSource streams a transaction file (basket text or the compact
+	// binary format, auto-detected) without loading it into memory.
+	FileSource = itemset.FileSource
+	// PartitionedDataset is a spill-to-disk transaction store: P partition
+	// files in the compact binary block format plus a manifest with
+	// per-partition statistics and checksums.  It is the TxSource the
+	// out-of-core backend mines directly, partition files never all
+	// resident at once.
+	PartitionedDataset = txstore.Store
+	// PartitionOptions shapes WritePartitionedDataset: the partition
+	// count (or a size cap that rolls new partitions), and the block
+	// granularity within each partition file.  Zero values select
+	// defaults.
+	PartitionOptions = txstore.Options
+)
+
+// OpenDatasetFile opens a transaction file as a streaming TxSource,
+// auto-detecting basket text vs the compact binary format.  The file is
+// scanned once up front for its dimensions; each Blocks call re-reads it.
+func OpenDatasetFile(path string) (*FileSource, error) { return itemset.OpenFile(path) }
+
+// OpenPartitionedDataset opens a partitioned store written by
+// WritePartitionedDataset (or cmd/datagen -store).  The manifest is
+// validated against the partition files on disk; corrupted or truncated
+// stores are rejected with a descriptive error before any mining starts.
+func OpenPartitionedDataset(dir string) (*PartitionedDataset, error) { return txstore.Open(dir) }
+
+// WritePartitionedDataset streams a source into a partitioned on-disk
+// store under dir and opens the result.  Only one block is resident at a
+// time, so a larger-than-memory source can be spilled from a FileSource or
+// any other streaming implementation.
+func WritePartitionedDataset(dir string, src TxSource, o PartitionOptions) (*PartitionedDataset, error) {
+	if _, err := txstore.Spill(dir, src, o); err != nil {
+		return nil, err
+	}
+	return txstore.Open(dir)
+}
+
+// MaterializeSource loads a source fully into memory.  A *Dataset passes
+// through unchanged; anything else is streamed and copied.
+func MaterializeSource(src TxSource) (*Dataset, error) { return itemset.Materialize(src) }
+
+// resolveSource reconciles the positional dataset argument with the
+// options' Source field: exactly one of them must carry the transactions.
+func resolveSource(strct string, data *Dataset, src TxSource) (TxSource, error) {
+	switch {
+	case data != nil && src != nil:
+		return nil, optErr(strct, "Source", "both the dataset argument and Source are set — pass the transactions one way")
+	case data == nil && src == nil:
+		return nil, optErr(strct, "Source", "no transactions: pass a dataset or set Source")
+	case src != nil:
+		return src, nil
+	}
+	return data, nil
+}

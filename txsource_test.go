@@ -1,0 +1,192 @@
+package parapriori
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func sourceFixture(t *testing.T) *Dataset {
+	t.Helper()
+	gen := DefaultGen()
+	gen.NumTransactions = 1200
+	gen.NumItems = 100
+	gen.NumPatterns = 60
+	gen.AvgTxnLen = 10
+	gen.AvgPatternLen = 4
+	gen.Seed = 21
+	data, err := Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func resultBytes(t *testing.T, res *Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteResult(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestMineFromSources mines the same transactions through every TxSource
+// implementation — resident dataset, binary file, basket-text file,
+// partitioned store — and requires identical results.
+func TestMineFromSources(t *testing.T) {
+	data := sourceFixture(t)
+	opts := MineOptions{MinSupport: 0.02}
+	base, err := Mine(data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := resultBytes(t, base)
+
+	dir := t.TempDir()
+	binPath := filepath.Join(dir, "txns.bin")
+	bf, err := os.Create(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDatasetBinary(bf, data); err != nil {
+		t.Fatal(err)
+	}
+	bf.Close()
+	textPath := filepath.Join(dir, "txns.basket")
+	tf, err := os.Create(textPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDataset(tf, data); err != nil {
+		t.Fatal(err)
+	}
+	tf.Close()
+	store, err := WritePartitionedDataset(filepath.Join(dir, "store"), data, PartitionOptions{Partitions: 4, BlockBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sources := map[string]TxSource{"dataset": data, "store": store}
+	for name, path := range map[string]string{"binary-file": binPath, "text-file": textPath} {
+		src, err := OpenDatasetFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sources[name] = src
+	}
+	for name, src := range sources {
+		t.Run(name, func(t *testing.T) {
+			if got, want := src.Info().NumTxns, data.Len(); got != want {
+				t.Fatalf("Info().NumTxns = %d, want %d", got, want)
+			}
+			res, err := Mine(nil, MineOptions{MinSupport: 0.02, Source: src})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(resultBytes(t, res), want) {
+				t.Error("source result differs from dataset result")
+			}
+		})
+	}
+
+	// A source also feeds the in-memory parallel backend (materialized).
+	rep, err := MineParallel(nil, ParallelOptions{
+		Algorithm: CD, Procs: 4,
+		MineOptions: MineOptions{MinSupport: 0.02, Source: store},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resultBytes(t, rep.Result), want) {
+		t.Error("materialized parallel result differs from dataset result")
+	}
+}
+
+// TestOOCBackendBitIdentical is the acceptance property of the out-of-core
+// backend at the public API: for every counting engine and every supported
+// formulation, mining the partitioned store out of core produces the
+// byte-identical WriteResult output of in-memory mining.
+func TestOOCBackendBitIdentical(t *testing.T) {
+	data := sourceFixture(t)
+	store, err := WritePartitionedDataset(filepath.Join(t.TempDir(), "store"), data,
+		PartitionOptions{Partitions: 5, BlockBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Mine(data, MineOptions{MinSupport: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := resultBytes(t, base)
+
+	for _, eng := range CountEngines() {
+		t.Run("serial/"+eng, func(t *testing.T) {
+			res, err := Mine(nil, MineOptions{MinSupport: 0.02, Engine: eng, Source: store})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(resultBytes(t, res), want) {
+				t.Error("serial streaming result differs")
+			}
+		})
+		for _, algo := range []Algorithm{CD, IDD, HD} {
+			t.Run(string(algo)+"/"+eng, func(t *testing.T) {
+				rep, err := MineParallel(nil, ParallelOptions{
+					Algorithm: algo, Procs: 6, Backend: "ooc",
+					MineOptions: MineOptions{MinSupport: 0.02, Engine: eng, Source: store},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(resultBytes(t, rep.Result), want) {
+					t.Error("ooc result differs from in-memory result")
+				}
+			})
+		}
+	}
+}
+
+// TestSourceOptionErrors pins the typed errors of the source/backend seam.
+func TestSourceOptionErrors(t *testing.T) {
+	data := sourceFixture(t)
+	store, err := WritePartitionedDataset(filepath.Join(t.TempDir(), "store"), data, PartitionOptions{Partitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(err error, strct, field string) {
+		t.Helper()
+		var oe *OptionError
+		if !errors.As(err, &oe) {
+			t.Fatalf("want *OptionError for %s.%s, got %v", strct, field, err)
+		}
+		if oe.Struct != strct || oe.Field != field {
+			t.Fatalf("got %s.%s error (%v), want %s.%s", oe.Struct, oe.Field, oe, strct, field)
+		}
+	}
+
+	_, err = Mine(data, MineOptions{MinSupport: 0.02, Source: store})
+	check(err, "MineOptions", "Source")
+	_, err = Mine(nil, MineOptions{MinSupport: 0.02})
+	check(err, "MineOptions", "Source")
+	_, err = Mine(nil, MineOptions{MinSupport: 0.02, Source: store, DHPBuckets: 64})
+	check(err, "MineOptions", "Source")
+
+	par := func(mut func(*ParallelOptions)) error {
+		o := ParallelOptions{Algorithm: CD, Procs: 2, MineOptions: MineOptions{MinSupport: 0.02, Source: store}, Backend: "ooc"}
+		mut(&o)
+		_, err := MineParallel(nil, o)
+		return err
+	}
+	check(par(func(o *ParallelOptions) { o.Backend = "mmap" }), "ParallelOptions", "Backend")
+	check(par(func(o *ParallelOptions) { o.Source = nil }), "ParallelOptions", "Source")
+	check(par(func(o *ParallelOptions) { o.Source = data }), "ParallelOptions", "Source")
+	check(par(func(o *ParallelOptions) { o.Algorithm = DD }), "ParallelOptions", "Backend")
+	check(par(func(o *ParallelOptions) { o.Faults = &FaultPlan{} }), "ParallelOptions", "Faults")
+
+	o := ParallelOptions{Algorithm: CD, Procs: 2, MineOptions: MineOptions{MinSupport: 0.02, Source: store}, Backend: "ooc"}
+	_, err = MineParallel(data, o)
+	check(err, "ParallelOptions", "Source")
+}

@@ -3,7 +3,9 @@ package parapriori
 import (
 	"fmt"
 
+	"parapriori/internal/core"
 	"parapriori/internal/countengine"
+	"parapriori/internal/itemset"
 )
 
 // OptionError reports an invalid or contradictory field in an options
@@ -78,6 +80,11 @@ func (o MineOptions) validate(strct string, serial bool) error {
 	if o.Engine != "" && o.Engine != countengine.Default && (o.DHPBuckets > 0 || o.DHPTrim) {
 		return optErr(strct, "Engine", "DHP filtering requires the hashtree engine, not %q", o.Engine)
 	}
+	if o.Source != nil {
+		if _, resident := o.Source.(*itemset.Dataset); !resident && (o.DHPBuckets > 0 || o.DHPTrim) {
+			return optErr(strct, "Source", "DHP filtering requires a resident dataset, not a streaming source")
+		}
+	}
 	return nil
 }
 
@@ -142,6 +149,26 @@ func (o ParallelOptions) Validate() error {
 		case CD, IDD, HD:
 		default:
 			return optErr(strct, "Engine", "counting engine %q supports cd, idd and hd, not %q", o.Engine, string(o.Algorithm))
+		}
+	}
+	backend, err := core.ParseBackend(o.Backend)
+	if err != nil {
+		return optErr(strct, "Backend", "unknown backend %q (want inmem or ooc)", o.Backend)
+	}
+	if backend == core.BackendOOC {
+		if o.Source == nil {
+			return optErr(strct, "Source", "the ooc backend mines a PartitionedDataset; set Source to one (OpenPartitionedDataset / WritePartitionedDataset)")
+		}
+		if _, ok := o.Source.(*PartitionedDataset); !ok {
+			return optErr(strct, "Source", "the ooc backend requires a *PartitionedDataset source, not %T", o.Source)
+		}
+		switch o.Algorithm {
+		case CD, IDD, HD:
+		default:
+			return optErr(strct, "Backend", "out-of-core execution supports cd, idd and hd, not %q", string(o.Algorithm))
+		}
+		if o.Faults != nil {
+			return optErr(strct, "Faults", "fault injection is not supported on the ooc backend")
 		}
 	}
 	return nil
