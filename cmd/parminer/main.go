@@ -18,7 +18,8 @@
 //
 // -trace writes the run's span trace as Perfetto-loadable JSON (inspect it
 // with cmd/trace or load it at ui.perfetto.dev); -timeline renders the text
-// Gantt chart.
+// Gantt chart.  A bounded flight recorder runs on every mine regardless of
+// flags; -flight dumps its ring of most recent spans in the same format.
 package main
 
 import (
@@ -41,14 +42,14 @@ func machineNames() string {
 	return strings.Join(names, ", ")
 }
 
-// writeTrace saves the collected span trace as Perfetto-loadable
-// trace-event JSON.
-func writeTrace(path string, rec *parapriori.SpanCollector) error {
+// writeTrace saves an assembled span trace as Perfetto-loadable trace-event
+// JSON.
+func writeTrace(path string, t *parapriori.SpanTrace) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := parapriori.WriteSpanTrace(f, rec.Trace()); err != nil {
+	if err := parapriori.WriteSpanTrace(f, t); err != nil {
 		f.Close()
 		return err
 	}
@@ -57,6 +58,14 @@ func writeTrace(path string, rec *parapriori.SpanCollector) error {
 
 // emitJSON prints a machine-readable run summary.
 func emitJSON(rep *parapriori.Report) {
+	type readJSON struct {
+		Partitions    int     `json:"partitions"`
+		Blocks        int64   `json:"blocks"`
+		Bytes         int64   `json:"bytes"`
+		CRCRetries    int64   `json:"crcRetries"`
+		Stalls        int64   `json:"stalls"`
+		DecodeSeconds float64 `json:"decodeSeconds"`
+	}
 	type passJSON struct {
 		K          int     `json:"k"`
 		Grid       string  `json:"grid"`
@@ -67,6 +76,17 @@ func emitJSON(rep *parapriori.Report) {
 		TimeImb    float64 `json:"timeImbalance"`
 		BytesMoved int64   `json:"bytesMoved"`
 		Response   float64 `json:"responseSeconds"`
+		// Read carries the out-of-core read-path stats; omitted in-memory.
+		Read *readJSON `json:"read,omitempty"`
+	}
+	readOf := func(r parapriori.ReadStats) *readJSON {
+		if r.Blocks == 0 {
+			return nil
+		}
+		return &readJSON{
+			Partitions: r.Partitions, Blocks: r.Blocks, Bytes: r.Bytes,
+			CRCRetries: r.CRCRetries, Stalls: r.Stalls, DecodeSeconds: r.DecodeSeconds,
+		}
 	}
 	out := struct {
 		Algorithm    string             `json:"algorithm"`
@@ -75,6 +95,7 @@ func emitJSON(rep *parapriori.Report) {
 		Frequent     int                `json:"frequentItemsets"`
 		ResponseSecs float64            `json:"responseSeconds"`
 		Phases       map[string]float64 `json:"phaseShares"`
+		Read         *readJSON          `json:"read,omitempty"`
 		Passes       []passJSON         `json:"passes"`
 	}{
 		Algorithm:    string(rep.Algo),
@@ -83,6 +104,7 @@ func emitJSON(rep *parapriori.Report) {
 		Frequent:     rep.Result.NumFrequent(),
 		ResponseSecs: rep.ResponseTime,
 		Phases:       rep.PhaseBreakdown(),
+		Read:         readOf(rep.Read),
 	}
 	for _, p := range rep.Passes {
 		out.Passes = append(out.Passes, passJSON{
@@ -90,6 +112,7 @@ func emitJSON(rep *parapriori.Report) {
 			Candidates: p.Candidates, Frequent: p.Frequent, TreeParts: p.TreeParts,
 			CandImb: p.CandImbalance, TimeImb: p.TimeImbalance,
 			BytesMoved: p.BytesMoved, Response: p.ResponseTime,
+			Read: readOf(p.Read),
 		})
 	}
 	enc := json.NewEncoder(os.Stdout)
@@ -111,6 +134,7 @@ func main() {
 		passes   = flag.Bool("passes", false, "print per-pass detail")
 		timeline = flag.Bool("timeline", false, "render a per-processor virtual-time Gantt chart")
 		traceOut = flag.String("trace", "", "write the run's span trace as Perfetto-loadable JSON to this file")
+		flight   = flag.String("flight", "", "write the flight recorder's ring of recent spans as Perfetto-loadable JSON to this file")
 		asJSON   = flag.Bool("json", false, "emit a JSON summary instead of text")
 		itemsets = flag.Bool("itemsets", false, "print the frequent itemsets")
 		engine   = flag.String("engine", "", "counting engine: "+strings.Join(parapriori.CountEngines(), ", ")+" (default hashtree; cd/idd/hd only)")
@@ -168,10 +192,14 @@ func main() {
 	}
 	mach := preset.Machine()
 
-	var rec *parapriori.SpanCollector
+	// The flight recorder is always on: a bounded ring of recent spans per
+	// rank, teed alongside the optional full collector.  -flight dumps it in
+	// the same Perfetto format as -trace.
+	var col *parapriori.SpanCollector
 	if *traceOut != "" {
-		rec = parapriori.NewSpanCollector()
+		col = parapriori.NewSpanCollector()
 	}
+	fr := parapriori.NewFlightRecorder(0)
 	popt := parapriori.ParallelOptions{
 		MineOptions: parapriori.MineOptions{MinSupport: *minsup, Engine: *engine, Source: src},
 		Algorithm:   parapriori.Algorithm(*algoName),
@@ -182,8 +210,10 @@ func main() {
 		Trace:       *timeline,
 		Backend:     *backend,
 	}
-	if rec != nil {
-		popt.Recorder = rec
+	if col != nil {
+		popt.Recorder = parapriori.TeeRecorders(fr, col)
+	} else {
+		popt.Recorder = fr
 	}
 	rep, err := parapriori.MineParallel(data, popt)
 	if err != nil {
@@ -191,8 +221,14 @@ func main() {
 		os.Exit(1)
 	}
 
-	if rec != nil {
-		if err := writeTrace(*traceOut, rec); err != nil {
+	if col != nil {
+		if err := writeTrace(*traceOut, col.Trace()); err != nil {
+			fmt.Fprintf(os.Stderr, "parminer: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *flight != "" {
+		if err := writeTrace(*flight, fr.Trace()); err != nil {
 			fmt.Fprintf(os.Stderr, "parminer: %v\n", err)
 			os.Exit(1)
 		}
@@ -210,15 +246,29 @@ func main() {
 	fmt.Printf("compute %.6f s, idle %.6f s, i/o %.6f s, sent %d MB in %d messages\n",
 		rep.Total.ComputeTime, rep.Total.IdleTime, rep.Total.IOTime,
 		rep.Total.BytesSent>>20, rep.Total.MessagesSent)
+	if rep.Read.Blocks > 0 {
+		fmt.Printf("ooc read: %d partition opens, %d blocks (%d bytes), %d crc retries, %d stalls, decode %.6f s\n",
+			rep.Read.Partitions, rep.Read.Blocks, rep.Read.Bytes,
+			rep.Read.CRCRetries, rep.Read.Stalls, rep.Read.DecodeSeconds)
+	}
 
 	if *passes {
-		fmt.Printf("%-5s %-8s %-11s %-10s %-7s %-12s %-12s %-12s\n",
+		ooc := rep.Read.Blocks > 0
+		fmt.Printf("%-5s %-8s %-11s %-10s %-7s %-12s %-12s %-12s",
 			"pass", "grid", "candidates", "frequent", "parts", "cand-imb", "time-imb", "moved-bytes")
+		if ooc {
+			fmt.Printf(" %-12s %-10s", "read-bytes", "decode-s")
+		}
+		fmt.Println()
 		for _, p := range rep.Passes {
-			fmt.Printf("%-5d %-8s %-11d %-10d %-7d %-12.4f %-12.4f %-12d\n",
+			fmt.Printf("%-5d %-8s %-11d %-10d %-7d %-12.4f %-12.4f %-12d",
 				p.K, fmt.Sprintf("%dx%d", p.GridRows, p.GridCols),
 				p.Candidates, p.Frequent, p.TreeParts,
 				p.CandImbalance, p.TimeImbalance, p.BytesMoved)
+			if ooc {
+				fmt.Printf(" %-12d %-10.6f", p.Read.Bytes, p.Read.DecodeSeconds)
+			}
+			fmt.Println()
 		}
 	}
 	if *timeline {

@@ -43,15 +43,25 @@
 // the same rule set.
 //
 // Endpoints (single node and per-node): GET /recommend, /rules, /healthz,
-// /metrics, POST /reload; node mode adds POST /shard/prepare, /shard/commit,
-// GET /shard/state.  Router: GET /recommend, /healthz, /metrics, /placement,
-// POST /reload.
+// /metrics, /debug/flight, POST /reload; node mode adds POST /shard/prepare,
+// /shard/commit, GET /shard/state.  Router: GET /recommend, /healthz,
+// /metrics, /placement, /debug/flight, POST /reload.
 //
 // Observability: /metrics answers JSON by default and Prometheus text
 // exposition when the request carries Accept: text/plain — point a
 // Prometheus scrape job straight at it in every mode:
 //
 //	curl -H 'Accept: text/plain' 'localhost:8080/metrics'
+//
+// Every mode also runs an always-on flight recorder: a bounded ring of the
+// most recently completed request/publish spans.  GET /debug/flight dumps it
+// as Perfetto-loadable JSON (?format=attrib for the cost-attribution table),
+// and the /metrics JSON carries per-bucket latency exemplars whose span IDs
+// resolve against the dump — a slow p99 query traces back to its causal
+// spans (cache miss, fan-out legs) without any tracing having been enabled
+// in advance:
+//
+//	curl 'localhost:8080/debug/flight' > flight.json
 //
 // -pprof ADDR additionally serves net/http/pprof on a separate listener
 // (keep it on localhost; it is operator-only):

@@ -20,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strconv"
 
 	"parapriori/internal/obsv"
 )
@@ -30,7 +32,8 @@ func main() {
 		timeline = flag.Bool("timeline", false, "render the leaf slices as a text Gantt chart")
 		width    = flag.Int("width", 100, "timeline width in columns")
 		perfetto = flag.String("perfetto", "", "re-emit the trace as normalized Perfetto JSON to this file")
-		hist     = flag.Bool("hist", false, "print the virtual-time pass-duration histogram (log-2 buckets)")
+		hist     = flag.Bool("hist", false, "print the virtual-time pass-duration histogram (log-2 buckets) with per-pass p50/p95/p99 lines")
+		flight   = flag.Int("flight", 0, "print the n most recently completed spans (a flight-ring view of any trace)")
 	)
 	flag.Parse()
 
@@ -67,6 +70,47 @@ func main() {
 	if *hist {
 		if err := obsv.WriteHistogram(os.Stdout, obsv.PassHistogram(t)); err != nil {
 			fatal(err)
+		}
+		// Per-pass percentile lines over the per-rank pass durations: the
+		// nearest-rank quantiles are exact over the sample, so a seeded run
+		// prints identical lines every time.
+		seen := make(map[int]bool)
+		var ks []int
+		for _, s := range t.Spans {
+			if s.Cat != obsv.CatPass {
+				continue
+			}
+			v, ok := s.Arg("k")
+			if !ok {
+				continue
+			}
+			k, err := strconv.Atoi(v)
+			if err != nil {
+				continue
+			}
+			if !seen[k] {
+				seen[k] = true
+				ks = append(ks, k)
+			}
+		}
+		sort.Ints(ks)
+		for _, k := range ks {
+			d := obsv.PassDurations(t, k)
+			fmt.Printf("pass k=%-3d n=%-4d p50=%.6f p95=%.6f p99=%.6f (seconds)\n",
+				k, len(d), obsv.Quantile(d, 0.50), obsv.Quantile(d, 0.95), obsv.Quantile(d, 0.99))
+		}
+		did = true
+	}
+	if *flight > 0 {
+		// A flight-ring view of any trace: the n spans that completed last,
+		// oldest first — what a /debug/flight dump keeps per rank.
+		spans := append([]obsv.Span(nil), t.Spans...)
+		sort.SliceStable(spans, func(i, j int) bool { return spans[i].End < spans[j].End })
+		if len(spans) > *flight {
+			spans = spans[len(spans)-*flight:]
+		}
+		for _, s := range spans {
+			fmt.Printf("rank %-3d [%12.6f, %12.6f] %-8s %s\n", s.Rank, s.Start, s.End, s.Cat, s.Name)
 		}
 		did = true
 	}

@@ -44,13 +44,16 @@ func TestMineParallelDeterministic(t *testing.T) {
 			name += "/" + engine
 		}
 		t.Run(name, func(t *testing.T) {
-			run := func() (*Report, []byte, []byte, []byte) {
+			run := func() (*Report, []byte, []byte, []byte, []byte) {
 				rec := NewSpanCollector()
+				// The always-on flight recorder rides alongside the full
+				// collector; its bounded ring must dump byte-identically too.
+				fr := NewFlightRecorder(64)
 				rep, err := MineParallel(data, ParallelOptions{
 					MineOptions: MineOptions{MinSupport: 0.03, Engine: engine},
 					Algorithm:   algo,
 					Procs:       6,
-					Recorder:    rec,
+					Recorder:    TeeRecorders(fr, rec),
 				})
 				if err != nil {
 					t.Fatalf("%s: %v", algo, err)
@@ -71,10 +74,14 @@ func TestMineParallelDeterministic(t *testing.T) {
 				if err := WriteAttributionTable(&attrib, TraceAttribution(tr)); err != nil {
 					t.Fatalf("%s: attribution: %v", algo, err)
 				}
-				return rep, buf.Bytes(), perfetto.Bytes(), attrib.Bytes()
+				var ring bytes.Buffer
+				if err := WriteSpanTrace(&ring, fr.Trace()); err != nil {
+					t.Fatalf("%s: flight-ring export: %v", algo, err)
+				}
+				return rep, buf.Bytes(), perfetto.Bytes(), attrib.Bytes(), ring.Bytes()
 			}
-			a, aBytes, aTrace, aAttrib := run()
-			b, bBytes, bTrace, bAttrib := run()
+			a, aBytes, aTrace, aAttrib, aRing := run()
+			b, bBytes, bTrace, bAttrib, bRing := run()
 
 			if len(aTrace) == 0 || !json.Valid(aTrace) {
 				t.Errorf("%s: Perfetto export is not valid JSON", algo)
@@ -84,6 +91,12 @@ func TestMineParallelDeterministic(t *testing.T) {
 			}
 			if !bytes.Equal(aAttrib, bAttrib) {
 				t.Errorf("%s: attribution table differs between identical runs:\n  run 1:\n%s\n  run 2:\n%s", algo, aAttrib, bAttrib)
+			}
+			if len(aRing) == 0 || !json.Valid(aRing) {
+				t.Errorf("%s: flight-ring export is not valid JSON", algo)
+			}
+			if !bytes.Equal(aRing, bRing) {
+				t.Errorf("%s: flight-ring Perfetto JSON differs between identical runs", algo)
 			}
 
 			if a.Result.NumFrequent() == 0 {

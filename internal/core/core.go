@@ -269,6 +269,54 @@ type PassReport struct {
 	// ResponseTime is the virtual time this pass took (max over
 	// processors).
 	ResponseTime float64
+	// Read aggregates the out-of-core read path's work this pass over all
+	// processors; zero-valued on the in-memory backend.
+	Read ReadStats
+}
+
+// ReadStats aggregates the out-of-core read path's telemetry: what the
+// ranks read from the partition files, what they survived, and how the
+// virtual clock split between waiting on blocks and decoding them.
+// Everything is charged on the virtual clock, so a seeded ooc run reports
+// bit-identical numbers.
+type ReadStats struct {
+	// Partitions, Blocks and Bytes count partition files opened, blocks
+	// verified and on-disk bytes consumed (block framing included).
+	Partitions int
+	Blocks     int64
+	Bytes      int64
+	// CRCRetries counts block checksum failures survived by re-reading.
+	CRCRetries int64
+	// Stalls counts synchronous block reads the ranks' clocks waited on.
+	// Without read-ahead every read is a stall — the number double-buffering
+	// (see ROADMAP) would overlap with compute.
+	Stalls int64
+	// DecodeSeconds is the virtual compute time spent decoding verified
+	// payload bytes into transactions — the decode half of the
+	// decode/count split.
+	DecodeSeconds float64
+}
+
+// Add accumulates o into s.
+func (s *ReadStats) Add(o ReadStats) {
+	s.Partitions += o.Partitions
+	s.Blocks += o.Blocks
+	s.Bytes += o.Bytes
+	s.CRCRetries += o.CRCRetries
+	s.Stalls += o.Stalls
+	s.DecodeSeconds += o.DecodeSeconds
+}
+
+// readStatsOf converts a rank-local record into the exported aggregate.
+func readStatsOf(o oocReadStats) ReadStats {
+	return ReadStats{
+		Partitions:    o.parts,
+		Blocks:        o.blocks,
+		Bytes:         o.bytes,
+		CRCRetries:    o.crcRetries,
+		Stalls:        o.stalls,
+		DecodeSeconds: o.decodeSeconds,
+	}
 }
 
 // Report is the outcome of a parallel mining run.
@@ -301,6 +349,9 @@ type Report struct {
 	// ResumedPasses is the number of passes seeded from a persistent
 	// checkpoint (Params.CheckpointDir) instead of being mined by this run.
 	ResumedPasses int
+	// Read aggregates the out-of-core read path over the whole run (the sum
+	// of the per-pass Read fields); zero-valued on the in-memory backend.
+	Read ReadStats
 }
 
 // AvgLeafVisitsPerTxn returns the run-wide average number of distinct hash
@@ -428,18 +479,21 @@ func Mine(data *itemset.Dataset, prm Params) (*Report, error) {
 	run.recordRunTrace(resumed)
 
 	rep := &Report{
-		Algo:         prm.Algo,
-		P:            prm.P,
-		Params:       prm,
-		Result:       run.assembleResult(),
-		Passes:       run.assemblePasses(),
-		ResponseTime: cl.MaxClock(),
-		Clocks:       cl.Clocks(),
-		Total:        cl.TotalStats(),
-		Wall:         time.Since(start), //checkinv:allow walltime — pairs with the Wall stat's time.Now above
+		Algo:          prm.Algo,
+		P:             prm.P,
+		Params:        prm,
+		Result:        run.assembleResult(),
+		Passes:        run.assemblePasses(),
+		ResponseTime:  cl.MaxClock(),
+		Clocks:        cl.Clocks(),
+		Total:         cl.TotalStats(),
+		Wall:          time.Since(start), //checkinv:allow walltime — pairs with the Wall stat's time.Now above
 		Restarts:      run.restarts,
 		LostRanks:     append([]int(nil), run.lost...),
 		ResumedPasses: resumed,
+	}
+	for _, pass := range rep.Passes {
+		rep.Read.Add(pass.Read)
 	}
 	if prm.Trace {
 		rep.Trace = cl.Trace()
@@ -557,6 +611,9 @@ type passLocal struct {
 	clockEnd      float64
 	candImbalance float64
 	restored      bool // seeded from a persistent checkpoint, not mined
+	// read is the processor's out-of-core read-path record for the pass
+	// (zero on the in-memory backend).
+	read oocReadStats
 }
 
 // firstActive returns the lowest participating global rank, whose copy of
@@ -616,6 +673,7 @@ func (r *run) assemblePasses() []PassReport {
 			pl := r.perProc[pi].passes[k]
 			pr.Tree.Add(pl.tree)
 			pr.BytesMoved += pl.bytesMoved
+			pr.Read.Add(readStatsOf(pl.read))
 			times = append(times, pl.countTime)
 			if pl.clockEnd > maxEnd {
 				maxEnd = pl.clockEnd

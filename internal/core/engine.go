@@ -116,7 +116,8 @@ func (r *run) gridBody(p *cluster.Proc) error {
 
 		computeBefore := p.Stats().ComputeTime
 		var passTree hashtree.Stats
-		var bytesMoved, bytesRead int64
+		var bytesMoved int64
+		var read oocReadStats
 		var frequentLocal []apriori.Frequent
 		var pages [][]itemset.Transaction
 		var shardBytes int64
@@ -163,12 +164,12 @@ func (r *run) gridBody(p *cluster.Proc) error {
 				// Out of core, every block's real on-disk size is charged as
 				// it is read (inside the stream) instead of one modeled
 				// charge for the whole shard.
-				moved, read, err := r.ringCountStream(p, colComm, fmt.Sprintf("k%d.p%d/ring", k, part), process)
+				moved, rs, err := r.ringCountStream(p, colComm, fmt.Sprintf("k%d.p%d/ring", k, part), process)
 				if err != nil {
 					return fmt.Errorf("pass %d: %w", k, err)
 				}
 				bytesMoved += moved
-				bytesRead += read
+				read.add(rs)
 			} else {
 				p.ReadIO(shardBytes, "io")
 				bytesMoved += ringCount(p, colComm, fmt.Sprintf("k%d.p%d/ring", k, part), pages, process)
@@ -181,7 +182,7 @@ func (r *run) gridBody(p *cluster.Proc) error {
 			chargeEngineCount(p, countengine.Delta(countsBefore, eng.Stats()))
 			countArgs := []obsv.Attr{obsv.Int("k", int64(k)), obsv.Int("part", int64(part))}
 			if r.ooc() {
-				countArgs = append(countArgs, obsv.Int("read_bytes", bytesRead))
+				countArgs = append(countArgs, obsv.Int("read_bytes", read.bytes))
 			}
 			r.sec(p, "count", countStart, countArgs...)
 
@@ -218,6 +219,7 @@ func (r *run) gridBody(p *cluster.Proc) error {
 			clockStart:    clockStart,
 			clockEnd:      p.Clock(),
 			candImbalance: candImbalance,
+			read:          read,
 		})
 		tr.levels = append(tr.levels, level)
 		ckStart := p.Clock()

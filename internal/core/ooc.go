@@ -81,19 +81,49 @@ func (r *run) ownedPartsOf(rank int) []int {
 	return parts
 }
 
+// oocReadStats is one rank's record of its out-of-core read-path work for
+// one pass: what it read, what it survived, and how the virtual clock split
+// between decoding bytes and waiting on them.  Everything here is charged on
+// the virtual clock, so a seeded run reports bit-identical numbers.
+type oocReadStats struct {
+	parts      int   // partition files opened
+	blocks     int64 // blocks read and verified
+	bytes      int64 // on-disk bytes read (block framing included)
+	crcRetries int64 // checksum failures survived by re-reading
+	// stalls counts synchronous block reads the rank's clock waited on.
+	// Without read-ahead every read is a stall — the number double-buffering
+	// (see ROADMAP) would overlap with compute.
+	stalls int64
+	// decodeSeconds is the virtual compute time spent turning verified
+	// payload bytes into transactions, the decode half of the decode/count
+	// split.
+	decodeSeconds float64
+}
+
+// add accumulates o into s.
+func (s *oocReadStats) add(o oocReadStats) {
+	s.parts += o.parts
+	s.blocks += o.blocks
+	s.bytes += o.bytes
+	s.crcRetries += o.crcRetries
+	s.stalls += o.stalls
+	s.decodeSeconds += o.decodeSeconds
+}
+
 // blockStream walks a rank's owned partitions block by block, charging the
 // real on-disk bytes of every block against the rank's virtual I/O clock
-// and recording a per-block read span.  With reuse enabled the underlying
-// readers recycle their buffers, so a block is only valid until the next
-// call — callers that hand blocks to other ranks (the ring) disable reuse.
+// and recording per-block read and decode spans.  With reuse enabled the
+// underlying readers recycle their buffers, so a block is only valid until
+// the next call — callers that hand blocks to other ranks (the ring)
+// disable reuse.
 type blockStream struct {
-	r         *run
-	parts     []int
-	idx       int
-	cur       *txstore.BlockReader
-	reuse     bool
-	blocks    int   // total blocks this stream will yield, from the manifest
-	readBytes int64 // on-disk bytes charged so far
+	r      *run
+	parts  []int
+	idx    int
+	cur    *txstore.BlockReader
+	reuse  bool
+	blocks int // total blocks this stream will yield, from the manifest
+	stats  oocReadStats
 }
 
 // openPartStream prepares the rank's partition stream.  The total block
@@ -110,8 +140,8 @@ func (r *run) openPartStream(rank int, reuse bool) *blockStream {
 }
 
 // next returns the next block and its on-disk size, or (nil, 0, nil) when
-// the stream is exhausted.  The block's read cost lands on p's clock before
-// the block is returned.
+// the stream is exhausted.  The block's read and decode costs land on p's
+// clock before the block is returned.
 func (s *blockStream) next(p *cluster.Proc) ([]itemset.Transaction, int64, error) {
 	for {
 		if s.cur == nil {
@@ -127,9 +157,7 @@ func (s *blockStream) next(p *cluster.Proc) ([]itemset.Transaction, int64, error
 		}
 		blk, db, err := s.cur.Next()
 		if err == io.EOF {
-			cerr := s.cur.Close()
-			s.cur = nil
-			if cerr != nil {
+			if cerr := s.finishReader(); cerr != nil {
 				return nil, 0, cerr
 			}
 			continue
@@ -139,17 +167,40 @@ func (s *blockStream) next(p *cluster.Proc) ([]itemset.Transaction, int64, error
 		}
 		start := p.Clock()
 		p.ReadIO(int64(db), "io")
-		s.readBytes += int64(db)
+		// Every read is synchronous — the rank's clock waits on the block
+		// (no read-ahead; the ROADMAP double-buffering item would hide it).
+		s.stats.stalls++
+		s.stats.blocks++
+		s.stats.bytes += int64(db)
 		s.r.sec(p, "read", start, obsv.Int("bytes", int64(db)))
+		var items int64
+		for _, t := range blk {
+			items += int64(len(t.Items))
+		}
+		decStart := p.Clock()
+		chargeScan(p, items, "decode")
+		s.stats.decodeSeconds += p.Clock() - decStart
+		s.r.sec(p, "decode", decStart, obsv.Int("items", items))
 		return blk, int64(db), nil
 	}
 }
 
-func (s *blockStream) close() {
-	if s.cur != nil {
-		s.cur.Close()
-		s.cur = nil
+// finishReader folds the current partition reader's stats (the partition
+// open and any survived checksum retries) into the stream's and closes it.
+func (s *blockStream) finishReader() error {
+	if s.cur == nil {
+		return nil
 	}
+	st := s.cur.Stats()
+	s.stats.parts += st.Partitions
+	s.stats.crcRetries += st.CRCRetries
+	err := s.cur.Close()
+	s.cur = nil
+	return err
+}
+
+func (s *blockStream) close() {
+	_ = s.finishReader()
 }
 
 // firstPassOOC is firstPass over the partition stream: the same
@@ -179,7 +230,7 @@ func (r *run) firstPassOOC(p *cluster.Proc, tr *procTrace) ([]apriori.Frequent, 
 	}
 	chargeScan(p, items, "scan")
 	countStart := p.Clock()
-	r.sec(p, "scan", start, obsv.Int("k", 1), obsv.Int("read_bytes", st.readBytes))
+	r.sec(p, "scan", start, obsv.Int("k", 1), obsv.Int("read_bytes", st.stats.bytes))
 
 	global := r.world.AllReduceInt64(p, "f1", counts)
 	r.sec(p, "reduce", countStart, obsv.Int("k", 1))
@@ -200,6 +251,7 @@ func (r *run) firstPassOOC(p *cluster.Proc, tr *procTrace) ([]apriori.Frequent, 
 		countTime:  countStart - start,
 		clockStart: start,
 		clockEnd:   p.Clock(),
+		read:       st.stats,
 	})
 	return f1, nil
 }
@@ -209,20 +261,25 @@ func (r *run) firstPassOOC(p *cluster.Proc, tr *procTrace) ([]apriori.Frequent, 
 // communicator, are counted in place) as they are read, so no rank ever
 // materializes its partition.  Ring peers receive blocks they did not read,
 // which is why the stream disables buffer reuse whenever the ring has more
-// than one member.  Returns the transaction bytes sent and the on-disk
-// bytes read.
-func (r *run) ringCountStream(p *cluster.Proc, cm *cluster.Comm, tag string, process func([]itemset.Transaction)) (sent, readBytes int64, err error) {
+// than one member.  Returns the transaction bytes sent and the rank's
+// read-path stats for the scan.
+func (r *run) ringCountStream(p *cluster.Proc, cm *cluster.Comm, tag string, process func([]itemset.Transaction)) (sent int64, rs oocReadStats, err error) {
 	size := cm.Size()
 	st := r.openPartStream(p.ID(), size == 1)
-	defer st.close()
+	defer func() {
+		// close folds the last reader's partition/retry counts, so snapshot
+		// the stats only after it.
+		st.close()
+		rs = st.stats
+	}()
 	if size == 1 {
 		for {
 			blk, _, err := st.next(p)
 			if err != nil {
-				return 0, st.readBytes, err
+				return 0, rs, err
 			}
 			if blk == nil {
-				return 0, st.readBytes, nil
+				return 0, rs, nil
 			}
 			process(blk)
 		}
@@ -247,7 +304,7 @@ func (r *run) ringCountStream(p *cluster.Proc, cm *cluster.Comm, tag string, pro
 	for round := 0; round < rounds; round++ {
 		cur, _, err := st.next(p)
 		if err != nil {
-			return sent, st.readBytes, err
+			return sent, rs, err
 		}
 		for s := 0; s < size-1; s++ {
 			b := pageBytesOf(cur)
@@ -259,5 +316,5 @@ func (r *run) ringCountStream(p *cluster.Proc, cm *cluster.Comm, tag string, pro
 		}
 		process(cur)
 	}
-	return sent, st.readBytes, nil
+	return sent, rs, nil
 }

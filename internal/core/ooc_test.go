@@ -9,6 +9,7 @@ import (
 	"parapriori/internal/countengine"
 	"parapriori/internal/datagen"
 	"parapriori/internal/itemset"
+	"parapriori/internal/obsv"
 	"parapriori/internal/txstore"
 )
 
@@ -155,6 +156,91 @@ func TestOOCMorePartitionsThanRanks(t *testing.T) {
 				t.Errorf("parts=%d p=%d: result differs from baseline", parts, procs)
 			}
 		}
+	}
+}
+
+// TestOOCReadStats checks the out-of-core read-path telemetry: a mine over
+// the partition files reports per-pass and run-total read stats, everything
+// is charged on the virtual clock so two identical runs report bit-identical
+// numbers (and a bit-identical Prometheus exposition), and the in-memory
+// backend reports nothing.
+func TestOOCReadStats(t *testing.T) {
+	data, store := oocFixture(t)
+	ap := apriori.Params{MinSupport: 0.02}
+
+	mine := func() *Report {
+		t.Helper()
+		rep, err := Mine(nil, Params{Algo: CD, P: 4, Apriori: ap, Backend: BackendOOC, Store: store})
+		if err != nil {
+			t.Fatalf("ooc mine: %v", err)
+		}
+		return rep
+	}
+	rep := mine()
+
+	if rep.Read.Partitions == 0 || rep.Read.Blocks == 0 || rep.Read.Bytes == 0 {
+		t.Fatalf("ooc run reported no read work: %+v", rep.Read)
+	}
+	if rep.Read.Stalls != rep.Read.Blocks {
+		t.Errorf("without read-ahead every block read is a stall: stalls=%d blocks=%d", rep.Read.Stalls, rep.Read.Blocks)
+	}
+	if rep.Read.DecodeSeconds <= 0 {
+		t.Errorf("decode time not charged: %v", rep.Read.DecodeSeconds)
+	}
+	if rep.Read.CRCRetries != 0 {
+		t.Errorf("clean store reported %d CRC retries", rep.Read.CRCRetries)
+	}
+	var sum ReadStats
+	for _, pass := range rep.Passes {
+		if pass.Read.Blocks == 0 {
+			t.Errorf("pass k=%d reported no blocks read", pass.K)
+		}
+		sum.Add(pass.Read)
+	}
+	if sum != rep.Read {
+		t.Errorf("run total %+v != per-pass sum %+v", rep.Read, sum)
+	}
+	// Every pass streams the whole store once: per-pass bytes are the sum of
+	// the partition files' block bytes (the per-file header is not framing).
+	uvl := func(v uint64) int64 {
+		n := int64(1)
+		for v >= 0x80 {
+			v >>= 7
+			n++
+		}
+		return n
+	}
+	man := store.Manifest()
+	var storeBytes int64
+	for i, p := range man.Partitions {
+		storeBytes += p.Bytes - (5 + uvl(uint64(i)) + uvl(uint64(man.NumItems)))
+	}
+	if got := rep.Passes[0].Read.Bytes; got != storeBytes {
+		t.Errorf("first pass read %d bytes, store holds %d", got, storeBytes)
+	}
+
+	prom := func(r *Report) []byte {
+		w := obsv.NewPromWriter()
+		r.WriteProm(w)
+		return w.Bytes()
+	}
+	if probs := obsv.LintProm(prom(rep)); len(probs) > 0 {
+		t.Errorf("mine exposition fails lint: %v", probs)
+	}
+	rep2 := mine()
+	if rep.Read != rep2.Read {
+		t.Errorf("read stats differ between identical runs:\n%+v\n%+v", rep.Read, rep2.Read)
+	}
+	if !bytes.Equal(prom(rep), prom(rep2)) {
+		t.Error("prom exposition differs between identical runs")
+	}
+
+	inmem, err := Mine(data, Params{Algo: CD, P: 4, Apriori: ap})
+	if err != nil {
+		t.Fatalf("inmem mine: %v", err)
+	}
+	if inmem.Read != (ReadStats{}) {
+		t.Errorf("in-memory run reported read stats: %+v", inmem.Read)
 	}
 }
 

@@ -52,8 +52,12 @@ type Client interface {
 	// yields the same placement.
 	ID() string
 	// Recommend runs a basket query on the node, returning the node's
-	// top-K and the cluster generation it served from.
-	Recommend(ctx context.Context, basket itemset.Itemset, k int) ([]rules.Rule, uint64, error)
+	// top-K and the cluster generation it served from.  link is the
+	// router's per-request span link; the node stamps its own request
+	// span (and any latency exemplar) with it, so a slow distributed
+	// query resolves across tiers through one shared ID.  Empty lets the
+	// node assign its own.
+	Recommend(ctx context.Context, basket itemset.Itemset, k int, link string) ([]rules.Rule, uint64, error)
 	// Prepare stages a publish generation on the node.
 	Prepare(ctx context.Context, req PrepareRequest) error
 	// Commit cuts the node over to a staged generation.
@@ -125,11 +129,11 @@ func (c *LocalClient) gate(ctx context.Context) error {
 }
 
 // Recommend implements Client.
-func (c *LocalClient) Recommend(ctx context.Context, basket itemset.Itemset, k int) ([]rules.Rule, uint64, error) {
+func (c *LocalClient) Recommend(ctx context.Context, basket itemset.Itemset, k int, link string) ([]rules.Rule, uint64, error) {
 	if err := c.gate(ctx); err != nil {
 		return nil, 0, err
 	}
-	return c.node.Recommend(basket, k)
+	return c.node.RecommendLink(basket, k, link)
 }
 
 // Prepare implements Client.

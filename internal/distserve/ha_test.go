@@ -300,7 +300,7 @@ func TestHTTPClientTimeout(t *testing.T) {
 	defer slow.Close()
 
 	cl := NewHTTPClientBudget(slow.URL, 20*time.Millisecond)
-	_, _, err := cl.Recommend(context.Background(), nil, 5)
+	_, _, err := cl.Recommend(context.Background(), nil, 5, "")
 	var te *TimeoutError
 	if !errors.As(err, &te) {
 		t.Fatalf("budget expiry returned %T %v, want *TimeoutError", err, err)
@@ -316,7 +316,7 @@ func TestHTTPClientTimeout(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
 	defer cancel()
 	start := time.Now()
-	_, _, err = cl.Recommend(ctx, nil, 5)
+	_, _, err = cl.Recommend(ctx, nil, 5, "")
 	if !errors.As(err, &te) {
 		t.Fatalf("caller deadline returned %T %v, want *TimeoutError", err, err)
 	}
@@ -326,7 +326,7 @@ func TestHTTPClientTimeout(t *testing.T) {
 
 	// A refused connection is ErrNodeDown but NOT a timeout.
 	dead := NewHTTPClientBudget("http://127.0.0.1:1", time.Second)
-	_, _, err = dead.Recommend(context.Background(), nil, 5)
+	_, _, err = dead.Recommend(context.Background(), nil, 5, "")
 	if err == nil || !errors.Is(err, ErrNodeDown) {
 		t.Fatalf("refused connection = %v, want ErrNodeDown", err)
 	}

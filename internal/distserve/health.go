@@ -169,8 +169,8 @@ func (r *Router) StartProber() {
 	if r.probeStop != nil {
 		return
 	}
-	stop := make(chan struct{})  //checkinv:allow rawchan prober shutdown signal on the real clock, joined by StopProber
-	done := make(chan struct{})  //checkinv:allow rawchan prober join channel, closed when the loop exits
+	stop := make(chan struct{}) //checkinv:allow rawchan prober shutdown signal on the real clock, joined by StopProber
+	done := make(chan struct{}) //checkinv:allow rawchan prober join channel, closed when the loop exits
 	r.probeStop, r.probeDone = stop, done
 	interval := r.opt.ProbeInterval
 	go func() { //checkinv:allow rawchan,goroleak the prober is joined by StopProber via probeDone; real-OS serving territory

@@ -310,7 +310,7 @@ func (c *HTTPClient) do(ctx context.Context, method, path string, in, out any) e
 }
 
 // Recommend implements Client via the node's GET /recommend.
-func (c *HTTPClient) Recommend(ctx context.Context, basket itemset.Itemset, k int) ([]rules.Rule, uint64, error) {
+func (c *HTTPClient) Recommend(ctx context.Context, basket itemset.Itemset, k int, link string) ([]rules.Rule, uint64, error) {
 	items := make([]string, len(basket))
 	for i, it := range basket {
 		items[i] = strconv.Itoa(int(it))
@@ -320,6 +320,9 @@ func (c *HTTPClient) Recommend(ctx context.Context, basket itemset.Itemset, k in
 		Rules      []ruleWire `json:"rules"`
 	}
 	path := "/recommend?items=" + url.QueryEscape(strings.Join(items, ",")) + "&k=" + strconv.Itoa(k)
+	if link != "" {
+		path += "&link=" + url.QueryEscape(link)
+	}
 	if err := c.do(ctx, http.MethodGet, path, nil, &resp); err != nil {
 		return nil, 0, err
 	}
@@ -349,6 +352,9 @@ func (c *HTTPClient) Metrics(ctx context.Context) (serve.Metrics, error) {
 //	GET  /healthz                      liveness, generation, nodes up
 //	GET  /metrics                      FleetMetrics as JSON; Prometheus text
 //	                                   exposition when Accept: text/plain
+//	GET  /debug/flight                 flight-ring dump: recent spans as
+//	                                   Perfetto JSON (?format=attrib for the
+//	                                   attribution table)
 //	GET  /placement                    shard → node assignment
 //	POST /reload[?full=1]              rebuild rules via the callback and
 //	                                   publish cluster-wide (delta by default)
@@ -434,13 +440,18 @@ func (r *Router) Handler(reload func() ([]rules.Rule, error)) http.Handler {
 			return
 		}
 		if serve.WantsProm(req) {
-			pw := obsv.NewPromWriter()
-			r.WriteProm(pw)
 			w.Header().Set("Content-Type", obsv.ContentType)
-			_, _ = w.Write(pw.Bytes())
+			_, _ = w.Write(r.reg.Gather())
 			return
 		}
 		writeJSON(w, http.StatusOK, r.Metrics())
+	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		serve.WriteFlight(w, r.flight, req.URL.Query().Get("format"))
 	})
 	mux.HandleFunc("/placement", func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodGet {

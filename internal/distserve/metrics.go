@@ -44,7 +44,7 @@ type FleetMetrics struct {
 	Probes   int64 `json:"probes"`
 	// Refreshes counts coherence re-queries: stale-generation answers
 	// re-fetched while a publish cut over mid-query.
-	Refreshes int64 `json:"refreshes"`
+	Refreshes  int64  `json:"refreshes"`
 	Generation uint64 `json:"generation"`
 	NumNodes   int    `json:"num_nodes"`
 	NodesUp    int    `json:"nodes_up"`
@@ -54,6 +54,10 @@ type FleetMetrics struct {
 	// NumRules is the fleet-wide rule count summed over reachable nodes.
 	NumRules int           `json:"num_rules"`
 	Nodes    []NodeMetrics `json:"nodes"`
+	// Exemplars are the router latency histogram's per-bucket slowest recent
+	// queries: each SpanID resolves in the router's /debug/flight ring to the
+	// request span and its fan-out legs, and Nodes lists the fan-out set.
+	Exemplars []serve.Exemplar `json:"exemplars,omitempty"`
 }
 
 // Metrics aggregates the router's own counters with every node's serving
@@ -98,6 +102,7 @@ func (r *Router) Metrics() FleetMetrics {
 	fm.Timeouts = r.met.timeouts.Load()
 	fm.Probes = r.met.probes.Load()
 	fm.Refreshes = r.met.refreshes.Load()
+	fm.Exemplars = r.met.latency.Exemplars()
 	if fm.Queries > 0 {
 		fm.FanoutPerQuery = float64(r.met.fanout.Load()) / float64(fm.Queries)
 	}
@@ -170,8 +175,8 @@ func (r *Router) WriteProm(w *obsv.PromWriter) {
 		w.Counter("parapriori_node_cache_misses_total", "Node query cache misses.", float64(n.Serve.CacheMisses), node)
 		w.Gauge("parapriori_node_generation", "Node snapshot generation.", float64(n.Serve.SnapshotGeneration), node)
 		w.Gauge("parapriori_node_rules", "Rules in the node's served index.", float64(n.Serve.NumRules), node)
-		w.Gauge("parapriori_node_p50_latency_micros", "Node p50 query latency in microseconds.", n.Serve.P50LatencyMicros, node)
-		w.Gauge("parapriori_node_p99_latency_micros", "Node p99 query latency in microseconds.", n.Serve.P99LatencyMicros, node)
+		w.Gauge("parapriori_node_p50_latency_seconds", "Node p50 query latency in seconds.", n.Serve.P50LatencyMicros/1e6, node)
+		w.Gauge("parapriori_node_p99_latency_seconds", "Node p99 query latency in seconds.", n.Serve.P99LatencyMicros/1e6, node)
 	}
 }
 

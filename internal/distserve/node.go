@@ -121,6 +121,13 @@ func (n *Node) Recommend(basket []itemset.Item, k int) ([]rules.Rule, uint64, er
 	return n.srv.RecommendGen(basket, k)
 }
 
+// RecommendLink is Recommend carrying the router's span link through to the
+// node's request span and latency exemplar, so a slow fan-out leg resolves
+// in the node's flight ring under the same ID the router recorded.
+func (n *Node) RecommendLink(basket []itemset.Item, k int, link string) ([]rules.Rule, uint64, error) {
+	return n.srv.RecommendTraced(basket, k, link)
+}
+
 // Prepare stages the next generation: it applies the delta to a copy of the
 // committed group store (restricted to the shards the node owns after the
 // cut-over), builds the new index off the query path, and holds both until

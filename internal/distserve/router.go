@@ -36,10 +36,10 @@ type Router struct {
 	// short read of placement + clients + health.
 	mu        sync.RWMutex
 	clients   map[string]Client
-	ids       []string                // sorted node IDs
-	placement []string                // shard → primary node ID (replicas[s][0])
-	replicas  [][]string              // shard → top-R node IDs in HRW order
-	health    map[string]*nodeHealth  // failure-detector state per member
+	ids       []string               // sorted node IDs
+	placement []string               // shard → primary node ID (replicas[s][0])
+	replicas  [][]string             // shard → top-R node IDs in HRW order
+	health    map[string]*nodeHealth // failure-detector state per member
 	groups    []serve.RuleGroup
 	canon     map[string][]byte
 	held      map[string]map[int]bool // nil entry: node state untrusted, resend fully
@@ -51,16 +51,18 @@ type Router struct {
 	pickSeq atomic.Uint64 // seeded choice-of-two sequence
 	reqID   atomic.Uint64 // per-request span-link counter
 
-	met routerMetrics
-	rc  *obsv.RealClock // nil unless Options.Recorder is set
+	met    routerMetrics
+	flight *obsv.Flight    // always-on bounded ring of recent spans
+	rc     *obsv.RealClock // always non-nil: records into the flight ring, teed with Options.Recorder
+	reg    *obsv.Registry
 }
 
 // routerMetrics is the router's lock-free counter block.
 type routerMetrics struct {
-	start    time.Time
-	queries  atomic.Int64
-	partials atomic.Int64
-	fanout   atomic.Int64
+	start     time.Time
+	queries   atomic.Int64
+	partials  atomic.Int64
+	fanout    atomic.Int64
 	retries   atomic.Int64
 	hedges    atomic.Int64
 	timeouts  atomic.Int64
@@ -83,9 +85,12 @@ func NewRouter(clients []Client, opt Options) (*Router, error) {
 		clients: make(map[string]Client, len(clients)),
 		health:  make(map[string]*nodeHealth, len(clients)),
 		held:    make(map[string]map[int]bool, len(clients)),
-		rc:      obsv.NewRealClock(opt.Recorder),
+		flight:  obsv.NewFlight(obsv.ClockReal, 0),
 	}
+	r.rc = obsv.NewRealClock(obsv.Tee(r.flight, opt.Recorder))
 	r.rc.SetMeta("tier", "router")
+	r.reg = obsv.NewRegistry()
+	r.reg.Register("router", r.WriteProm)
 	r.met.start = time.Now()
 	for _, c := range clients {
 		id := c.ID()
@@ -113,6 +118,15 @@ func (r *Router) place() {
 
 // Options returns the router's defaulted options.
 func (r *Router) Options() Options { return r.opt }
+
+// Flight returns the router's always-on flight recorder — the bounded ring
+// of recent request, fan-out and publish spans behind /debug/flight.
+func (r *Router) Flight() *obsv.Flight { return r.flight }
+
+// Registry returns the router's metrics registry.  The router family is
+// pre-registered; callers can graft additional families onto the same
+// /metrics exposition.
+func (r *Router) Registry() *obsv.Registry { return r.reg }
 
 // Generation returns the current cluster generation, 0 before the first
 // successful Publish.
@@ -476,9 +490,22 @@ func (r *Router) Recommend(basket []itemset.Item, k int) (*Result, error) {
 	spanStart := r.rc.Now()
 	link := fmt.Sprintf("q%d", r.reqID.Add(1))
 	legs, retries, hedges, partial := 0, 0, 0, false
+	b := itemset.New(basket...)
+	res := &Result{}
+	asked := make(map[string]bool)
 	defer func() {
 		r.met.queries.Add(1)
-		r.met.latency.Observe(time.Since(start))
+		nodes := make([]string, 0, len(asked))
+		for id := range asked {
+			nodes = append(nodes, id)
+		}
+		sort.Strings(nodes)
+		r.met.latency.ObserveEx(time.Since(start), &serve.Exemplar{
+			SpanID:     link,
+			BasketHash: serve.BasketHash(b),
+			Generation: res.Generation,
+			Nodes:      nodes,
+		})
 		p := int64(0)
 		if partial {
 			p = 1
@@ -499,7 +526,6 @@ func (r *Router) Recommend(basket []itemset.Item, k int) (*Result, error) {
 	if k > r.opt.Node.MaxK {
 		k = r.opt.Node.MaxK
 	}
-	b := itemset.New(basket...)
 
 	r.mu.RLock()
 	if r.gen == 0 {
@@ -526,7 +552,6 @@ func (r *Router) Recommend(basket []itemset.Item, k int) (*Result, error) {
 	sort.Ints(shards)
 	shards = dedupInts(shards)
 
-	res := &Result{}
 	if len(shards) == 0 { // empty basket: nothing can match
 		r.mu.RLock()
 		res.Generation = r.gen
@@ -590,7 +615,6 @@ func (r *Router) Recommend(basket []itemset.Item, k int) (*Result, error) {
 	// and exit without a receiver.
 	resCh := make(chan legResult, len(clients)) //checkinv:allow rawchan — scatter-gather legs on the real clock, drained or abandoned-buffered below
 
-	asked := make(map[string]bool)
 	assigned := make(map[string][]int) // node → shards its leg is responsible for
 	launch := func(id, attempt string) {
 		asked[id] = true
@@ -601,7 +625,7 @@ func (r *Router) Recommend(basket []itemset.Item, k int) (*Result, error) {
 		go func() { //checkinv:allow rawchan,goroleak — fan-out leg; result lands in the buffered channel above, which outlives abandoned legs
 			legStart := r.rc.Now()
 			ctx, cancel := context.WithTimeout(context.Background(), r.opt.RequestTimeout)
-			rs, gen, err := c.Recommend(ctx, b, k)
+			rs, gen, err := c.Recommend(ctx, b, k, link)
 			cancel()
 			h.outstanding.Add(-1)
 			ok := int64(1)
@@ -765,7 +789,7 @@ func (r *Router) Recommend(basket []itemset.Item, k int) (*Result, error) {
 				r.met.refreshes.Add(1)
 				legStart := r.rc.Now()
 				ctx, cancel := context.WithDeadline(context.Background(), coherenceBy)
-				rs, gen, err := clients[id].Recommend(ctx, b, k)
+				rs, gen, err := clients[id].Recommend(ctx, b, k, link)
 				cancel()
 				ok := int64(1)
 				if err != nil {

@@ -1,0 +1,165 @@
+package obsv
+
+import (
+	"sort"
+	"sync"
+)
+
+// DefaultFlightSpans is the per-rank ring capacity a Flight uses when the
+// caller passes a non-positive size.
+const DefaultFlightSpans = 256
+
+// Flight is the always-on flight recorder: a bounded ring of the most
+// recently completed spans, per rank, on either clock.  Unlike Collector it
+// never grows — each rank keeps its last N spans and older ones fall off —
+// so a server or miner can record every span unconditionally and dump the
+// recent window on demand (/debug/flight, parminer -flight).
+//
+// Trace() assembles the retained spans exactly the way Collector.Trace does
+// (sorted meta, ranks ascending, each rank's spans in arrival order, then
+// the canonical span sort), so for a deterministic producer the ring dump is
+// byte-stable run to run just like a full trace.
+type Flight struct {
+	clock Clock
+	cap   int
+
+	mu    sync.Mutex
+	meta  map[string]string
+	rings map[int]*spanRing
+}
+
+// spanRing is one rank's bounded span buffer: a fixed slice written
+// round-robin, with total the number of spans ever recorded.
+type spanRing struct {
+	buf   []Span
+	total int64
+}
+
+// NewFlight builds a flight recorder on the given clock retaining up to
+// spansPerRank spans per rank (DefaultFlightSpans if non-positive).
+func NewFlight(clock Clock, spansPerRank int) *Flight {
+	if spansPerRank <= 0 {
+		spansPerRank = DefaultFlightSpans
+	}
+	return &Flight{
+		clock: clock,
+		cap:   spansPerRank,
+		meta:  make(map[string]string),
+		rings: make(map[int]*spanRing),
+	}
+}
+
+// Record implements Recorder: an O(1) overwrite of the rank's oldest slot.
+func (f *Flight) Record(s Span) {
+	f.mu.Lock()
+	r := f.rings[s.Rank]
+	if r == nil {
+		r = &spanRing{buf: make([]Span, 0, f.cap)}
+		f.rings[s.Rank] = r
+	}
+	if len(r.buf) < f.cap {
+		r.buf = append(r.buf, s)
+	} else {
+		r.buf[r.total%int64(f.cap)] = s
+	}
+	r.total++
+	f.mu.Unlock()
+}
+
+// SetMeta implements Recorder.
+func (f *Flight) SetMeta(key, value string) {
+	f.mu.Lock()
+	f.meta[key] = value
+	f.mu.Unlock()
+}
+
+// Len returns the number of spans currently retained across all ranks.
+func (f *Flight) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, r := range f.rings {
+		n += len(r.buf)
+	}
+	return n
+}
+
+// Dropped returns the number of spans that have fallen off the ring.
+func (f *Flight) Dropped() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var d int64
+	for _, r := range f.rings {
+		d += r.total - int64(len(r.buf))
+	}
+	return d
+}
+
+// Trace assembles the retained window in the same canonical order as
+// Collector.Trace: sorted meta keys, ranks ascending, each rank's spans
+// oldest to newest, then the canonical span sort.
+func (f *Flight) Trace() *Trace {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	t := &Trace{Clock: f.clock}
+	keys := make([]string, 0, len(f.meta))
+	for k := range f.meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		t.Meta = append(t.Meta, Attr{Key: k, Val: f.meta[k]})
+	}
+	ranks := make([]int, 0, len(f.rings))
+	for r := range f.rings {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	for _, rank := range ranks {
+		r := f.rings[rank]
+		if r.total <= int64(f.cap) {
+			t.Spans = append(t.Spans, r.buf...)
+			continue
+		}
+		head := int(r.total % int64(f.cap)) // oldest retained slot
+		t.Spans = append(t.Spans, r.buf[head:]...)
+		t.Spans = append(t.Spans, r.buf[:head]...)
+	}
+	sortSpans(t.Spans)
+	return t
+}
+
+// Tee fans spans out to several recorders, so an always-on flight ring can
+// ride alongside a caller-installed full collector.  Nil recorders are
+// dropped; Tee(nil) is nil and Tee(r) is r, so the result costs nothing
+// extra in the degenerate cases.
+func Tee(recs ...Recorder) Recorder {
+	live := make([]Recorder, 0, len(recs))
+	for _, r := range recs {
+		if r != nil {
+			live = append(live, r)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return teeRecorder(live)
+}
+
+// teeRecorder forwards every call to each underlying recorder in order.
+type teeRecorder []Recorder
+
+func (t teeRecorder) Record(s Span) {
+	for _, r := range t {
+		r.Record(s)
+	}
+}
+
+func (t teeRecorder) SetMeta(key, value string) {
+	for _, r := range t {
+		r.SetMeta(key, value)
+	}
+}

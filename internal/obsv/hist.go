@@ -119,6 +119,30 @@ func PassDurations(t *Trace, k int) []float64 {
 	return out
 }
 
+// Quantile returns the nearest-rank q-quantile (q in [0, 1]) of an
+// ascending-sorted sample, 0 for an empty one.  Exact over the sample, no
+// interpolation — two identical runs report identical percentiles.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	// Nearest rank: ceil(q*n), 1-based.
+	rank := int(q * float64(len(sorted)))
+	if float64(rank) < q*float64(len(sorted)) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
 // PassHistogram buckets PassDurations(t, -1) with the default base.
 func PassHistogram(t *Trace) Histogram {
 	return NewHistogram(PassDurations(t, -1), 0)

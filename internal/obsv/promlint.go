@@ -1,0 +1,159 @@
+package obsv
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// LintProm checks a text exposition (format 0.0.4) against the conventions
+// this repo's metrics follow — a promlint-style gate the conformance tests
+// run over every /metrics surface:
+//
+//   - every sample belongs to a family with # HELP and # TYPE declared
+//     first, HELP before TYPE, each exactly once;
+//   - metric names match ^[a-z][a-z0-9_]*$ (our scheme is stricter than the
+//     spec's, deliberately: one shared lowercase naming scheme);
+//   - counters end in _total, and only counters do;
+//   - time-valued metrics use the _seconds base unit — names ending in
+//     _micros, _millis, _ms, _us or _nanos are rejected;
+//   - histogram samples are limited to the _bucket/_sum/_count series of
+//     their family, and _bucket samples carry an le label.
+//
+// The returned slice holds one message per violation; empty means clean.
+func LintProm(exposition []byte) []string {
+	var issues []string
+	type family struct {
+		typ     string
+		hasHelp bool
+		hasType bool
+	}
+	families := make(map[string]*family)
+	nameRE := regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+	badUnits := []string{"_micros", "_millis", "_ms", "_us", "_nanos"}
+	validTypes := map[string]bool{
+		"counter": true, "gauge": true, "histogram": true,
+		"summary": true, "untyped": true,
+	}
+
+	checkName := func(name string) {
+		if !nameRE.MatchString(name) {
+			issues = append(issues, fmt.Sprintf("metric %q: name does not match ^[a-z][a-z0-9_]*$", name))
+		}
+		for _, u := range badUnits {
+			if strings.HasSuffix(name, u) {
+				issues = append(issues, fmt.Sprintf("metric %q: non-base time unit %q, use _seconds", name, u))
+			}
+		}
+	}
+
+	for _, line := range strings.Split(strings.TrimRight(string(exposition), "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				issues = append(issues, fmt.Sprintf("malformed comment line %q", line))
+				continue
+			}
+			name := fields[2]
+			fam := families[name]
+			if fam == nil {
+				fam = &family{}
+				families[name] = fam
+			}
+			switch fields[1] {
+			case "HELP":
+				if fam.hasHelp {
+					issues = append(issues, fmt.Sprintf("metric %q: duplicate # HELP", name))
+				}
+				if fam.hasType {
+					issues = append(issues, fmt.Sprintf("metric %q: # HELP after # TYPE", name))
+				}
+				fam.hasHelp = true
+			case "TYPE":
+				if fam.hasType {
+					issues = append(issues, fmt.Sprintf("metric %q: duplicate # TYPE", name))
+				}
+				if !fam.hasHelp {
+					issues = append(issues, fmt.Sprintf("metric %q: # TYPE without preceding # HELP", name))
+				}
+				fam.hasType = true
+				if len(fields) < 4 || !validTypes[fields[3]] {
+					issues = append(issues, fmt.Sprintf("metric %q: invalid type in %q", name, line))
+					fam.typ = "untyped"
+				} else {
+					fam.typ = fields[3]
+				}
+				checkName(name)
+				if fam.typ == "counter" && !strings.HasSuffix(name, "_total") {
+					issues = append(issues, fmt.Sprintf("counter %q does not end in _total", name))
+				}
+				if fam.typ != "counter" && strings.HasSuffix(name, "_total") {
+					issues = append(issues, fmt.Sprintf("%s %q must not end in _total", fam.typ, name))
+				}
+			}
+			continue
+		}
+
+		// Sample line: name[{labels}] value [timestamp].
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		if len(strings.Fields(stripLabels(line))) < 2 {
+			issues = append(issues, fmt.Sprintf("malformed sample line %q", line))
+			continue
+		}
+		base, series := name, ""
+		fam := families[name]
+		if fam == nil {
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if strings.HasSuffix(name, suf) {
+					if f := families[strings.TrimSuffix(name, suf)]; f != nil && f.typ == "histogram" {
+						base, series, fam = strings.TrimSuffix(name, suf), suf, f
+						break
+					}
+				}
+			}
+		}
+		if fam == nil || !fam.hasHelp || !fam.hasType {
+			issues = append(issues, fmt.Sprintf("sample %q has no preceding # HELP/# TYPE family", name))
+			continue
+		}
+		if fam.typ == "histogram" && series == "" && base == name {
+			issues = append(issues, fmt.Sprintf("histogram %q has a bare sample; expected _bucket/_sum/_count", name))
+		}
+		if series == "_bucket" && !strings.Contains(line, `le="`) {
+			issues = append(issues, fmt.Sprintf("histogram bucket sample %q lacks an le label", line))
+		}
+	}
+
+	names := make([]string, 0, len(families))
+	for name := range families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if fam := families[name]; fam.hasHelp && !fam.hasType {
+			issues = append(issues, fmt.Sprintf("metric %q: # HELP without # TYPE", name))
+		}
+	}
+	return issues
+}
+
+// stripLabels removes one {...} label block so Fields splits name and value
+// even when label values contain spaces.
+func stripLabels(line string) string {
+	i := strings.IndexByte(line, '{')
+	if i < 0 {
+		return line
+	}
+	j := strings.LastIndexByte(line, '}')
+	if j < i {
+		return line
+	}
+	return line[:i] + line[j+1:]
+}

@@ -1,0 +1,60 @@
+package obsv
+
+import "sync"
+
+// Registry is the unified metrics surface: named collectors (serve, router,
+// mining report, ...) registered once and rendered into a single Prometheus
+// exposition.  Every tier's /metrics endpoint renders through a Registry so
+// the whole system shares one naming scheme and one exposition, and callers
+// can graft extra families (e.g. a mining Report) onto a running server's
+// endpoint.
+type Registry struct {
+	mu      sync.Mutex
+	names   []string
+	collect map[string]func(*PromWriter)
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{collect: make(map[string]func(*PromWriter))}
+}
+
+// Register adds (or replaces) a named collector.  Collectors render in
+// first-registration order, so the exposition is stable run to run.
+func (g *Registry) Register(name string, fn func(*PromWriter)) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.collect[name]; !ok {
+		g.names = append(g.names, name)
+	}
+	g.collect[name] = fn
+}
+
+// Names returns the registered collector names in render order.
+func (g *Registry) Names() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]string(nil), g.names...)
+}
+
+// WriteProm renders every collector into the writer, in registration order.
+func (g *Registry) WriteProm(w *PromWriter) {
+	g.mu.Lock()
+	names := append([]string(nil), g.names...)
+	fns := make([]func(*PromWriter), len(names))
+	for i, n := range names {
+		fns[i] = g.collect[n]
+	}
+	g.mu.Unlock()
+	for _, fn := range fns {
+		fn(w)
+	}
+}
+
+// Gather renders the registry into a fresh PromWriter and returns the
+// exposition bytes.
+func (g *Registry) Gather() []byte {
+	w := NewPromWriter()
+	g.WriteProm(w)
+	return w.Bytes()
+}

@@ -45,6 +45,9 @@ func toRuleJSON(r rules.Rule) ruleJSON {
 //	GET  /healthz                      liveness + generation
 //	GET  /metrics                      Metrics as JSON; Prometheus text
 //	                                   exposition when Accept: text/plain
+//	GET  /debug/flight                 flight-ring dump: recent spans as
+//	                                   Perfetto JSON (?format=attrib for the
+//	                                   attribution table)
 //	POST /reload                       rebuild via the reload callback and hot-swap
 //
 // reload supplies a freshly built Index on demand (typically re-reading the
@@ -55,6 +58,7 @@ func (s *Server) Handler(reload func() (*Index, error)) http.Handler {
 	mux.HandleFunc("/rules", s.handleRules)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/flight", s.handleFlight)
 	mux.HandleFunc("/reload", s.reloadHandler(reload))
 	return mux
 }
@@ -106,7 +110,7 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	out, gen, err := s.RecommendGen(basket, k)
+	out, gen, err := s.RecommendTraced(basket, k, sanitizeLink(r.URL.Query().Get("link")))
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
@@ -196,13 +200,56 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if WantsProm(r) {
-		pw := obsv.NewPromWriter()
-		s.WriteProm(pw)
 		w.Header().Set("Content-Type", obsv.ContentType)
-		_, _ = w.Write(pw.Bytes())
+		_, _ = w.Write(s.reg.Gather())
 		return
 	}
 	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// sanitizeLink accepts a caller-propagated span link only when it is short
+// and plain ([A-Za-z0-9._-], ≤64 bytes); anything else is discarded and the
+// server assigns its own ID.
+func sanitizeLink(raw string) string {
+	if len(raw) == 0 || len(raw) > 64 {
+		return ""
+	}
+	for i := 0; i < len(raw); i++ {
+		c := raw[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+			c >= '0' && c <= '9' || c == '.' || c == '_' || c == '-'
+		if !ok {
+			return ""
+		}
+	}
+	return raw
+}
+
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	WriteFlight(w, s.flight, r.URL.Query().Get("format"))
+}
+
+// WriteFlight renders a flight-ring dump for a /debug/flight endpoint: the
+// Perfetto trace-event JSON of the retained spans by default, the
+// attribution text table for format "attrib".  Shared by the single-server
+// and router handlers so every tier's dump is the same byte format as a
+// full trace.
+func WriteFlight(w http.ResponseWriter, f *obsv.Flight, format string) {
+	tr := f.Trace()
+	switch format {
+	case "", "perfetto", "json":
+		w.Header().Set("Content-Type", "application/json")
+		_ = obsv.WriteTrace(w, tr)
+	case "attrib":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = obsv.WriteAttribution(w, obsv.Attribution(tr))
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q (want perfetto or attrib)", format)
+	}
 }
 
 func (s *Server) reloadHandler(reload func() (*Index, error)) http.HandlerFunc {

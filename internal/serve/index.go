@@ -62,8 +62,9 @@ type Options struct {
 	MaxK int
 	// Recorder, when non-nil, receives a real-time span per request and
 	// publish (obsv.CatRequest / obsv.CatPublish), timed on an epoch anchored
-	// at server construction.  Nil disables span recording at the cost of one
-	// branch per request.
+	// at server construction.  The server's bounded flight ring (Flight,
+	// /debug/flight) records those spans unconditionally; a Recorder here is
+	// teed in alongside it for unbounded collection.
 	Recorder obsv.Recorder
 }
 

@@ -21,10 +21,20 @@ const latencyBuckets = 32
 type Hist struct {
 	buckets [latencyBuckets]atomic.Int64
 	sumUs   atomic.Int64
+	ex      exemplars
 }
 
 // Observe records one latency sample.
 func (h *Hist) Observe(d time.Duration) {
+	h.ObserveEx(d, nil)
+}
+
+// ObserveEx is Observe plus an exemplar offer: ex (when non-nil) has its
+// Bucket, LatencyUs and capture time filled in and is installed as the
+// bucket's exemplar if it is slower than — or meaningfully fresher than —
+// the incumbent.  The slow tail self-selects: most requests lose the
+// comparison and the pointer is garbage immediately.
+func (h *Hist) ObserveEx(d time.Duration, ex *Exemplar) {
 	us := d.Microseconds()
 	b := bits.Len64(uint64(us)) // 0µs → bucket 0, [2^(i-1), 2^i) µs → bucket i
 	if b >= latencyBuckets {
@@ -32,6 +42,16 @@ func (h *Hist) Observe(d time.Duration) {
 	}
 	h.buckets[b].Add(1)
 	h.sumUs.Add(us)
+	if ex != nil {
+		ex.Bucket, ex.LatencyUs, ex.at = b, us, time.Now() //checkinv:allow snapshotmut — ex is still caller-owned here; it is published only by offer's CAS below
+		h.ex.offer(ex)
+	}
+}
+
+// Exemplars returns the live per-bucket exemplars, lowest bucket first,
+// each stamped with its age at snapshot time.
+func (h *Hist) Exemplars() []Exemplar {
+	return h.ex.snapshot()
 }
 
 // Counts returns a snapshot of the per-bucket sample counts, index-aligned
@@ -91,12 +111,13 @@ func (h *Hist) Percentile(p float64) float64 {
 	return float64(int64(1) << uint(latencyBuckets-1))
 }
 
-// reset clears the histogram.
+// reset clears the histogram and its exemplar slots.
 func (h *Hist) reset() {
 	for i := range h.buckets {
 		h.buckets[i].Store(0)
 	}
 	h.sumUs.Store(0)
+	h.ex.reset()
 }
 
 // metrics is the server's lock-free counter block.  Every field is an
@@ -111,9 +132,6 @@ type metrics struct {
 	reloads atomic.Int64
 	latency Hist
 }
-
-// observe records one query latency.
-func (m *metrics) observe(d time.Duration) { m.latency.Observe(d) }
 
 // reset clears the counters and restarts the uptime clock.  Benchmarks use
 // it to exclude warm-up traffic from the reported percentiles; it must only
@@ -143,6 +161,9 @@ type Metrics struct {
 	Reloads            int64   `json:"reloads"`
 	NumRules           int     `json:"num_rules"`
 	ShardRules         []int   `json:"shard_rules"`
+	// Exemplars are the latency histogram's per-bucket slowest recent
+	// requests; each SpanID resolves in the /debug/flight ring.
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
 }
 
 // Metrics snapshots the server's counters.  Counters are read individually
@@ -157,6 +178,7 @@ func (s *Server) Metrics() Metrics {
 		CacheHits:        s.met.hits.Load(),
 		CacheMisses:      s.met.misses.Load(),
 		Reloads:          s.met.reloads.Load(),
+		Exemplars:        s.met.latency.Exemplars(),
 	}
 	if m.UptimeSeconds > 0 {
 		m.QPS = float64(m.Queries) / m.UptimeSeconds

@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/binary"
 	"errors"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,22 +32,33 @@ type snapshot struct {
 // on).  Publish is safe to call concurrently with queries from any
 // goroutine — that is the hot-reload path.
 type Server struct {
-	opt   Options
-	snap  atomic.Pointer[snapshot]
-	met   metrics
-	rc    *obsv.RealClock // nil unless Options.Recorder is set
-	tasks chan func()     // nil when Workers == 0
-	wg    sync.WaitGroup
-	once  sync.Once // guards Close
+	opt    Options
+	snap   atomic.Pointer[snapshot]
+	met    metrics
+	flight *obsv.Flight    // always-on bounded ring of recent spans
+	rc     *obsv.RealClock // always non-nil: records into the flight ring, teed with Options.Recorder
+	reg    *obsv.Registry
+	reqID  atomic.Uint64 // server-local span links for untraced callers
+	tasks  chan func()   // nil when Workers == 0
+	wg     sync.WaitGroup
+	once   sync.Once // guards Close
+	slow   func()    // test seam: injected latency on the recommend path
 }
 
 // NewServer creates a server with no snapshot; queries fail with
 // ErrNoSnapshot until the first Publish.  With opt.Workers > 0 it starts
 // the query worker pool; call Close to stop it.
+//
+// The flight recorder is always on: every request/publish span lands in a
+// bounded ring dumpable via /debug/flight or Flight(), teed into
+// Options.Recorder when one is installed.
 func NewServer(opt Options) *Server {
 	opt = opt.WithDefaults()
-	s := &Server{opt: opt, rc: obsv.NewRealClock(opt.Recorder)}
+	s := &Server{opt: opt, flight: obsv.NewFlight(obsv.ClockReal, 0)}
+	s.rc = obsv.NewRealClock(obsv.Tee(s.flight, opt.Recorder))
 	s.rc.SetMeta("tier", "serve")
+	s.reg = obsv.NewRegistry()
+	s.reg.Register("serve", s.WriteProm)
 	s.met.start = time.Now()
 	if opt.Workers > 0 {
 		// The pool is real serving concurrency, deliberately outside the
@@ -126,6 +138,15 @@ func (s *Server) publishAt(old *snapshot, idx *Index, gen uint64) bool {
 	return false
 }
 
+// Flight returns the server's always-on flight recorder — the bounded ring
+// of recently completed request/publish spans behind /debug/flight.
+func (s *Server) Flight() *obsv.Flight { return s.flight }
+
+// Registry returns the server's metrics registry.  The serve family is
+// pre-registered; callers can graft additional families (e.g. a mining
+// Report's counters) onto the same /metrics exposition.
+func (s *Server) Registry() *obsv.Registry { return s.reg }
+
 // Generation returns the current snapshot generation, 0 before the first
 // Publish.
 func (s *Server) Generation() uint64 {
@@ -163,13 +184,33 @@ func (s *Server) Recommend(basket []itemset.Item, k int) ([]rules.Rule, error) {
 // never carry a newer generation than its content (the guarantee the
 // distributed router's publish-coherence logic depends on).
 func (s *Server) RecommendGen(basket []itemset.Item, k int) ([]rules.Rule, uint64, error) {
+	return s.RecommendTraced(basket, k, "")
+}
+
+// RecommendTraced is RecommendGen with a caller-propagated span link: the
+// request span and the latency-histogram exemplar both carry it, so a slow
+// request surfaced in /metrics resolves to its causal spans in the flight
+// ring.  The distributed router passes its fan-out link through here; with
+// an empty link the server assigns its own "r<n>" ID.
+func (s *Server) RecommendTraced(basket []itemset.Item, k int, link string) ([]rules.Rule, uint64, error) {
+	if link == "" {
+		link = "r" + strconv.FormatUint(s.reqID.Add(1), 10)
+	}
 	start := time.Now()
 	spanStart := s.rc.Now()
+	b := itemset.New(basket...)
 	cache, results := "off", 0
+	var gen uint64
 	defer func() {
 		s.met.queries.Add(1)
-		s.met.observe(time.Since(start))
+		s.met.latency.ObserveEx(time.Since(start), &Exemplar{
+			SpanID:     link,
+			BasketHash: BasketHash(b),
+			Cache:      cache,
+			Generation: gen,
+		})
 		s.rc.Record("recommend", obsv.CatRequest, 0, spanStart,
+			obsv.String("link", link),
 			obsv.Int("basket", int64(len(basket))),
 			obsv.Int("k", int64(k)),
 			obsv.String("cache", cache),
@@ -181,13 +222,16 @@ func (s *Server) RecommendGen(basket []itemset.Item, k int) ([]rules.Rule, uint6
 		cache = "error"
 		return nil, 0, ErrNoSnapshot
 	}
+	gen = snap.gen
+	if s.slow != nil {
+		s.slow()
+	}
 	if k <= 0 {
 		k = DefaultK
 	}
 	if k > s.opt.MaxK {
 		k = s.opt.MaxK
 	}
-	b := itemset.New(basket...)
 
 	var key string
 	if snap.cache != nil {

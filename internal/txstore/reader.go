@@ -23,14 +23,56 @@ type BlockReader struct {
 	br    *bufio.Reader
 	num   int // numItems from the partition header
 	part  int
-	block int // index of the block Next will read
+	block int   // index of the block Next will read
+	off   int64 // absolute file offset of the next unread frame
 	prev  int64
 	reuse bool
+
+	stats      ReaderStats
+	onCRCRetry func(block, attempt int) // test seam: called per survived checksum failure
 
 	payload []byte
 	txns    []itemset.Transaction
 	items   []itemset.Item
 	offs    []int32
+}
+
+// maxCRCRetries is how many times a failed block checksum is re-read from
+// disk before the reader gives up with a CorruptError.  A transient fault —
+// a bit flipped on the wire between the page cache and us — disappears on
+// re-read; real on-disk damage fails identically every time.
+const maxCRCRetries = 2
+
+// ReaderStats counts the work one (or, after Add, several) partition
+// reader(s) did: the read-path telemetry the mining Report surfaces per
+// pass.
+type ReaderStats struct {
+	// Partitions is the number of partition files opened.
+	Partitions int `json:"partitions"`
+	// Blocks and Bytes count verified blocks and the on-disk bytes consumed
+	// (framing included, header excluded).
+	Blocks int64 `json:"blocks"`
+	Bytes  int64 `json:"bytes"`
+	// CRCRetries counts checksum failures survived by re-reading: each one
+	// is a verification that failed and then succeeded on a later attempt.
+	CRCRetries int64 `json:"crc_retries"`
+}
+
+// Add accumulates o into s — the aggregation the mining side uses to fold
+// per-partition reader stats into one per-pass total.
+func (s *ReaderStats) Add(o ReaderStats) {
+	s.Partitions += o.Partitions
+	s.Blocks += o.Blocks
+	s.Bytes += o.Bytes
+	s.CRCRetries += o.CRCRetries
+}
+
+// Stats returns what the reader has done so far: this partition (counted as
+// one), the blocks and bytes verified, and the checksum failures survived.
+func (r *BlockReader) Stats() ReaderStats {
+	st := r.stats
+	st.Partitions = 1
+	return st
 }
 
 // openPartition opens path and validates its header against the expected
@@ -89,32 +131,81 @@ func (r *BlockReader) readHeader(numItems int) error {
 		return &CorruptError{File: r.path, Block: -1, Reason: fmt.Sprintf("numItems %d, manifest says %d", num, numItems)}
 	}
 	r.num = int(num)
+	r.off = int64(5 + uvarintLen(idx) + uvarintLen(num))
 	return nil
 }
 
 // Next reads, verifies and decodes the next block.  It returns the block's
 // transactions and its on-disk size in bytes (framing included), or io.EOF
 // after the last block.  Framing that outruns the file yields a
-// *TruncatedError; a failed checksum or malformed payload yields a
-// *CorruptError.
+// *TruncatedError; a malformed payload yields a *CorruptError.  A failed
+// checksum is re-read from disk up to maxCRCRetries times first — transient
+// corruption between the disk and us heals on re-read and is counted in
+// Stats().CRCRetries; persistent damage yields the *CorruptError.
 func (r *BlockReader) Next() ([]itemset.Transaction, int, error) {
+	payload, ntxns, diskBytes, err := r.readFrame()
+	var survived int64
+	for attempt := 1; err != nil; attempt++ {
+		ce, crc := err.(*crcError)
+		if !crc {
+			return nil, 0, err
+		}
+		if attempt > maxCRCRetries {
+			return nil, 0, &CorruptError{File: r.path, Block: r.block, Reason: ce.reason}
+		}
+		if r.onCRCRetry != nil {
+			r.onCRCRetry(r.block, attempt)
+		}
+		if _, serr := r.file.Seek(r.off, io.SeekStart); serr != nil {
+			return nil, 0, &CorruptError{File: r.path, Block: r.block, Reason: ce.reason + "; reseek failed: " + serr.Error()}
+		}
+		r.br.Reset(r.file)
+		survived++
+		payload, ntxns, diskBytes, err = r.readFrame()
+	}
+	if diskBytes == 0 { // clean end of file
+		return nil, 0, io.EOF
+	}
+	txns, err := r.decodeBlock(payload, ntxns)
+	if err != nil {
+		return nil, 0, err
+	}
+	r.block++
+	r.off += int64(diskBytes)
+	r.stats.Blocks++
+	r.stats.Bytes += int64(diskBytes)
+	r.stats.CRCRetries += survived
+	return txns, diskBytes, nil
+}
+
+// crcError marks a failed block checksum inside readFrame — the one failure
+// Next retries instead of surfacing.
+type crcError struct{ reason string }
+
+func (e *crcError) Error() string { return e.reason }
+
+// readFrame reads and verifies one block frame into the reader's (possibly
+// recycled) payload buffer.  At clean end of file it returns all zero values
+// and a nil error (diskBytes == 0 marks it); a checksum mismatch returns a
+// *crcError so Next can seek back and retry.
+func (r *BlockReader) readFrame() ([]byte, int, int, error) {
 	ntxns, err := binary.ReadUvarint(r.br)
 	if err != nil {
 		if err == io.EOF {
-			return nil, 0, io.EOF
+			return nil, 0, 0, nil
 		}
-		return nil, 0, &TruncatedError{File: r.path, Block: r.block}
+		return nil, 0, 0, &TruncatedError{File: r.path, Block: r.block}
 	}
 	payloadLen, err := binary.ReadUvarint(r.br)
 	if err != nil {
-		return nil, 0, &TruncatedError{File: r.path, Block: r.block}
+		return nil, 0, 0, &TruncatedError{File: r.path, Block: r.block}
 	}
 	if ntxns == 0 || ntxns > 1<<31 || payloadLen > 1<<31 || payloadLen < ntxns {
-		return nil, 0, &CorruptError{File: r.path, Block: r.block, Reason: fmt.Sprintf("implausible frame (%d transactions, %d payload bytes)", ntxns, payloadLen)}
+		return nil, 0, 0, &CorruptError{File: r.path, Block: r.block, Reason: fmt.Sprintf("implausible frame (%d transactions, %d payload bytes)", ntxns, payloadLen)}
 	}
 	var crcBuf [4]byte
 	if _, err := io.ReadFull(r.br, crcBuf[:]); err != nil {
-		return nil, 0, &TruncatedError{File: r.path, Block: r.block}
+		return nil, 0, 0, &TruncatedError{File: r.path, Block: r.block}
 	}
 	want := binary.LittleEndian.Uint32(crcBuf[:])
 	payload := r.payload
@@ -127,18 +218,13 @@ func (r *BlockReader) Next() ([]itemset.Transaction, int, error) {
 		r.payload = payload
 	}
 	if _, err := io.ReadFull(r.br, payload); err != nil {
-		return nil, 0, &TruncatedError{File: r.path, Block: r.block}
+		return nil, 0, 0, &TruncatedError{File: r.path, Block: r.block}
 	}
 	if got := crc32.ChecksumIEEE(payload); got != want {
-		return nil, 0, &CorruptError{File: r.path, Block: r.block, Reason: fmt.Sprintf("checksum mismatch (got %08x, want %08x)", got, want)}
+		return nil, 0, 0, &crcError{reason: fmt.Sprintf("checksum mismatch (got %08x, want %08x)", got, want)}
 	}
 	diskBytes := uvarintLen(ntxns) + uvarintLen(payloadLen) + 4 + int(payloadLen)
-	txns, err := r.decodeBlock(payload, int(ntxns))
-	if err != nil {
-		return nil, 0, err
-	}
-	r.block++
-	return txns, diskBytes, nil
+	return payload, int(ntxns), diskBytes, nil
 }
 
 // decodeBlock decodes a verified payload into transactions.  This is the

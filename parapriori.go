@@ -69,6 +69,10 @@ type (
 	Report = core.Report
 	// PassReport describes one level-wise pass of a parallel run.
 	PassReport = core.PassReport
+	// ReadStats aggregates an out-of-core run's read-path telemetry:
+	// partitions, blocks and bytes read, checksum failures survived,
+	// read-ahead stalls and decode time, per pass and run-total.
+	ReadStats = core.ReadStats
 	// Machine is the cost model of the emulated parallel computer.
 	Machine = cluster.Machine
 	// Algorithm selects a parallel formulation.
@@ -446,12 +450,29 @@ type (
 	// PassCost is one pass's cost-attribution bucket: compute/IO/send/idle/
 	// retry totals, elapsed time and critical path.
 	PassCost = obsv.PassCost
+	// FlightRecorder is an always-on bounded Recorder: a per-rank ring of
+	// the most recently completed spans, dumpable at any time as the same
+	// byte-deterministic trace a SpanCollector assembles.  Unlike the
+	// collector it never grows, so it can stay installed on every run.
+	FlightRecorder = obsv.Flight
 )
 
 // NewSpanCollector builds a collector for a virtual-time mining run.  (The
 // serving tier builds its own real-clock collectors internally; mining is
 // the case callers assemble by hand.)
 func NewSpanCollector() *SpanCollector { return obsv.NewCollector(obsv.ClockVirtual) }
+
+// NewFlightRecorder builds an always-on flight recorder for a virtual-time
+// mining run, retaining the last spansPerRank completed spans per rank
+// (0 selects the default, 256).  Dump it any time with Trace().
+func NewFlightRecorder(spansPerRank int) *FlightRecorder {
+	return obsv.NewFlight(obsv.ClockVirtual, spansPerRank)
+}
+
+// TeeRecorders fans every recorded span out to all the given recorders (nils
+// are dropped) — the way to run a bounded FlightRecorder alongside a full
+// SpanCollector on the same run.
+func TeeRecorders(recs ...Recorder) Recorder { return obsv.Tee(recs...) }
 
 // WriteSpanTrace writes a trace as Chrome trace-event JSON, loadable in
 // Perfetto (ui.perfetto.dev) or chrome://tracing.  Output is
@@ -513,6 +534,7 @@ func MachineByName(name string) (MachinePreset, bool) { return cluster.ByName(na
 //	srv.Publish(ix)
 //	recs, _ := srv.Recommend([]parapriori.Item{3, 4}, 10)
 //	http.ListenAndServe(":8080", srv.Handler(nil))
+//
 // ServeOptions configures the rule index and server (shards, worker pool,
 // cache size, placement seed, K cap).  It is a defined type (not an alias)
 // so it can carry Validate; zero fields select defaults throughout.
